@@ -1,0 +1,81 @@
+//! Benchmarks of the image codecs and content transforms: GIF LZW,
+//! PNG encode/decode, MNG delta coding, the GIF→PNG conversion pipeline,
+//! HTML tokenization and the CSS replacement analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use webcontent::{convert, gif, html, mng, png, synth};
+
+fn bench_gif(c: &mut Criterion) {
+    let img = synth::graphic(160, 120, 64, 0.5, 7);
+    let encoded = gif::encode(&img);
+    let mut g = c.benchmark_group("gif");
+    g.throughput(Throughput::Bytes((img.width * img.height) as u64));
+    g.bench_function("encode_160x120", |b| b.iter(|| black_box(gif::encode(&img))));
+    g.bench_function("decode_160x120", |b| {
+        b.iter(|| black_box(gif::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_png(c: &mut Criterion) {
+    let img = synth::graphic(160, 120, 64, 0.5, 7);
+    let encoded = png::encode(&img, png::PngOptions::default());
+    let mut g = c.benchmark_group("png");
+    g.throughput(Throughput::Bytes((img.width * img.height) as u64));
+    g.bench_function("encode_160x120", |b| {
+        b.iter(|| black_box(png::encode(&img, png::PngOptions::default())))
+    });
+    g.bench_function("decode_160x120", |b| {
+        b.iter(|| black_box(png::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_mng(c: &mut Criterion) {
+    let anim = synth::animation(96, 72, 8, 21);
+    let mut g = c.benchmark_group("mng");
+    g.bench_function("encode_8_frames", |b| b.iter(|| black_box(mng::encode(&anim))));
+    let encoded = mng::encode(&anim);
+    g.bench_function("decode_8_frames", |b| {
+        b.iter(|| black_box(mng::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let site = webcontent::microscape::site();
+    let mut g = c.benchmark_group("conversion");
+    g.sample_size(10);
+    g.bench_function("whole_site_gif_to_png_mng", |b| {
+        b.iter(|| black_box(convert::convert_site(&site.images)))
+    });
+    g.finish();
+}
+
+fn bench_html(c: &mut Criterion) {
+    let site = webcontent::microscape::site();
+    let mut g = c.benchmark_group("html");
+    g.throughput(Throughput::Bytes(site.html.len() as u64));
+    g.bench_function("tokenize_42k", |b| {
+        b.iter(|| black_box(html::tokenize(&site.html)))
+    });
+    g.bench_function("image_sources_42k", |b| {
+        b.iter(|| black_box(html::inline_image_sources(&site.html)))
+    });
+    g.bench_function("lowercase_rewrite_42k", |b| {
+        b.iter(|| black_box(html::rewrite_tag_case(&site.html, false)))
+    });
+    g.bench_function("css_analysis", |b| b.iter(|| black_box(site.css_analysis())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gif,
+    bench_png,
+    bench_mng,
+    bench_conversion,
+    bench_html
+);
+criterion_main!(benches);

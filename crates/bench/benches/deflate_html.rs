@@ -1,0 +1,58 @@
+//! Benchmarks of the from-scratch DEFLATE implementation on the paper's
+//! HTML corpus: compression at each level, decompression, and the
+//! prefix-decode path used by the streaming client.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flate::{deflate, inflate, Level};
+use std::hint::black_box;
+
+fn corpus() -> &'static str {
+    &webcontent::microscape::site().html
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let html = corpus();
+    let mut g = c.benchmark_group("deflate_html");
+    g.throughput(Throughput::Bytes(html.len() as u64));
+    for (name, level) in [
+        ("store", Level::Store),
+        ("fast", Level::Fast),
+        ("default", Level::Default),
+        ("best", Level::Best),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(deflate(html.as_bytes(), level)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_inflate(c: &mut Criterion) {
+    let html = corpus();
+    let compressed = deflate(html.as_bytes(), Level::Default);
+    let mut g = c.benchmark_group("inflate_html");
+    g.throughput(Throughput::Bytes(html.len() as u64));
+    g.bench_function("full", |b| b.iter(|| black_box(inflate(&compressed).unwrap())));
+    g.bench_function("prefix_half", |b| {
+        let half = &compressed[..compressed.len() / 2];
+        b.iter(|| black_box(flate::inflate::inflate_prefix(half).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_zlib(c: &mut Criterion) {
+    let html = corpus();
+    let mut g = c.benchmark_group("zlib_html");
+    g.throughput(Throughput::Bytes(html.len() as u64));
+    g.bench_function("compress_default", |b| {
+        b.iter(|| black_box(flate::zlib::compress(html.as_bytes(), Level::Default)))
+    });
+    let z = flate::zlib::compress(html.as_bytes(), Level::Default);
+    g.bench_function("decompress", |b| {
+        b.iter(|| black_box(flate::zlib::decompress(&z).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_deflate, bench_inflate, bench_zlib);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Benchmarks of the simulation substrate itself: raw event throughput of
+//! the TCP machine over the three link models, and the modem compressor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::sim::{App, AppEvent, Ctx};
+use netsim::{LinkConfig, ModemCompressor, Simulator, SockAddr};
+use std::hint::black_box;
+
+/// Minimal bulk-transfer pair used to stress the TCP path.
+struct Sender {
+    server: SockAddr,
+    total: usize,
+    sent: usize,
+}
+
+impl App for Sender {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                ctx.connect(self.server);
+            }
+            AppEvent::Connected(s) | AppEvent::SendSpace(s) => {
+                while self.sent < self.total {
+                    let n = ctx.send(s, &[0xAB; 4096][..4096.min(self.total - self.sent)]);
+                    if n == 0 {
+                        return;
+                    }
+                    self.sent += n;
+                }
+                ctx.shutdown_write(s);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Sink;
+
+impl App for Sink {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => ctx.listen(80),
+            AppEvent::Readable(s) => {
+                let _ = ctx.recv(s, usize::MAX);
+            }
+            AppEvent::PeerFin(s) => ctx.shutdown_write(s),
+            _ => {}
+        }
+    }
+}
+
+fn bulk_transfer(link: LinkConfig, bytes: usize) -> u64 {
+    let mut sim = Simulator::new();
+    let client = sim.add_host("client");
+    let server = sim.add_host("server");
+    sim.add_link(client, server, link);
+    sim.install_app(server, Box::new(Sink));
+    sim.install_app(
+        client,
+        Box::new(Sender {
+            server: SockAddr::new(server, 80),
+            total: bytes,
+            sent: 0,
+        }),
+    );
+    sim.run_until_idle()
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_bulk_1mb");
+    g.throughput(Throughput::Bytes(1 << 20));
+    for (name, link) in [
+        ("lan", LinkConfig::lan()),
+        ("wan", LinkConfig::wan()),
+        ("lossy_lan", LinkConfig::lan().with_drop_every(97)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(bulk_transfer(link.clone(), 1 << 20)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_modem_codec(c: &mut Criterion) {
+    let html = &webcontent::microscape::site().html;
+    let mut g = c.benchmark_group("modem_lzw");
+    g.throughput(Throughput::Bytes(html.len() as u64));
+    g.bench_function("html_42k", |b| {
+        b.iter(|| {
+            let mut lzw = netsim::modem::LzwSizer::new();
+            let n = lzw.push(html.as_bytes()) + lzw.finish();
+            black_box(n)
+        })
+    });
+    let _ = ModemCompressor::new();
+    g.finish();
+}
+
+criterion_group!(benches, bench_bulk, bench_modem_codec);
+criterion_main!(benches);

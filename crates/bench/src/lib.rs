@@ -1,0 +1,6 @@
+//! Shared helpers for the benchmark targets. The real entry points are
+//! the Criterion benches in `benches/` and the `repro` binary, which
+//! regenerates every table and figure of the paper.
+
+/// Crate marker; see `benches/` and `src/bin/repro.rs`.
+pub const ABOUT: &str = "benchmarks and table reproduction for the SIGCOMM '97 HTTP/1.1 study";

@@ -1,0 +1,28 @@
+//! The content half of the paper: what CSS1, PNG and MNG buy on the
+//! Microscape page, plus the transport-compression study.
+//!
+//! ```text
+//! cargo run --release --example content_savings
+//! ```
+
+use httpipe_core::experiments::{compression, content};
+
+fn main() {
+    // Figure 1: the "solutions" banner.
+    let f = content::figure1();
+    println!("=== Figure 1: replacing a text-banner GIF with HTML+CSS ===");
+    println!("GIF:         {} bytes", f.gif_bytes);
+    println!("CSS rule:    {}", f.css_rule);
+    println!("Markup:      {}", f.markup);
+    println!(
+        "HTML+CSS:    {} bytes ({:.1}x smaller)\n",
+        f.replacement_bytes,
+        f.gif_bytes as f64 / f.replacement_bytes as f64
+    );
+
+    println!("{}", content::css_analysis_table().render());
+    println!("{}", content::conversion_table().render());
+    println!("{}", compression::deflate_table().render());
+    println!("{}", content::css_browse_table().render());
+    println!("{}", compression::modem_table().render());
+}

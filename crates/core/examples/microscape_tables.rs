@@ -1,0 +1,24 @@
+//! Regenerate the protocol matrix (Tables 3–9) plus the browser tables
+//! (10–11) in the paper's layout. The `repro` binary in `httpipe-bench`
+//! does the same with per-table selection.
+//!
+//! ```text
+//! cargo run --release --example microscape_tables
+//! ```
+
+use httpipe_core::env::NetEnv;
+use httpipe_core::experiments::{browsers, protocol_matrix};
+use httpserver::ServerKind;
+
+fn main() {
+    println!("{}", protocol_matrix::table1().render());
+    println!("{}", protocol_matrix::table3().render());
+    for env in [NetEnv::Lan, NetEnv::Wan, NetEnv::Ppp] {
+        for kind in [ServerKind::Jigsaw, ServerKind::Apache] {
+            println!("{}", protocol_matrix::matrix_table(env, kind).render());
+        }
+    }
+    for kind in [ServerKind::Jigsaw, ServerKind::Apache] {
+        println!("{}", browsers::browser_table(kind).render());
+    }
+}

@@ -1,0 +1,28 @@
+//! The implementation pitfall the paper devotes a section to: the Nagle
+//! algorithm versus application write buffering, plus the connection-
+//! management (naive close → RST) hazard.
+//!
+//! ```text
+//! cargo run --release --example nagle_pitfall
+//! ```
+
+use httpipe_core::env::NetEnv;
+use httpipe_core::experiments::{closemgmt, nagle};
+
+fn main() {
+    println!("{}", nagle::nagle_table(NetEnv::Lan).render());
+    println!(
+        "Buffered writes produce full segments, so Nagle rarely delays them;\n\
+         per-request writes + Nagle stall behind delayed ACKs (up to 200ms\n\
+         each). The paper's advice: buffered pipelined implementations should\n\
+         set TCP_NODELAY.\n"
+    );
+
+    println!("{}", closemgmt::close_table(NetEnv::Ppp, 5).render());
+    println!(
+        "A server that closes both halves of the connection at once RSTs the\n\
+         pipelined client; the RST destroys responses already received by the\n\
+         client's TCP, forcing re-fetches. Correct servers half-close and\n\
+         drain (independent close)."
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: simulate one pipelined HTTP/1.1 fetch of the Microscape
+//! page over a 28.8k modem and print what the paper's tcpdump would have
+//! shown, next to the same fetch done HTTP/1.0-style.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use httpipe_core::prelude::*;
+
+fn main() {
+    println!("Microscape test site: 42KB HTML + 42 GIF images, 43 requests.\n");
+
+    for (name, setup) in [
+        ("HTTP/1.0, 4 parallel connections", ProtocolSetup::Http10),
+        ("HTTP/1.1, one persistent connection", ProtocolSetup::Http11),
+        ("HTTP/1.1, buffered pipelining", ProtocolSetup::Http11Pipelined),
+        (
+            "HTTP/1.1, pipelining + deflate",
+            ProtocolSetup::Http11PipelinedDeflate,
+        ),
+    ] {
+        let first = run_matrix_cell(
+            NetEnv::Ppp,
+            ServerKind::Apache,
+            setup,
+            Scenario::FirstTime,
+        );
+        let reval = run_matrix_cell(
+            NetEnv::Ppp,
+            ServerKind::Apache,
+            setup,
+            Scenario::Revalidate,
+        );
+        println!("{name}:");
+        println!(
+            "  first visit:  {:>4} packets  {:>7} bytes  {:>6.1}s  ({} connections)",
+            first.packets(),
+            first.bytes,
+            first.secs,
+            first.sockets_used
+        );
+        println!(
+            "  revalidation: {:>4} packets  {:>7} bytes  {:>6.1}s  ({} x 304 Not Modified)\n",
+            reval.packets(),
+            reval.bytes,
+            reval.secs,
+            reval.validated
+        );
+    }
+
+    println!(
+        "The paper's headline: pipelined HTTP/1.1 cuts packets by 2-10x versus\n\
+         HTTP/1.0 with parallel connections, with the biggest wins on cache\n\
+         revalidation — and an HTTP/1.1 implementation *without* pipelining\n\
+         is slower than HTTP/1.0, which is why pipelining matters."
+    );
+}

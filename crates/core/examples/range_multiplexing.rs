@@ -1,0 +1,36 @@
+//! "Poor man's multiplexing": the paper's §"Range Requests and
+//! Validation" idiom, demonstrated end-to-end on a *revised* site where
+//! every cache validator misses.
+//!
+//! ```text
+//! cargo run --release --example range_multiplexing
+//! ```
+
+use httpipe_core::env::NetEnv;
+use httpipe_core::experiments::ranges::{run_revisit_cell, RevisitIdiom};
+
+fn main() {
+    println!(
+        "Revisiting the Microscape page after a site-wide revision (all 43\n\
+         validators miss), pipelined HTTP/1.1 over a 28.8k modem:\n"
+    );
+    for idiom in [RevisitIdiom::FullOnChange, RevisitIdiom::RangeMetadata] {
+        let c = run_revisit_cell(NetEnv::Ppp, idiom);
+        println!(
+            "{:<40} {:>4} packets  {:>7} bytes  {:>6.1}s  ({} body bytes)",
+            idiom.label(),
+            c.packets(),
+            c.bytes,
+            c.secs,
+            c.body_bytes
+        );
+    }
+    println!(
+        "\nWith a leading 256-byte range on each conditional GET, a changed\n\
+         object answers 206 Partial Content with just its metadata-bearing\n\
+         first bytes. The browser learns every object's size and type in a\n\
+         couple of seconds instead of re-downloading the site — then fetches\n\
+         full bodies (or progressive prefixes) in whatever order it likes:\n\
+         multiplexing over one connection, without any new protocol."
+    );
+}

@@ -1,0 +1,93 @@
+//! The three network environments of Table 1.
+
+use netsim::{LinkConfig, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A row of Table 1: a bandwidth/latency combination spanning common Web
+/// uses of 1997.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetEnv {
+    /// High bandwidth, low latency: 10 Mbit/s Ethernet, RTT < 1 ms.
+    Lan,
+    /// High bandwidth, high latency: transcontinental Internet, RTT ≈ 90 ms.
+    Wan,
+    /// Low bandwidth, high latency: 28.8 kbps dialup PPP, RTT ≈ 150 ms.
+    Ppp,
+}
+
+impl NetEnv {
+    /// All environments in table order.
+    pub const ALL: [NetEnv; 3] = [NetEnv::Lan, NetEnv::Wan, NetEnv::Ppp];
+
+    /// The link model for this environment.
+    pub fn link(self) -> LinkConfig {
+        match self {
+            NetEnv::Lan => LinkConfig::lan(),
+            NetEnv::Wan => LinkConfig::wan(),
+            NetEnv::Ppp => LinkConfig::ppp(),
+        }
+    }
+
+    /// Human-readable channel description (Table 1's "Channel" column).
+    pub fn channel(self) -> &'static str {
+        match self {
+            NetEnv::Lan => "High bandwidth, low latency",
+            NetEnv::Wan => "High bandwidth, high latency",
+            NetEnv::Ppp => "Low bandwidth, high latency",
+        }
+    }
+
+    /// Table 1's "Connection" column.
+    pub fn connection(self) -> &'static str {
+        match self {
+            NetEnv::Lan => "LAN - 10Mbit Ethernet",
+            NetEnv::Wan => "WAN - MA (MIT/LCS) to CA (LBL)",
+            NetEnv::Ppp => "PPP - 28.8k modem line",
+        }
+    }
+
+    /// Nominal round-trip time.
+    pub fn rtt(self) -> SimDuration {
+        let link = self.link();
+        link.propagation + link.propagation
+    }
+
+    /// The maximum segment size (1460 in every tested environment).
+    pub fn mss(self) -> usize {
+        1460
+    }
+
+    /// Short name used in table titles (LAN/WAN/PPP).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetEnv::Lan => "LAN",
+            NetEnv::Wan => "WAN",
+            NetEnv::Ppp => "PPP",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtts_match_table_1() {
+        assert!(NetEnv::Lan.rtt() < SimDuration::from_millis(1));
+        assert_eq!(NetEnv::Wan.rtt(), SimDuration::from_millis(90));
+        assert_eq!(NetEnv::Ppp.rtt(), SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn bandwidths_match_table_1() {
+        assert_eq!(NetEnv::Lan.link().bits_per_sec, Some(10_000_000));
+        assert_eq!(NetEnv::Ppp.link().bits_per_sec, Some(28_800));
+        assert_eq!(NetEnv::Lan.mss(), 1460);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: Vec<_> = NetEnv::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["LAN", "WAN", "PPP"]);
+    }
+}

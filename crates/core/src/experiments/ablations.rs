@@ -1,0 +1,224 @@
+//! Ablation sweeps over the design choices the paper discusses tuning:
+//!
+//! * the pipeline output-buffer threshold ("we experimented with the
+//!   output buffer size and found that 1024 bytes is a good compromise");
+//! * the flush timer ("it is not clear what the optimal flush time-out
+//!   period is");
+//! * the explicit application flush versus relying on the timer;
+//! * TCP's initial congestion window ("some TCP stacks implement slow
+//!   start using one TCP segment whereas others implement it using two").
+
+use crate::env::NetEnv;
+use crate::harness::{matrix_spec, run_spec, ProtocolSetup, Scenario};
+use crate::result::{CellResult, Table};
+use httpserver::ServerKind;
+use netsim::{SimDuration, TcpConfig};
+
+/// Sweep the pipeline buffer threshold for the revalidation workload.
+pub fn buffer_threshold_sweep(env: NetEnv) -> Vec<(usize, CellResult)> {
+    [128usize, 256, 512, 1024, 2048, 4096]
+        .into_iter()
+        .map(|threshold| {
+            let mut spec = matrix_spec(
+                env,
+                ServerKind::Apache,
+                ProtocolSetup::Http11Pipelined,
+                Scenario::Revalidate,
+            );
+            spec.client.pipeline_buffer = threshold;
+            (threshold, run_spec(spec).cell)
+        })
+        .collect()
+}
+
+/// Sweep the flush timer with the application flush disabled (the
+/// untuned client), revalidation workload.
+pub fn flush_timer_sweep(env: NetEnv) -> Vec<(u64, CellResult)> {
+    [10u64, 50, 200, 1000]
+        .into_iter()
+        .map(|ms| {
+            let mut spec = matrix_spec(
+                env,
+                ServerKind::Apache,
+                ProtocolSetup::Http11Pipelined,
+                Scenario::Revalidate,
+            );
+            spec.client = spec
+                .client
+                .with_app_flush(false)
+                .with_flush_timeout(SimDuration::from_millis(ms));
+            (ms, run_spec(spec).cell)
+        })
+        .collect()
+}
+
+/// Application flush on/off, first-time retrieval (where the explicit
+/// flush after the HTML request matters most).
+pub fn app_flush_ablation(env: NetEnv) -> (CellResult, CellResult) {
+    let with = run_spec(matrix_spec(
+        env,
+        ServerKind::Apache,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    ))
+    .cell;
+    let mut spec = matrix_spec(
+        env,
+        ServerKind::Apache,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
+    spec.client = spec
+        .client
+        .with_app_flush(false)
+        .with_flush_timeout(SimDuration::from_millis(1000));
+    let without = run_spec(spec).cell;
+    (with, without)
+}
+
+/// Initial congestion window of 1 vs 2 segments, first-time retrieval.
+pub fn initial_cwnd_ablation(env: NetEnv) -> Vec<(u32, CellResult)> {
+    [1u32, 2, 4]
+        .into_iter()
+        .map(|cwnd| {
+            let mut spec = matrix_spec(
+                env,
+                ServerKind::Apache,
+                ProtocolSetup::Http11Pipelined,
+                Scenario::FirstTime,
+            );
+            let tcp = TcpConfig {
+                initial_cwnd_segments: cwnd,
+                ..TcpConfig::default()
+            };
+            spec.tcp = Some(tcp);
+            (cwnd, run_spec(spec).cell)
+        })
+        .collect()
+}
+
+/// Render every ablation as one report; each sweep runs in the
+/// environment where its effect is visible (buffer/timer on the LAN,
+/// flush policy and initial cwnd on the latency-dominated WAN).
+pub fn ablation_tables() -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    let env = NetEnv::Lan;
+    let mut t = Table::new(
+        &format!("Pipeline buffer threshold sweep - revalidation, {}", env.name()),
+        &["Pa", "Bytes", "Sec"],
+    );
+    for (threshold, c) in buffer_threshold_sweep(env) {
+        t.push_row(
+            &format!("{threshold} B"),
+            vec![
+                c.packets().to_string(),
+                c.bytes.to_string(),
+                format!("{:.2}", c.secs),
+            ],
+        );
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        &format!("Flush timer sweep (no app flush) - revalidation, {}", env.name()),
+        &["Pa", "Sec"],
+    );
+    for (ms, c) in flush_timer_sweep(env) {
+        t.push_row(
+            &format!("{ms} ms"),
+            vec![c.packets().to_string(), format!("{:.2}", c.secs)],
+        );
+    }
+    tables.push(t);
+
+    let env = NetEnv::Wan;
+    let (with, without) = app_flush_ablation(env);
+    let mut t = Table::new(
+        &format!("Application flush - first-time retrieval, {}", env.name()),
+        &["Pa", "Sec"],
+    );
+    t.push_row(
+        "explicit app flush",
+        vec![with.packets().to_string(), format!("{:.2}", with.secs)],
+    );
+    t.push_row(
+        "timer only (1s)",
+        vec![without.packets().to_string(), format!("{:.2}", without.secs)],
+    );
+    tables.push(t);
+
+    let mut t = Table::new(
+        &format!("Initial congestion window - first-time retrieval, {}", env.name()),
+        &["Pa", "Sec"],
+    );
+    for (cwnd, c) in initial_cwnd_ablation(env) {
+        t.push_row(
+            &format!("{cwnd} segment(s)"),
+            vec![c.packets().to_string(), format!("{:.2}", c.secs)],
+        );
+    }
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_buffer_thresholds_complete() {
+        for (threshold, c) in buffer_threshold_sweep(NetEnv::Lan) {
+            assert_eq!(c.fetched, 43, "threshold {threshold}");
+            assert_eq!(c.validated, 43, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn smaller_buffers_cost_packets() {
+        let sweep = buffer_threshold_sweep(NetEnv::Lan);
+        let tiny = sweep.first().unwrap().1.packets();
+        let tuned = sweep.iter().find(|(t, _)| *t == 1024).unwrap().1.packets();
+        assert!(
+            tiny >= tuned,
+            "128B buffer ({tiny}) should not beat 1024B ({tuned})"
+        );
+    }
+
+    #[test]
+    fn slow_flush_timer_hurts_untuned_clients() {
+        let sweep = flush_timer_sweep(NetEnv::Lan);
+        let fast = sweep.iter().find(|(ms, _)| *ms == 10).unwrap().1.secs;
+        let slow = sweep.iter().find(|(ms, _)| *ms == 1000).unwrap().1.secs;
+        assert!(
+            slow > fast,
+            "a 1s flush timer should cost elapsed time: {slow:.2} vs {fast:.2}"
+        );
+    }
+
+    #[test]
+    fn app_flush_beats_timer_only() {
+        let (with, without) = app_flush_ablation(NetEnv::Wan);
+        assert!(
+            with.secs < without.secs,
+            "explicit flush should win: {:.2} vs {:.2}",
+            with.secs,
+            without.secs
+        );
+    }
+
+    #[test]
+    fn larger_initial_cwnd_saves_round_trips_on_wan() {
+        let sweep = initial_cwnd_ablation(NetEnv::Wan);
+        let one = sweep.iter().find(|(c, _)| *c == 1).unwrap().1.secs;
+        let four = sweep.iter().find(|(c, _)| *c == 4).unwrap().1.secs;
+        assert!(
+            four <= one,
+            "bigger initial window cannot be slower: {four:.2} vs {one:.2}"
+        );
+        for (_, c) in &sweep {
+            assert_eq!(c.fetched, 43);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The paper's experiments, one module per table/figure group.
+
+pub mod ablations;
+pub mod browsers;
+pub mod closemgmt;
+pub mod compression;
+pub mod content;
+pub mod nagle;
+pub mod protocol_matrix;
+pub mod ranges;
+pub mod summary;
+pub mod verbosity;

@@ -1,0 +1,183 @@
+//! The Nagle-interaction study.
+//!
+//! The paper (and Heidemann [7]) found that an application that buffers
+//! its output interacts badly with the Nagle algorithm: the sub-MSS tail
+//! of a buffered write is held by Nagle until earlier data is ACKed, and
+//! the receiver's delayed-ACK timer can hold that ACK for up to 200 ms.
+//! With *good* buffering the segments are large and Nagle rarely bites;
+//! with per-request writes it bites constantly. The recommendation:
+//! buffered pipelined implementations should set TCP_NODELAY.
+
+use crate::env::NetEnv;
+use crate::harness::{matrix_spec, run_spec, ProtocolSetup, Scenario};
+use crate::result::{CellResult, Table};
+use httpserver::ServerKind;
+
+/// One Nagle configuration: client/server TCP_NODELAY plus whether the
+/// client buffers its pipeline writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NagleCase {
+    /// TCP_NODELAY set on both ends.
+    pub nodelay: bool,
+    /// The client buffers its pipeline writes.
+    pub buffered: bool,
+}
+
+impl NagleCase {
+    /// Human-readable label for reports.
+    pub fn label(self) -> String {
+        format!(
+            "{} / {}",
+            if self.buffered { "buffered" } else { "per-request writes" },
+            if self.nodelay { "TCP_NODELAY" } else { "Nagle on" },
+        )
+    }
+}
+
+/// Run the pipelined revalidation under one Nagle configuration.
+///
+/// Jigsaw is the server under test, as in the paper's tuning story: its
+/// per-response writes outpace the client's request stream near the end
+/// of the batch, so with Nagle enabled the sub-MSS responses wait on the
+/// client's delayed ACK — "the first change to the server" was setting
+/// TCP_NODELAY.
+pub fn run_nagle_cell(env: NetEnv, case: NagleCase) -> CellResult {
+    let mut spec = matrix_spec(
+        env,
+        ServerKind::Jigsaw,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::Revalidate,
+    );
+    spec.client = spec.client.with_nodelay(case.nodelay);
+    spec.server = spec.server.with_nodelay(case.nodelay);
+    if !case.buffered {
+        // Defeat the pipeline buffer: every request is written to the
+        // socket on its own.
+        spec.client.pipeline_buffer = 1;
+    }
+    run_spec(spec).cell
+}
+
+/// All four combinations for one environment.
+pub fn nagle_cells(env: NetEnv) -> Vec<(NagleCase, CellResult)> {
+    let mut out = Vec::new();
+    for buffered in [true, false] {
+        for nodelay in [true, false] {
+            let case = NagleCase { nodelay, buffered };
+            out.push((case, run_nagle_cell(env, case)));
+        }
+    }
+    out
+}
+
+/// Render the study.
+pub fn nagle_table(env: NetEnv) -> Table {
+    let mut t = Table::new(
+        &format!("Nagle interaction - pipelined revalidation, Jigsaw, {}", env.name()),
+        &["Pa", "Bytes", "Sec"],
+    );
+    for (case, cell) in nagle_cells(env) {
+        t.push_row(
+            &case.label(),
+            vec![
+                cell.packets().to_string(),
+                cell.bytes.to_string(),
+                format!("{:.3}", cell.secs),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_complete() {
+        for (case, cell) in nagle_cells(NetEnv::Lan) {
+            assert_eq!(cell.fetched, 43, "{}", case.label());
+            assert_eq!(cell.validated, 43, "{}", case.label());
+        }
+    }
+
+    #[test]
+    fn buffered_plus_nagle_stalls_behind_delayed_acks() {
+        // The paper: "These two buffering algorithms tend to interfere,
+        // and using them together will often cause very significant
+        // performance degradation" — the server's buffered sub-MSS
+        // response writes wait on the client's delayed ACK (~200 ms).
+        let nagle_on = run_nagle_cell(
+            NetEnv::Lan,
+            NagleCase {
+                nodelay: false,
+                buffered: true,
+            },
+        );
+        let nagle_off = run_nagle_cell(
+            NetEnv::Lan,
+            NagleCase {
+                nodelay: true,
+                buffered: true,
+            },
+        );
+        assert!(
+            nagle_on.secs > nagle_off.secs + 0.15,
+            "Nagle stall should add ~200ms: {:.3}s vs {:.3}s",
+            nagle_on.secs,
+            nagle_off.secs
+        );
+    }
+
+    #[test]
+    fn nagle_coalesces_unbuffered_writes() {
+        // The flip side (and why the paper's *initial* unbuffered tests
+        // saw no Nagle problem): with per-request writes, Nagle does the
+        // batching itself — same packet count as explicit buffering —
+        // because the pipelined client keeps ACKs flowing.
+        let unbuffered_nagle = run_nagle_cell(
+            NetEnv::Lan,
+            NagleCase {
+                nodelay: false,
+                buffered: false,
+            },
+        );
+        let buffered = run_nagle_cell(
+            NetEnv::Lan,
+            NagleCase {
+                nodelay: true,
+                buffered: true,
+            },
+        );
+        assert!(
+            unbuffered_nagle.packets() <= buffered.packets() + 8,
+            "Nagle should coalesce the request trickle: {} vs {}",
+            unbuffered_nagle.packets(),
+            buffered.packets()
+        );
+    }
+
+    #[test]
+    fn unbuffered_writes_cost_packets() {
+        let buffered = run_nagle_cell(
+            NetEnv::Lan,
+            NagleCase {
+                nodelay: true,
+                buffered: true,
+            },
+        );
+        let unbuffered = run_nagle_cell(
+            NetEnv::Lan,
+            NagleCase {
+                nodelay: true,
+                buffered: false,
+            },
+        );
+        assert!(
+            unbuffered.packets() > buffered.packets() * 2,
+            "per-request writes explode the packet count: {} vs {}",
+            unbuffered.packets(),
+            buffered.packets()
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! The cell runner: wires a client, a server and a network together and
+//! extracts the paper's metrics from one deterministic run.
+
+use crate::env::NetEnv;
+use crate::result::CellResult;
+use httpclient::{
+    ClientCache, ClientConfig, HttpClient, ProtocolMode, RequestStyle, RevalidationStyle,
+    Workload,
+};
+use httpserver::{Entity, HttpServer, ServerConfig, ServerKind, SiteStore};
+use netsim::{LinkCodec, Simulator, SockAddr};
+use std::sync::Arc;
+use webcontent::microscape::{Microscape, SITE_MTIME};
+
+/// The protocol column of Tables 3–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolSetup {
+    /// HTTP/1.0 with 4 parallel connections.
+    Http10,
+    /// HTTP/1.1, persistent connection, serialized requests.
+    Http11,
+    /// HTTP/1.1 with buffered pipelining.
+    Http11Pipelined,
+    /// Pipelining plus deflate transport compression of the HTML.
+    Http11PipelinedDeflate,
+}
+
+impl ProtocolSetup {
+    /// Every setup, in the paper's row order.
+    pub const ALL: [ProtocolSetup; 4] = [
+        ProtocolSetup::Http10,
+        ProtocolSetup::Http11,
+        ProtocolSetup::Http11Pipelined,
+        ProtocolSetup::Http11PipelinedDeflate,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolSetup::Http10 => "HTTP/1.0",
+            ProtocolSetup::Http11 => "HTTP/1.1",
+            ProtocolSetup::Http11Pipelined => "HTTP/1.1 Pipelined",
+            ProtocolSetup::Http11PipelinedDeflate => "HTTP/1.1 Pipelined w. compression",
+        }
+    }
+
+    /// The client connection strategy for this setup.
+    pub fn mode(self) -> ProtocolMode {
+        match self {
+            ProtocolSetup::Http10 => ProtocolMode::Http10Parallel { max_connections: 4 },
+            ProtocolSetup::Http11 => ProtocolMode::Http11Persistent,
+            _ => ProtocolMode::Http11Pipelined,
+        }
+    }
+
+    /// Whether this setup negotiates deflate compression.
+    pub fn deflate(self) -> bool {
+        matches!(self, ProtocolSetup::Http11PipelinedDeflate)
+    }
+}
+
+/// First-time retrieval or cache revalidation — the two client behaviours
+/// under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Empty cache: GET everything (43 requests).
+    FirstTime,
+    /// Everything cached: 43 validation requests.
+    Revalidate,
+}
+
+impl Scenario {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::FirstTime => "First Time Retrieval",
+            Scenario::Revalidate => "Cache Validation",
+        }
+    }
+}
+
+/// Build the server-side store for the Microscape site (HTML gets a
+/// pre-deflated variant).
+pub fn microscape_store(site: &Microscape) -> Arc<SiteStore> {
+    let mut store = SiteStore::new();
+    store.insert(
+        site.html_path(),
+        Entity::new(site.html.clone().into_bytes(), "text/html", SITE_MTIME).with_deflate(),
+    );
+    for obj in &site.images {
+        store.insert(
+            &obj.path,
+            Entity::new(obj.body.clone(), obj.content_type, obj.mtime),
+        );
+    }
+    store.into_shared()
+}
+
+/// Build a store from arbitrary (path, body, content-type) triples.
+pub fn custom_store(objects: &[(String, Vec<u8>, &'static str)]) -> Arc<SiteStore> {
+    let mut store = SiteStore::new();
+    for (path, body, ct) in objects {
+        let e = Entity::new(body.clone(), ct, SITE_MTIME);
+        let e = if *ct == "text/html" { e.with_deflate() } else { e };
+        store.insert(path, e);
+    }
+    store.into_shared()
+}
+
+/// Prime a client cache as if a first visit had completed: validators
+/// derived exactly as the server derives them.
+pub fn primed_cache(site: &Microscape) -> ClientCache {
+    let mut cache = ClientCache::new();
+    cache.prime(
+        site.html_path(),
+        site.html.as_bytes(),
+        "text/html",
+        SITE_MTIME,
+        webcontent::html::inline_image_sources(&site.html),
+    );
+    for obj in &site.images {
+        cache.prime(&obj.path, &obj.body, obj.content_type, obj.mtime, vec![]);
+    }
+    cache
+}
+
+/// Everything configurable about one cell run.
+pub struct CellSpec {
+    /// Network environment (Table 1 row).
+    pub env: NetEnv,
+    /// Server behaviour profile.
+    pub server: ServerConfig,
+    /// Content the server serves.
+    pub store: Arc<SiteStore>,
+    /// Client behaviour profile.
+    pub client: ClientConfig,
+    /// What the client is asked to do.
+    pub workload: Workload,
+    /// Pre-primed client cache (empty for first-time runs).
+    pub cache: ClientCache,
+    /// Install a modem compressor on the link.
+    pub link_codec: Option<fn() -> Box<dyn LinkCodec>>,
+    /// Override the TCP parameters on both hosts (ablations).
+    pub tcp: Option<netsim::TcpConfig>,
+}
+
+/// Outcome of one run: the cell metrics plus full app access if needed.
+pub struct RunOutput {
+    /// The paper's metrics for this run.
+    pub cell: CellResult,
+    /// Client-side counters.
+    pub client_stats: httpclient::ClientStats,
+    /// Server-side counters.
+    pub server_stats: httpserver::ServerStats,
+    /// The finished simulator (trace still accessible).
+    pub sim: Simulator,
+    /// The client's host id.
+    pub client_host: netsim::HostId,
+    /// The server's host id.
+    pub server_host: netsim::HostId,
+}
+
+/// Execute one cell.
+pub fn run_spec(spec: CellSpec) -> RunOutput {
+    let mut sim = Simulator::new();
+    let client_host = sim.add_host("client");
+    let server_host = sim.add_host("server");
+    sim.add_link(client_host, server_host, spec.env.link());
+    if let Some(tcp) = spec.tcp.clone() {
+        sim.set_tcp_config(client_host, tcp.clone());
+        sim.set_tcp_config(server_host, tcp);
+    }
+    if let Some(make) = spec.link_codec {
+        sim.link_mut(client_host, server_host).set_codec(make);
+    }
+
+    sim.install_app(
+        server_host,
+        Box::new(HttpServer::new(spec.server, spec.store)),
+    );
+    sim.install_app(
+        client_host,
+        Box::new(HttpClient::with_cache(spec.client, spec.workload, spec.cache)),
+    );
+    sim.run_until_idle();
+
+    let stats = sim.stats(client_host, server_host);
+    let socket_stats = sim.socket_stats(client_host);
+    let client_stats = sim
+        .app_mut::<HttpClient>(client_host)
+        .expect("client app")
+        .stats
+        .clone();
+    let server_stats = sim
+        .app_mut::<HttpServer>(server_host)
+        .expect("server app")
+        .stats;
+
+    let cell = CellResult {
+        packets_c2s: stats.packets_c2s,
+        packets_s2c: stats.packets_s2c,
+        bytes: stats.bytes,
+        physical_bytes: stats.physical_bytes,
+        secs: stats.elapsed_secs(),
+        overhead_pct: stats.overhead_pct(),
+        sockets_used: socket_stats.sockets_used,
+        max_sockets: socket_stats.max_simultaneous,
+        fetched: client_stats.fetched.len() as u64,
+        validated: client_stats.validated() as u64,
+        body_bytes: client_stats.body_bytes() as u64,
+        retries: client_stats.retries,
+        resets: client_stats.resets,
+    };
+    RunOutput {
+        cell,
+        client_stats,
+        server_stats,
+        sim,
+        client_host,
+        server_host,
+    }
+}
+
+/// Build the standard cell for the protocol matrix (Tables 4–9): the
+/// Microscape site, a given environment/server/protocol/scenario.
+pub fn matrix_spec(
+    env: NetEnv,
+    server_kind: ServerKind,
+    setup: ProtocolSetup,
+    scenario: Scenario,
+) -> CellSpec {
+    let site = webcontent::microscape::site();
+    let store = microscape_store(site);
+    let server = match server_kind {
+        ServerKind::Jigsaw => ServerConfig::jigsaw(80),
+        ServerKind::Apache => ServerConfig::apache(80),
+    }
+    .with_deflate(setup.deflate());
+
+    // The server address is fixed by construction: host 1, port 80.
+    let addr = SockAddr::new(netsim::HostId(1), 80);
+    let client = ClientConfig::robot(setup.mode(), addr)
+        .with_deflate(setup.deflate())
+        .with_style(RequestStyle::Robot);
+
+    let (workload, cache) = match scenario {
+        Scenario::FirstTime => (
+            Workload::Browse {
+                start: site.html_path().into(),
+            },
+            ClientCache::new(),
+        ),
+        Scenario::Revalidate => {
+            let style = match setup {
+                // The old HTTP/1.0 robot had no persistent cache: plain
+                // GET for the page, HEAD for the images.
+                ProtocolSetup::Http10 => RevalidationStyle::HeadRequests,
+                _ => RevalidationStyle::ConditionalGetEtag,
+            };
+            (
+                Workload::Revalidate {
+                    start: site.html_path().into(),
+                    style,
+                },
+                primed_cache(site),
+            )
+        }
+    };
+
+    CellSpec {
+        env,
+        server,
+        store,
+        client,
+        workload,
+        cache,
+        link_codec: None,
+        tcp: None,
+    }
+}
+
+/// Run one matrix cell.
+pub fn run_matrix_cell(
+    env: NetEnv,
+    server_kind: ServerKind,
+    setup: ProtocolSetup,
+    scenario: Scenario,
+) -> CellResult {
+    run_spec(matrix_spec(env, server_kind, setup, scenario)).cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_pipelined_revalidation_is_tiny() {
+        let cell = run_matrix_cell(
+            NetEnv::Lan,
+            ServerKind::Apache,
+            ProtocolSetup::Http11Pipelined,
+            Scenario::Revalidate,
+        );
+        assert_eq!(cell.fetched, 43);
+        assert_eq!(cell.validated, 43, "all 43 objects revalidate");
+        assert_eq!(cell.body_bytes, 0);
+        assert!(
+            cell.packets() < 60,
+            "pipelined revalidation takes a few dozen packets, got {}",
+            cell.packets()
+        );
+        assert_eq!(cell.sockets_used, 1);
+    }
+
+    #[test]
+    fn lan_http10_first_time_has_43_connections() {
+        let cell = run_matrix_cell(
+            NetEnv::Lan,
+            ServerKind::Apache,
+            ProtocolSetup::Http10,
+            Scenario::FirstTime,
+        );
+        assert_eq!(cell.fetched, 43);
+        assert_eq!(cell.sockets_used, 43, "one connection per request");
+        assert!(cell.max_sockets <= 8, "at most 4 active (+closing)");
+        assert!(cell.body_bytes > 160_000, "the whole site transferred");
+    }
+
+    #[test]
+    fn deflate_setup_compresses_html() {
+        let plain = run_matrix_cell(
+            NetEnv::Lan,
+            ServerKind::Apache,
+            ProtocolSetup::Http11Pipelined,
+            Scenario::FirstTime,
+        );
+        let deflated = run_matrix_cell(
+            NetEnv::Lan,
+            ServerKind::Apache,
+            ProtocolSetup::Http11PipelinedDeflate,
+            Scenario::FirstTime,
+        );
+        assert!(deflated.bytes < plain.bytes, "compression saves wire bytes");
+        // ~31 KB of HTML savings out of ~190 KB total.
+        let saved = plain.bytes - deflated.bytes;
+        assert!(
+            (15_000..45_000).contains(&saved),
+            "HTML deflate saves ~30KB, got {saved}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Adler-32 (RFC 1950) and CRC-32 (ISO 3309, as used by PNG) checksums.
+
+/// Incremental Adler-32, the checksum of the zlib format.
+#[derive(Debug, Clone, Copy)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+const ADLER_MOD: u32 = 65_521;
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        Adler32 { a: 1, b: 0 }
+    }
+
+    /// Feed more bytes into the running computation.
+    pub fn update(&mut self, data: &[u8]) {
+        // Defer the modulo: 5552 is the largest n with no u32 overflow.
+        for chunk in data.chunks(5552) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= ADLER_MOD;
+            self.b %= ADLER_MOD;
+        }
+    }
+
+    /// Finalize and return the computed value.
+    pub fn finish(self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// One-shot Adler-32.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a = Adler32::new();
+    a.update(data);
+    a.finish()
+}
+
+/// Incremental CRC-32 (polynomial 0xEDB88320), PNG's chunk checksum.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, entry) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed more bytes into the running computation.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc_table();
+        for &byte in data {
+            self.state = table[((self.state ^ byte as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finalize and return the computed value.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler_known_vectors() {
+        // From RFC 1950 definitions.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler_incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(100);
+        let mut inc = Adler32::new();
+        for chunk in data.chunks(7) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn crc_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082); // PNG's empty IEND chunk CRC
+    }
+
+    #[test]
+    fn crc_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000).map(|i| (i * 7 % 256) as u8).collect();
+        let mut inc = Crc32::new();
+        for chunk in data.chunks(13) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), crc32(&data));
+    }
+}

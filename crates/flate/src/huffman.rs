@@ -1,0 +1,359 @@
+//! Canonical Huffman coding: length-limited code construction (encoder) and
+//! canonical decoding tables (decoder), per RFC 1951 §3.2.2.
+
+/// Build length-limited Huffman code lengths from symbol frequencies.
+///
+/// Uses the standard heap-based Huffman construction followed by the
+/// depth-limiting adjustment zlib uses: overlong codes are shortened and the
+/// Kraft inequality restored by demoting shorter codes. The result is
+/// optimal or near-optimal and always valid.
+///
+/// Symbols with zero frequency receive length 0 (no code). If only one
+/// symbol has nonzero frequency it receives length 1, as DEFLATE requires at
+/// least one bit per coded symbol.
+pub fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
+    let n = freqs.len();
+    let mut lengths = vec![0u32; n];
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap-based Huffman tree; node = (freq, tie, index). `tie` keeps the
+    // construction deterministic.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Node {
+        freq: u64,
+        tie: u32,
+        idx: usize,
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Tree storage: leaves 0..n, internal nodes appended after.
+    let mut parent = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    let mut tie = 0u32;
+    for &i in &active {
+        heap.push(Reverse(Node {
+            freq: freqs[i] as u64,
+            tie: {
+                tie += 1;
+                tie
+            },
+            idx: i,
+        }));
+    }
+    let mut next_idx = n;
+    while heap.len() > 1 {
+        let Reverse(a) = heap.pop().unwrap();
+        let Reverse(b) = heap.pop().unwrap();
+        parent.push(usize::MAX);
+        parent[a.idx] = next_idx;
+        parent[b.idx] = next_idx;
+        heap.push(Reverse(Node {
+            freq: a.freq + b.freq,
+            tie: {
+                tie += 1;
+                tie
+            },
+            idx: next_idx,
+        }));
+        next_idx += 1;
+    }
+
+    // Depth of each leaf.
+    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+    for &i in &active {
+        let mut d = 0;
+        let mut j = i;
+        while parent[j] != usize::MAX {
+            j = parent[j];
+            d += 1;
+        }
+        let d = d.min(max_len);
+        lengths[i] = d;
+        bl_count[d as usize] += 1;
+    }
+
+    // Restore the Kraft sum if the depth clamp overflowed it.
+    // Kraft sum in units of 2^-max_len.
+    let full = 1u64 << max_len;
+    let mut kraft: u64 = active
+        .iter()
+        .map(|&i| full >> lengths[i])
+        .sum();
+    while kraft > full {
+        // Take a code at the deepest level that has room to grow... in the
+        // clamped case we must *lengthen* some code to reduce its weight:
+        // find a symbol with length < max_len whose subtree weight we can
+        // reduce by moving it one level down. zlib's approach: find the
+        // longest length l < max_len with bl_count[l] > 0, move one code
+        // from l to l+1? That *reduces* kraft by 2^-(l+1)... we need the
+        // standard fix: repeatedly find a leaf at depth < max_len,
+        // increment its length.
+        let mut best: Option<usize> = None;
+        for &i in &active {
+            if lengths[i] < max_len {
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        // Prefer lengthening the least frequent symbol.
+                        if (freqs[i], i) < (freqs[b], b) {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let i = best.expect("kraft overflow must be fixable");
+        kraft -= full >> lengths[i];
+        lengths[i] += 1;
+        kraft += full >> lengths[i];
+    }
+
+    lengths
+}
+
+/// Assign canonical code values to a set of code lengths (RFC 1951
+/// §3.2.2). Returns, per symbol, the code value (0 where length is 0).
+pub fn assign_codes(lengths: &[u32]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max_len + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// A canonical Huffman decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// For each length 1..=15: the first canonical code of that length and
+    /// the index into `symbols` where codes of that length begin.
+    first_code: [u32; 16],
+    first_index: [u32; 16],
+    count: [u32; 16],
+    /// Symbols ordered by (length, symbol) — canonical order.
+    symbols: Vec<u16>,
+}
+
+/// Error constructing or using a Huffman decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HuffError {
+    /// The code-length set violates the Kraft inequality (over-subscribed).
+    Oversubscribed,
+    /// No symbols were assigned codes.
+    Empty,
+    /// The bit stream contained a code not present in the table.
+    BadCode,
+}
+
+impl Decoder {
+    /// Build a decoder from per-symbol code lengths.
+    ///
+    /// Incomplete codes (Kraft sum < 1) are accepted — RFC 1951 permits the
+    /// single-symbol case and some encoders emit incomplete distance
+    /// tables — but over-subscribed tables are rejected.
+    pub fn new(lengths: &[u32]) -> Result<Decoder, HuffError> {
+        let mut count = [0u32; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(HuffError::Oversubscribed);
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        if count.iter().all(|&c| c == 0) {
+            return Err(HuffError::Empty);
+        }
+        // Kraft check.
+        let mut left = 1i64;
+        for bits in 1..=15 {
+            left <<= 1;
+            left -= count[bits] as i64;
+            if left < 0 {
+                return Err(HuffError::Oversubscribed);
+            }
+        }
+
+        let mut first_code = [0u32; 16];
+        let mut first_index = [0u32; 16];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for bits in 1..=15usize {
+            code <<= 1;
+            first_code[bits] = code;
+            first_index[bits] = index;
+            code += count[bits];
+            index += count[bits];
+        }
+
+        let mut symbols = vec![0u16; index as usize];
+        let mut next = first_index;
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[next[l as usize] as usize] = sym as u16;
+                next[l as usize] += 1;
+            }
+        }
+
+        Ok(Decoder {
+            first_code,
+            first_index,
+            count,
+            symbols,
+        })
+    }
+
+    /// Decode one symbol by pulling bits from `next_bit` (which yields the
+    /// stream's next bit, MSB-of-code-first as DEFLATE stores codes).
+    pub fn decode<E>(
+        &self,
+        mut next_bit: impl FnMut() -> Result<u32, E>,
+    ) -> Result<Result<u16, HuffError>, E> {
+        let mut code = 0u32;
+        for bits in 1..=15usize {
+            code = (code << 1) | next_bit()?;
+            let c = self.count[bits];
+            if c > 0 {
+                let first = self.first_code[bits];
+                if code < first + c {
+                    if code < first {
+                        return Ok(Err(HuffError::BadCode));
+                    }
+                    let idx = self.first_index[bits] + (code - first);
+                    return Ok(Ok(self.symbols[idx as usize]));
+                }
+            }
+        }
+        Ok(Err(HuffError::BadCode))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_codes_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4)
+        // -> codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3, 3, 3, 3, 3, 2, 4, 4];
+        let codes = assign_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn build_lengths_simple() {
+        // Frequencies heavily skewed: most frequent symbol gets the
+        // shortest code.
+        let freqs = [100, 10, 10, 1];
+        let lengths = build_lengths(&freqs, 15);
+        assert!(lengths[0] < lengths[3]);
+        // Kraft equality for a complete code.
+        let kraft: f64 = lengths.iter().map(|&l| 0.5f64.powi(l as i32)).sum();
+        assert!((kraft - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let freqs = [0, 7, 0];
+        let lengths = build_lengths(&freqs, 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn length_limit_respected() {
+        // Fibonacci-ish frequencies force deep trees; limit to 5 bits.
+        let freqs: Vec<u32> = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89].to_vec();
+        let lengths = build_lengths(&freqs, 5);
+        assert!(lengths.iter().all(|&l| l <= 5 && l > 0));
+        let full = 1u32 << 5;
+        let kraft: u32 = lengths.iter().map(|&l| full >> l).sum();
+        assert!(kraft <= full, "kraft must hold after limiting");
+    }
+
+    #[test]
+    fn decoder_roundtrip() {
+        let lengths = [3u32, 3, 3, 3, 3, 2, 4, 4];
+        let codes = assign_codes(&lengths);
+        let dec = Decoder::new(&lengths).unwrap();
+        for sym in 0..lengths.len() {
+            let code = codes[sym];
+            let len = lengths[sym];
+            let mut bits: Vec<u32> = (0..len).rev().map(|i| (code >> i) & 1).collect();
+            bits.reverse(); // we'll pop from the back
+            let got = dec
+                .decode(|| -> Result<u32, ()> { Ok(bits.pop().unwrap()) })
+                .unwrap()
+                .unwrap();
+            assert_eq!(got as usize, sym);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        // Three 1-bit codes is impossible.
+        assert_eq!(
+            Decoder::new(&[1, 1, 1]).unwrap_err(),
+            HuffError::Oversubscribed
+        );
+    }
+
+    #[test]
+    fn encoder_decoder_agree_on_random_frequencies() {
+        // Deterministic pseudo-random frequencies.
+        let mut x = 0x2545F491u64;
+        let freqs: Vec<u32> = (0..100)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 1000) as u32
+            })
+            .collect();
+        let lengths = build_lengths(&freqs, 15);
+        let codes = assign_codes(&lengths);
+        let dec = Decoder::new(&lengths).unwrap();
+        for sym in 0..freqs.len() {
+            if lengths[sym] == 0 {
+                continue;
+            }
+            let code = codes[sym];
+            let len = lengths[sym];
+            let mut bits: Vec<u32> = (0..len).map(|i| (code >> (len - 1 - i)) & 1).collect();
+            let mut iter = bits.drain(..);
+            let got = dec
+                .decode(|| -> Result<u32, ()> { Ok(iter.next().unwrap()) })
+                .unwrap()
+                .unwrap();
+            assert_eq!(got as usize, sym);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The DEFLATE decompressor (RFC 1951).
+
+use crate::bitio::{BitReader, UnexpectedEof};
+use crate::huffman::{Decoder, HuffError};
+use crate::tables::{
+    fixed_dist_lengths, fixed_litlen_lengths, CLC_ORDER, DIST_TABLE, LENGTH_TABLE,
+};
+
+/// Errors the decompressor can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InflateError {
+    /// Input ended before the final block completed.
+    UnexpectedEof,
+    /// Reserved block type 0b11.
+    BadBlockType,
+    /// Stored block LEN/NLEN mismatch.
+    BadStoredLength,
+    /// Invalid Huffman table in a dynamic header.
+    BadHuffmanTable,
+    /// A code read from the stream does not exist in the table.
+    BadCode,
+    /// A back-reference points before the start of output.
+    BadDistance,
+    /// A length/distance symbol outside the valid range.
+    BadSymbol,
+}
+
+impl From<UnexpectedEof> for InflateError {
+    fn from(_: UnexpectedEof) -> Self {
+        InflateError::UnexpectedEof
+    }
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            InflateError::UnexpectedEof => "unexpected end of input",
+            InflateError::BadBlockType => "reserved block type",
+            InflateError::BadStoredLength => "stored block length check failed",
+            InflateError::BadHuffmanTable => "invalid huffman table",
+            InflateError::BadCode => "invalid huffman code in stream",
+            InflateError::BadDistance => "back-reference before start of output",
+            InflateError::BadSymbol => "symbol out of range",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// Decompress as much of a (possibly truncated) DEFLATE stream as
+/// possible. Used for *streaming* consumers — e.g. a browser parsing
+/// compressed HTML while it is still arriving — where a truncated tail is
+/// expected, not an error. Errors other than truncation still surface.
+pub fn inflate_prefix(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    inflate_inner(data, true)
+}
+
+/// Decompress a raw DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    inflate_inner(data, false)
+}
+
+fn inflate_inner(data: &[u8], tolerate_eof: bool) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    let result = (|| -> Result<(), InflateError> {
+        loop {
+            let bfinal = r.read_bit()?;
+            let btype = r.read_bits(2)?;
+            match btype {
+                0b00 => stored_block(&mut r, &mut out)?,
+                0b01 => {
+                    let lit = Decoder::new(&fixed_litlen_lengths())
+                        .map_err(|_| InflateError::BadHuffmanTable)?;
+                    let dist = Decoder::new(&fixed_dist_lengths())
+                        .map_err(|_| InflateError::BadHuffmanTable)?;
+                    huffman_block(&mut r, &mut out, &lit, &dist)?;
+                }
+                0b10 => {
+                    let (lit, dist) = dynamic_tables(&mut r)?;
+                    huffman_block(&mut r, &mut out, &lit, &dist)?;
+                }
+                _ => return Err(InflateError::BadBlockType),
+            }
+            if bfinal == 1 {
+                return Ok(());
+            }
+        }
+    })();
+    match result {
+        Ok(()) => Ok(out),
+        Err(InflateError::UnexpectedEof) if tolerate_eof => Ok(out),
+        Err(e) => Err(e),
+    }
+}
+
+fn stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    r.align_byte();
+    let len = r.read_bits(16)? as u16;
+    let nlen = r.read_bits(16)? as u16;
+    if len != !nlen {
+        return Err(InflateError::BadStoredLength);
+    }
+    let bytes = r.read_bytes(len as usize)?;
+    out.extend_from_slice(&bytes);
+    Ok(())
+}
+
+fn decode_symbol(r: &mut BitReader<'_>, dec: &Decoder) -> Result<u16, InflateError> {
+    match dec.decode(|| r.read_bit())? {
+        Ok(sym) => Ok(sym),
+        Err(HuffError::BadCode) => Err(InflateError::BadCode),
+        Err(_) => Err(InflateError::BadHuffmanTable),
+    }
+}
+
+fn dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(InflateError::BadHuffmanTable);
+    }
+
+    let mut clc_lengths = vec![0u32; 19];
+    for i in 0..hclen {
+        clc_lengths[CLC_ORDER[i]] = r.read_bits(3)?;
+    }
+    let clc = Decoder::new(&clc_lengths).map_err(|_| InflateError::BadHuffmanTable)?;
+
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let sym = decode_symbol(r, &clc)?;
+        match sym {
+            0..=15 => lengths.push(sym as u32),
+            16 => {
+                let &prev = lengths.last().ok_or(InflateError::BadHuffmanTable)?;
+                let rep = r.read_bits(2)? + 3;
+                for _ in 0..rep {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let rep = r.read_bits(3)? + 3;
+                for _ in 0..rep {
+                    lengths.push(0);
+                }
+            }
+            18 => {
+                let rep = r.read_bits(7)? + 11;
+                for _ in 0..rep {
+                    lengths.push(0);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+    if lengths.len() != total {
+        return Err(InflateError::BadHuffmanTable);
+    }
+
+    let lit = Decoder::new(&lengths[..hlit]).map_err(|_| InflateError::BadHuffmanTable)?;
+    // An empty distance table is legal when the block has no matches; use a
+    // single-symbol placeholder in that case.
+    let dist_lengths = &lengths[hlit..];
+    let dist = match Decoder::new(dist_lengths) {
+        Ok(d) => d,
+        Err(HuffError::Empty) => Decoder::new(&[1]).unwrap(),
+        Err(_) => return Err(InflateError::BadHuffmanTable),
+    };
+    Ok((lit, dist))
+}
+
+fn huffman_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: &Decoder,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = decode_symbol(r, lit)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (extra, base) = LENGTH_TABLE[(sym - 257) as usize];
+                let len = base as usize + r.read_bits(extra)? as usize;
+
+                let dsym = decode_symbol(r, dist)?;
+                if dsym as usize >= DIST_TABLE.len() {
+                    return Err(InflateError::BadSymbol);
+                }
+                let (dextra, dbase) = DIST_TABLE[dsym as usize];
+                let d = dbase as usize + r.read_bits(dextra)? as usize;
+                if d > out.len() {
+                    return Err(InflateError::BadDistance);
+                }
+                let start = out.len() - d;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate, Level};
+
+    #[test]
+    fn known_fixed_block() {
+        // A canonical fixed-Huffman block for "abc" produced by zlib:
+        // literals 'a'(0x61): code 0x91 len 8, etc. Easier: roundtrip
+        // against our encoder is covered elsewhere; here decode a
+        // hand-assembled stored block.
+        let raw = [0x01u8, 0x03, 0x00, 0xFC, 0xFF, b'a', b'b', b'c'];
+        assert_eq!(inflate(&raw).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let ok = deflate(b"hello hello hello hello", Level::Default);
+        for cut in 0..ok.len() {
+            let err = inflate(&ok[..cut]);
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_block_type() {
+        // BFINAL=1, BTYPE=11.
+        let raw = [0b0000_0111u8];
+        assert_eq!(inflate(&raw).unwrap_err(), InflateError::BadBlockType);
+    }
+
+    #[test]
+    fn bad_stored_nlen() {
+        let raw = [0x01u8, 0x03, 0x00, 0x00, 0x00, b'a', b'b', b'c'];
+        assert_eq!(inflate(&raw).unwrap_err(), InflateError::BadStoredLength);
+    }
+
+    #[test]
+    fn distance_before_start_rejected() {
+        // Build a fixed block whose first symbol is a match — invalid.
+        use crate::bitio::BitWriter;
+        use crate::huffman::assign_codes;
+        use crate::tables::fixed_litlen_lengths;
+        let lens = fixed_litlen_lengths();
+        let codes = assign_codes(&lens);
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        // Length symbol 257 (len 3), distance symbol 0 (dist 1) into empty
+        // output.
+        w.write_code(codes[257], lens[257]);
+        w.write_code(0, 5);
+        let raw = w.finish();
+        assert_eq!(inflate(&raw).unwrap_err(), InflateError::BadDistance);
+    }
+
+    #[test]
+    fn empty_stream_is_eof() {
+        assert_eq!(inflate(&[]).unwrap_err(), InflateError::UnexpectedEof);
+    }
+
+    #[test]
+    fn prefix_inflation_yields_partial_output() {
+        let text = b"the leading text is recoverable from a prefix ".repeat(40);
+        let full = deflate(&text, Level::Default);
+        // Feeding ~60% of the compressed stream must reproduce a healthy
+        // prefix of the original.
+        let cut = full.len() * 6 / 10;
+        let partial = inflate_prefix(&full[..cut]).unwrap();
+        assert!(!partial.is_empty());
+        assert!(partial.len() < text.len());
+        assert_eq!(&text[..partial.len()], &partial[..]);
+        // The complete stream still roundtrips through the same path.
+        assert_eq!(inflate_prefix(&full).unwrap(), text);
+        // Non-EOF corruption still errors.
+        assert!(inflate_prefix(&[0b0000_0111u8]).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! LZ77 match finding with hash chains, in the style of zlib's deflate.
+
+/// DEFLATE's sliding window.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum and maximum back-reference match lengths.
+pub const MIN_MATCH: usize = 3;
+/// Maximum back-reference match length.
+pub const MAX_MATCH: usize = 258;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One element of the LZ77 token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single uncompressed byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length (3..=258).
+        len: u16,
+        /// Backwards distance (1..=32768).
+        dist: u16,
+    },
+}
+
+/// Effort levels, mirroring zlib's level → (chain depth, lazy threshold)
+/// mapping in spirit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effort {
+    /// Greedy with shallow chains; fastest.
+    Fast,
+    /// Lazy matching with moderate chains (zlib level ~6).
+    Default,
+    /// Deep chains (zlib level ~9).
+    Best,
+}
+
+impl Effort {
+    fn max_chain(self) -> usize {
+        match self {
+            Effort::Fast => 16,
+            Effort::Default => 128,
+            Effort::Best => 1024,
+        }
+    }
+
+    fn lazy(self) -> bool {
+        !matches!(self, Effort::Fast)
+    }
+
+    /// Matches at least this long are taken immediately (no lazy probe).
+    fn good_enough(self) -> usize {
+        match self {
+            Effort::Fast => 16,
+            Effort::Default => 64,
+            Effort::Best => 258,
+        }
+    }
+}
+
+fn hash(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x0103));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut n = 0;
+    while n < max && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Tokenize `data` into literals and back-references.
+pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 3 + 16);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h (+1, 0 = none);
+    // prev[i & mask] = previous position in the chain.
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; WINDOW_SIZE];
+    let mask = WINDOW_SIZE - 1;
+
+    let insert = |head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            prev[i & mask] = head[h];
+            head[h] = (i + 1) as u32;
+        }
+    };
+
+    let find_best = |head: &[u32], prev: &[u32], data: &[u8], i: usize, effort: Effort| {
+        let max = MAX_MATCH.min(data.len() - i);
+        if max < MIN_MATCH || i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let h = hash(data, i);
+        let mut cand = head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = effort.max_chain();
+        while cand != 0 && chain > 0 {
+            let j = (cand - 1) as usize;
+            if j >= i || i - j > WINDOW_SIZE {
+                break;
+            }
+            // Quick reject: check the byte that would extend the best match.
+            if data[j + best_len] == data[i + best_len] {
+                let l = match_len(data, j, i, max);
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - j;
+                    if l >= max {
+                        break;
+                    }
+                }
+            }
+            cand = prev[j & mask];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let mut i = 0;
+    while i < data.len() {
+        let found = find_best(&head, &prev, data, i, effort);
+        match found {
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, data, i);
+                i += 1;
+            }
+            Some((len, dist)) => {
+                // Lazy evaluation: would starting one byte later yield a
+                // strictly longer match?
+                let mut take = (len, dist, i);
+                if effort.lazy() && len < effort.good_enough() && i + 1 < data.len() {
+                    insert(&mut head, &mut prev, data, i);
+                    if let Some((len2, dist2)) = find_best(&head, &prev, data, i + 1, effort) {
+                        if len2 > len {
+                            tokens.push(Token::Literal(data[i]));
+                            take = (len2, dist2, i + 1);
+                        }
+                    }
+                    let (tlen, tdist, ti) = take;
+                    tokens.push(Token::Match {
+                        len: tlen as u16,
+                        dist: tdist as u16,
+                    });
+                    // Insert positions covered by the match (we already
+                    // inserted position i above).
+                    let start = i + 1;
+                    for k in start..ti + tlen {
+                        insert(&mut head, &mut prev, data, k);
+                    }
+                    i = ti + tlen;
+                } else {
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    for k in i..i + len {
+                        insert(&mut head, &mut prev, data, k);
+                    }
+                    i += len;
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Reconstruct the original bytes from a token stream (used by tests and by
+/// property checks; the real decompressor works from the bit stream).
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], effort: Effort) {
+        let tokens = tokenize(data, effort);
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"", Effort::Default);
+        roundtrip(b"a", Effort::Default);
+        roundtrip(b"ab", Effort::Default);
+        roundtrip(b"abc", Effort::Default);
+    }
+
+    #[test]
+    fn repeated_text_produces_matches() {
+        let data = b"abcabcabcabcabcabc";
+        let tokens = tokenize(data, Effort::Default);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "tokens: {tokens:?}"
+        );
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // "aaaa..." compresses as one literal + one overlapping match.
+        let data = vec![b'a'; 300];
+        let tokens = tokenize(&data, Effort::Default);
+        assert_eq!(detokenize(&tokens), data);
+        assert!(tokens.len() <= 4, "RLE should be compact: {}", tokens.len());
+    }
+
+    #[test]
+    fn all_efforts_roundtrip() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.extend_from_slice(format!("line {} of the test corpus\n", i % 97).as_bytes());
+        }
+        for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+            roundtrip(&data, effort);
+        }
+    }
+
+    #[test]
+    fn better_effort_not_worse() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(format!("<TD ALIGN={}>", i % 13).as_bytes());
+        }
+        let fast = tokenize(&data, Effort::Fast).len();
+        let best = tokenize(&data, Effort::Best).len();
+        assert!(best <= fast, "best {best} vs fast {fast}");
+    }
+
+    #[test]
+    fn max_match_length_respected() {
+        let data = vec![b'x'; 4096];
+        for t in tokenize(&data, Effort::Best) {
+            if let Token::Match { len, .. } = t {
+                assert!(len as usize <= MAX_MATCH);
+                assert!(len as usize >= MIN_MATCH);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_data_roundtrip() {
+        let mut x = 1u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data, Effort::Default);
+    }
+}

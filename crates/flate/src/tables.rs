@@ -1,0 +1,149 @@
+//! Shared RFC 1951 constant tables: length/distance code ranges, the
+//! code-length alphabet permutation, and fixed Huffman code lengths.
+
+/// Number of literal/length symbols (0–285; 286 and 287 exist only in the
+/// fixed-code table and never appear in data).
+pub const NUM_LITLEN: usize = 286;
+/// Number of distance symbols.
+pub const NUM_DIST: usize = 30;
+/// End-of-block symbol.
+pub const END_OF_BLOCK: u16 = 256;
+
+/// `(extra_bits, base_length)` for length codes 257..=285.
+pub const LENGTH_TABLE: [(u32, u16); 29] = [
+    (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10),
+    (1, 11), (1, 13), (1, 15), (1, 17),
+    (2, 19), (2, 23), (2, 27), (2, 31),
+    (3, 35), (3, 43), (3, 51), (3, 59),
+    (4, 67), (4, 83), (4, 99), (4, 115),
+    (5, 131), (5, 163), (5, 195), (5, 227),
+    (0, 258),
+];
+
+/// `(extra_bits, base_distance)` for distance codes 0..=29.
+pub const DIST_TABLE: [(u32, u16); 30] = [
+    (0, 1), (0, 2), (0, 3), (0, 4),
+    (1, 5), (1, 7),
+    (2, 9), (2, 13),
+    (3, 17), (3, 25),
+    (4, 33), (4, 49),
+    (5, 65), (5, 97),
+    (6, 129), (6, 193),
+    (7, 257), (7, 385),
+    (8, 513), (8, 769),
+    (9, 1025), (9, 1537),
+    (10, 2049), (10, 3073),
+    (11, 4097), (11, 6145),
+    (12, 8193), (12, 12289),
+    (13, 16385), (13, 24577),
+];
+
+/// The order in which code-length-code lengths are stored in a dynamic
+/// block header (RFC 1951 §3.2.7).
+pub const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Map a match length (3..=258) to `(symbol, extra_bits, extra_value)`.
+pub fn length_to_symbol(len: u16) -> (u16, u32, u32) {
+    debug_assert!((3..=258).contains(&len));
+    // Binary search over base lengths.
+    let mut idx = LENGTH_TABLE
+        .partition_point(|&(_, base)| base <= len)
+        .saturating_sub(1);
+    // 258 maps to the dedicated code 285, not 284 + extra.
+    if len == 258 {
+        idx = 28;
+    }
+    let (extra, base) = LENGTH_TABLE[idx];
+    (257 + idx as u16, extra, (len - base) as u32)
+}
+
+/// Map a match distance (1..=32768) to `(symbol, extra_bits, extra_value)`.
+pub fn dist_to_symbol(dist: u16) -> (u16, u32, u32) {
+    debug_assert!(dist >= 1);
+    let idx = DIST_TABLE
+        .partition_point(|&(_, base)| base <= dist)
+        .saturating_sub(1);
+    let (extra, base) = DIST_TABLE[idx];
+    (idx as u16, extra, (dist - base) as u32)
+}
+
+/// Fixed literal/length code lengths (RFC 1951 §3.2.6), for all 288
+/// symbols of the fixed table.
+pub fn fixed_litlen_lengths() -> Vec<u32> {
+    let mut l = vec![8u32; 288];
+    for item in l.iter_mut().take(256).skip(144) {
+        *item = 9;
+    }
+    for item in l.iter_mut().take(280).skip(256) {
+        *item = 7;
+    }
+    l
+}
+
+/// Fixed distance code lengths: 32 symbols of 5 bits.
+pub fn fixed_dist_lengths() -> Vec<u32> {
+    vec![5u32; 32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_symbol_boundaries() {
+        assert_eq!(length_to_symbol(3), (257, 0, 0));
+        assert_eq!(length_to_symbol(10), (264, 0, 0));
+        assert_eq!(length_to_symbol(11), (265, 1, 0));
+        assert_eq!(length_to_symbol(12), (265, 1, 1));
+        assert_eq!(length_to_symbol(13), (266, 1, 0));
+        assert_eq!(length_to_symbol(257), (284, 5, 30));
+        assert_eq!(length_to_symbol(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn dist_symbol_boundaries() {
+        assert_eq!(dist_to_symbol(1), (0, 0, 0));
+        assert_eq!(dist_to_symbol(4), (3, 0, 0));
+        assert_eq!(dist_to_symbol(5), (4, 1, 0));
+        assert_eq!(dist_to_symbol(6), (4, 1, 1));
+        assert_eq!(dist_to_symbol(7), (5, 1, 0));
+        assert_eq!(dist_to_symbol(24577), (29, 13, 0));
+        assert_eq!(dist_to_symbol(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn every_length_roundtrips() {
+        for len in 3..=258u16 {
+            let (sym, extra, val) = length_to_symbol(len);
+            let (bits, base) = LENGTH_TABLE[(sym - 257) as usize];
+            assert_eq!(bits, extra);
+            assert_eq!(base + val as u16, len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn every_distance_roundtrips() {
+        for dist in 1..=32768u32 {
+            let (sym, extra, val) = dist_to_symbol(dist.min(32768) as u16);
+            let (bits, base) = DIST_TABLE[sym as usize];
+            assert_eq!(bits, extra);
+            assert_eq!(base as u32 + val, dist, "dist {dist}");
+        }
+    }
+
+    #[test]
+    fn fixed_lengths_shape() {
+        let l = fixed_litlen_lengths();
+        assert_eq!(l[0], 8);
+        assert_eq!(l[143], 8);
+        assert_eq!(l[144], 9);
+        assert_eq!(l[255], 9);
+        assert_eq!(l[256], 7);
+        assert_eq!(l[279], 7);
+        assert_eq!(l[280], 8);
+        assert_eq!(l[287], 8);
+        assert_eq!(fixed_dist_lengths().len(), 32);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the DEFLATE implementation: every input must
+//! survive a compress/decompress roundtrip at every level, in both the
+//! raw and zlib framings, and compressed output must respect the format's
+//! worst-case bounds.
+
+use flate::{deflate, inflate, Level};
+use proptest::prelude::*;
+
+fn levels() -> impl Strategy<Value = Level> {
+    prop_oneof![
+        Just(Level::Store),
+        Just(Level::Fast),
+        Just(Level::Default),
+        Just(Level::Best),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192), level in levels()) {
+        let compressed = deflate(&data, level);
+        let restored = inflate(&compressed).expect("inflate");
+        prop_assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn zlib_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096), level in levels()) {
+        let z = flate::zlib::compress(&data, level);
+        let restored = flate::zlib::decompress(&z).expect("zlib decompress");
+        prop_assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn structured_text_roundtrip(
+        words in proptest::collection::vec("[a-z<>/=\" ]{1,12}", 0..400),
+        level in levels(),
+    ) {
+        let text = words.concat();
+        let compressed = deflate(text.as_bytes(), level);
+        prop_assert_eq!(inflate(&compressed).unwrap(), text.as_bytes());
+        // Repetitive tag-like text must actually compress once it is big
+        // enough to amortize headers.
+        if text.len() > 2048 && level != Level::Store {
+            prop_assert!(compressed.len() < text.len());
+        }
+    }
+
+    #[test]
+    fn expansion_is_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096), level in levels()) {
+        // DEFLATE's stored fallback bounds expansion: 5 bytes per 64K
+        // block plus a few bits of framing.
+        let compressed = deflate(&data, level);
+        prop_assert!(
+            compressed.len() <= data.len() + 64,
+            "expanded {} -> {}",
+            data.len(),
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048), cut in 0usize..2048) {
+        let compressed = deflate(&data, Level::Default);
+        let cut = cut.min(compressed.len());
+        // Must return (Ok or Err), never panic.
+        let _ = inflate(&compressed[..cut]);
+        let _ = flate::inflate::inflate_prefix(&compressed[..cut]);
+    }
+
+    #[test]
+    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = inflate(&data);
+        let _ = flate::zlib::decompress(&data);
+        let _ = flate::zlib::decompress_prefix(&data);
+    }
+
+    #[test]
+    fn prefix_decode_is_a_prefix(data in proptest::collection::vec(any::<u8>(), 1..4096), cut_pct in 10usize..100) {
+        let compressed = deflate(&data, Level::Default);
+        let cut = compressed.len() * cut_pct / 100;
+        if let Ok(partial) = flate::inflate::inflate_prefix(&compressed[..cut]) {
+            prop_assert!(partial.len() <= data.len());
+            prop_assert_eq!(&data[..partial.len()], &partial[..]);
+        }
+    }
+
+    #[test]
+    fn checksums_detect_single_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        byte_idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut copy = data.clone();
+        let idx = byte_idx % copy.len();
+        copy[idx] ^= 1 << bit;
+        prop_assert_ne!(flate::adler32(&data), flate::adler32(&copy));
+        prop_assert_ne!(flate::crc32(&data), flate::crc32(&copy));
+    }
+}

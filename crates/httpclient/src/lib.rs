@@ -1,0 +1,40 @@
+//! # httpclient — the robot client driving every experiment
+//!
+//! A simulated HTTP client modelled on the paper's libwww robot, with the
+//! browser profiles of Tables 10–11. It implements the paper's three
+//! connection strategies:
+//!
+//! * **HTTP/1.0 with parallel connections** (one request per connection,
+//!   four simultaneous by default, optional Keep-Alive reuse);
+//! * **HTTP/1.1 persistent** (one connection, strictly serialized);
+//! * **HTTP/1.1 pipelined** (one connection, requests batched in a
+//!   1024-byte output buffer flushed by size, by a timer, or explicitly
+//!   by the application — the tuning the paper found decisive).
+//!
+//! Plus the surrounding machinery the experiments need: streaming HTML
+//! parsing (image requests are issued while the page is still arriving,
+//! and arrive *earlier* when the HTML is deflate-compressed), a
+//! validator-carrying client cache, HEAD/conditional-GET revalidation
+//! profiles, deflate decoding, and recovery from early server closes.
+//!
+//! ```
+//! use httpclient::{ClientConfig, HttpClient, ProtocolMode, Workload};
+//! use netsim::{HostId, SockAddr};
+//!
+//! let server = SockAddr::new(HostId(1), 80);
+//! let config = ClientConfig::robot(ProtocolMode::Http11Pipelined, server);
+//! let client = HttpClient::new(config, Workload::Browse { start: "/index.html".into() });
+//! assert!(!client.stats.done);
+//! // install with: sim.install_app(host, Box::new(client))
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod robot;
+
+pub use cache::{CacheEntry, ClientCache};
+pub use config::{ClientConfig, ProtocolMode, RequestStyle, RevalidationStyle, Workload};
+pub use robot::{ClientStats, FetchRecord, HttpClient};

@@ -1,0 +1,886 @@
+//! The HTTP robot — the paper's libwww-based client — as a simulated
+//! application.
+//!
+//! Implements the three connection strategies under test (HTTP/1.0 with
+//! parallel connections, HTTP/1.1 persistent-serialized, HTTP/1.1
+//! buffered pipelining), the request-buffer flush machinery (size
+//! threshold, flush timer, explicit application flush), streaming HTML
+//! parsing so pipelined image requests are issued while the document is
+//! still arriving, deflate content decoding, a persistent cache with
+//! HTTP/1.1 validators, and recovery from early server closes (both the
+//! graceful half-close and the RST hazard).
+//!
+//! ## The client CPU model
+//!
+//! The paper found the client implementation mattered as much as the
+//! protocol: libwww's disk-backed persistent cache (two files per object)
+//! made building conditional requests and storing responses expensive
+//! enough to dominate the initial Table 3 numbers, and the final runs
+//! moved it to a memory file system. The robot models this with a single
+//! client CPU: constructing each request costs
+//! [`ClientConfig::request_gen_time`] and handling each response costs
+//! [`ClientConfig::response_proc_time`], both serialized FIFO. Request
+//! generation gates transmission; response processing gates the *next*
+//! request in serialized modes (and is invisible to packet timing in
+//! pipelined mode, exactly as the paper observed).
+
+use crate::cache::{CacheEntry, ClientCache};
+use crate::config::{ClientConfig, ProtocolMode, RevalidationStyle, Workload};
+use httpwire::coding;
+use httpwire::validators::Validators;
+use httpwire::{format_http_date, ContentCoding, ETag, Method, Request, Response, ResponseParser};
+use netsim::sim::{App, AppEvent, Ctx};
+use netsim::{SimTime, SocketId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Flush-timer token (CPU-op tokens start at 1).
+const FLUSH_TOKEN: u64 = 0;
+
+/// The outcome of one fetched object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchRecord {
+    /// Request path.
+    pub path: String,
+    /// HTTP status code received.
+    pub status: u16,
+    /// Decoded entity bytes received (0 for 304 / HEAD).
+    pub body_len: usize,
+    /// Entity bytes as transferred (differs from `body_len` under
+    /// deflate).
+    pub wire_body_len: usize,
+    /// The entity arrived deflate-coded.
+    pub deflated: bool,
+    /// True when the fetch was answered `304 Not Modified`.
+    pub validated: bool,
+}
+
+/// Client-side counters.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// Every completed fetch, in completion order.
+    pub fetched: Vec<FetchRecord>,
+    /// Requests transmitted (including retries).
+    pub requests_sent: u64,
+    /// TCP connections opened over the run.
+    pub connections_opened: u64,
+    /// Requests re-sent after an early server close.
+    pub retries: u64,
+    /// Connection resets observed.
+    pub resets: u64,
+    /// All work completed.
+    pub done: bool,
+}
+
+impl ClientStats {
+    /// Count of 304 responses.
+    pub fn validated(&self) -> usize {
+        self.fetched.iter().filter(|f| f.validated).count()
+    }
+
+    /// Total decoded entity bytes.
+    pub fn body_bytes(&self) -> usize {
+        self.fetched.iter().map(|f| f.body_len).sum()
+    }
+}
+
+/// A queued unit of work.
+#[derive(Debug, Clone)]
+struct Job {
+    path: String,
+    method: Method,
+    /// Extra conditional headers, e.g. `If-None-Match`.
+    conditionals: Vec<(String, String)>,
+}
+
+/// Work scheduled on the client CPU.
+#[derive(Debug)]
+enum CpuOp {
+    /// Build and transmit a request.
+    Gen(Job),
+    /// Process a received response.
+    Proc {
+        /// The fetch this response answers.
+        job: Job,
+        /// The parsed response.
+        resp: Response,
+    },
+}
+
+#[derive(Debug)]
+struct Conn {
+    parser: ResponseParser,
+    /// Jobs transmitted and awaiting responses (front = next response).
+    sent: VecDeque<Job>,
+    /// Request bytes not yet flushed to the socket (pipeline buffer).
+    reqbuf: Vec<u8>,
+    /// Flushed bytes the socket has not yet accepted.
+    outbuf: Vec<u8>,
+    connected: bool,
+    /// Anything has been flushed on this connection yet.
+    flushed_any: bool,
+    /// This connection's work is done (awaiting close).
+    finished: bool,
+}
+
+impl Conn {
+    fn new() -> Conn {
+        Conn {
+            parser: ResponseParser::new(),
+            sent: VecDeque::new(),
+            reqbuf: Vec::new(),
+            outbuf: Vec::new(),
+            connected: false,
+            flushed_any: false,
+            finished: false,
+        }
+    }
+}
+
+/// The robot application. Install on a host with
+/// `sim.install_app(host, Box::new(client))`; read results back through
+/// [`HttpClient::stats`] after the run.
+pub struct HttpClient {
+    config: ClientConfig,
+    workload: Workload,
+    /// The persistent cache (primed by revalidation experiments).
+    pub cache: ClientCache,
+    /// Work not yet assigned to a connection.
+    pending: VecDeque<Job>,
+    /// Paths fetched successfully.
+    completed: HashSet<String>,
+    conns: HashMap<SocketId, Conn>,
+    /// The single connection used by the 1.1 modes.
+    main_conn: Option<SocketId>,
+    /// Image paths discovered in the HTML so far.
+    discovered: HashSet<String>,
+    /// The HTML page has fully arrived and been parsed.
+    discovery_complete: bool,
+    flush_armed: bool,
+    /// After an unexpected connection loss the client stops pipelining
+    /// until one response completes on the fresh connection: without this
+    /// a server that resets mid-pipeline (the naive-close hazard) can
+    /// livelock a client that always re-pipelines the full batch.
+    cautious: bool,
+    /// Client CPU: outstanding ops keyed by timer token.
+    cpu_ops: HashMap<u64, CpuOp>,
+    next_token: u64,
+    cpu_busy: SimTime,
+    /// A request-generation op is in flight (they are strictly serial).
+    gen_scheduled: bool,
+    /// Extra headers appended to every request (experiment hooks, e.g.
+    /// the leading-range revisit idiom).
+    extra_headers: Vec<(String, String)>,
+    /// Attach `If-Range` from the cached validator to conditional
+    /// requests, enabling 206 metadata probes on changed entities.
+    if_range_from_cache: bool,
+    /// Run statistics.
+    pub stats: ClientStats,
+}
+
+impl HttpClient {
+    /// Create a new, empty instance.
+    pub fn new(config: ClientConfig, workload: Workload) -> HttpClient {
+        HttpClient::with_cache(config, workload, ClientCache::new())
+    }
+
+    /// Create with a primed cache (revalidation experiments).
+    pub fn with_cache(
+        config: ClientConfig,
+        workload: Workload,
+        cache: ClientCache,
+    ) -> HttpClient {
+        HttpClient {
+            config,
+            workload,
+            cache,
+            pending: VecDeque::new(),
+            completed: HashSet::new(),
+            conns: HashMap::new(),
+            main_conn: None,
+            discovered: HashSet::new(),
+            discovery_complete: false,
+            flush_armed: false,
+            cautious: false,
+            cpu_ops: HashMap::new(),
+            next_token: 1,
+            cpu_busy: SimTime::ZERO,
+            gen_scheduled: false,
+            extra_headers: Vec::new(),
+            if_range_from_cache: false,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The configuration this client runs with.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Append fixed extra headers to every generated request — the hook
+    /// behind the range-revisit experiments.
+    pub fn set_extra_conditionals(&mut self, headers: Vec<(String, String)>) {
+        self.extra_headers = headers;
+    }
+
+    /// Attach `If-Range` (from the cached ETag) to conditional requests,
+    /// so ranges apply only while the entity is unchanged.
+    pub fn set_if_range_from_cache(&mut self, on: bool) {
+        self.if_range_from_cache = on;
+    }
+
+    // ------------------------------------------------------------------
+    // Workload expansion
+    // ------------------------------------------------------------------
+
+    fn conditionals_for(&self, path: &str, style: RevalidationStyle) -> Vec<(String, String)> {
+        let Some(entry) = self.cache.get(path) else {
+            return Vec::new();
+        };
+        match style {
+            RevalidationStyle::ConditionalGetEtag => {
+                let mut v = Vec::new();
+                if let Some(etag) = &entry.validators.etag {
+                    v.push(("If-None-Match".to_string(), etag.to_header_value()));
+                }
+                v
+            }
+            RevalidationStyle::ConditionalGetDate
+            | RevalidationStyle::ConditionalGetDateFullHtml => entry
+                .validators
+                .last_modified
+                .map(|lm| vec![("If-Modified-Since".to_string(), format_http_date(lm))])
+                .unwrap_or_default(),
+            RevalidationStyle::HeadRequests => Vec::new(),
+        }
+    }
+
+    fn expand_workload(&mut self) {
+        match self.workload.clone() {
+            Workload::Browse { start } => {
+                self.pending.push_back(Job {
+                    path: start,
+                    method: Method::Get,
+                    conditionals: Vec::new(),
+                });
+                // Images are discovered from the arriving HTML.
+            }
+            Workload::Revalidate { start, style } => {
+                self.discovery_complete = true;
+                let embedded = self
+                    .cache
+                    .get(&start)
+                    .map(|e| e.embedded.clone())
+                    .unwrap_or_default();
+                match style {
+                    RevalidationStyle::HeadRequests => {
+                        // Old libwww 4.1D: plain GET for the page, HEAD for
+                        // every image.
+                        self.pending.push_back(Job {
+                            path: start,
+                            method: Method::Get,
+                            conditionals: Vec::new(),
+                        });
+                        for path in embedded {
+                            self.pending.push_back(Job {
+                                path,
+                                method: Method::Head,
+                                conditionals: Vec::new(),
+                            });
+                        }
+                    }
+                    _ => {
+                        // IE's profile re-fetches the page unconditionally.
+                        let conds = if style == RevalidationStyle::ConditionalGetDateFullHtml {
+                            Vec::new()
+                        } else {
+                            self.conditionals_for(&start, style)
+                        };
+                        self.pending.push_back(Job {
+                            path: start,
+                            method: Method::Get,
+                            conditionals: conds,
+                        });
+                        for path in embedded {
+                            let conds = self.conditionals_for(&path, style);
+                            self.pending.push_back(Job {
+                                path,
+                                method: Method::Get,
+                                conditionals: conds,
+                            });
+                        }
+                    }
+                }
+            }
+            Workload::FetchList { paths } => {
+                self.discovery_complete = true;
+                for path in paths {
+                    self.pending.push_back(Job {
+                        path,
+                        method: Method::Get,
+                        conditionals: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The client CPU
+    // ------------------------------------------------------------------
+
+    fn schedule_cpu(&mut self, ctx: &mut Ctx<'_>, op: CpuOp, cost: netsim::SimDuration) {
+        let now = ctx.now();
+        let start = self.cpu_busy.max(now);
+        let done = start + cost;
+        self.cpu_busy = done;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.cpu_ops.insert(token, op);
+        ctx.set_timer(token, done.since(now));
+    }
+
+    /// Start generating the next request if the mode allows it.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.gen_scheduled {
+            return;
+        }
+        if self.pending.is_empty() {
+            self.maybe_finish(ctx);
+            return;
+        }
+        let allowed = match self.config.mode {
+            ProtocolMode::Http11Pipelined => {
+                // Open the connection early so the handshake overlaps
+                // request generation.
+                self.ensure_main_conn(ctx);
+                if self.cautious {
+                    // Recovering from a lost connection: serialize until
+                    // one response survives.
+                    let sock = self.main_conn.unwrap();
+                    self.conns[&sock].sent.is_empty()
+                } else {
+                    true
+                }
+            }
+            ProtocolMode::Http11Persistent => {
+                self.ensure_main_conn(ctx);
+                let sock = self.main_conn.unwrap();
+                self.conns[&sock].sent.is_empty()
+            }
+            ProtocolMode::Http10Parallel { max_connections } => {
+                // A slot is free, or an idle Keep-Alive connection can be
+                // reused.
+                self.active_conns() < max_connections || self.has_idle_conn()
+            }
+        };
+        if allowed {
+            let job = self.pending.pop_front().unwrap();
+            self.gen_scheduled = true;
+            self.schedule_cpu(ctx, CpuOp::Gen(job), self.config.request_gen_time);
+        }
+    }
+
+    fn active_conns(&self) -> usize {
+        self.conns.values().filter(|c| !c.finished).count()
+    }
+
+    /// An established Keep-Alive connection with nothing outstanding.
+    fn has_idle_conn(&self) -> bool {
+        self.conns
+            .values()
+            .any(|c| !c.finished && c.connected && c.sent.is_empty() && c.reqbuf.is_empty())
+    }
+
+    fn ensure_main_conn(&mut self, ctx: &mut Ctx<'_>) {
+        let alive = matches!(self.main_conn, Some(s) if self.conns.contains_key(&s));
+        if !alive {
+            let s = self.open_conn(ctx);
+            self.main_conn = Some(s);
+        }
+    }
+
+    /// A generated request is ready: place it on a connection.
+    fn place_request(&mut self, ctx: &mut Ctx<'_>, job: Job) {
+        match self.config.mode {
+            ProtocolMode::Http11Pipelined => {
+                self.ensure_main_conn(ctx);
+                let sock = self.main_conn.unwrap();
+                self.queue_request(sock, job);
+                let conn = &self.conns[&sock];
+                let buffered = conn.reqbuf.len();
+                let first_flush = !conn.flushed_any;
+                if buffered >= self.config.pipeline_buffer {
+                    self.flush_requests(ctx, sock);
+                } else if self.config.app_flush && first_flush {
+                    // The paper's tuning: force the first (HTML) request
+                    // out immediately.
+                    self.flush_requests(ctx, sock);
+                } else if self.config.app_flush
+                    && self.discovery_complete
+                    && self.pending.is_empty()
+                {
+                    // No more requests can ever join this batch.
+                    self.flush_requests(ctx, sock);
+                } else {
+                    self.arm_flush_timer(ctx);
+                }
+            }
+            ProtocolMode::Http11Persistent => {
+                self.ensure_main_conn(ctx);
+                let sock = self.main_conn.unwrap();
+                self.queue_request(sock, job);
+                self.flush_requests(ctx, sock);
+            }
+            ProtocolMode::Http10Parallel { .. } => {
+                // Prefer an idle keep-alive connection, else open one.
+                let idle = self
+                    .conns
+                    .iter()
+                    .find(|(_, c)| !c.finished && c.connected && c.sent.is_empty())
+                    .map(|(s, _)| *s);
+                let sock = idle.unwrap_or_else(|| self.open_conn(ctx));
+                self.queue_request(sock, job);
+                self.flush_requests(ctx, sock);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request transmission
+    // ------------------------------------------------------------------
+
+    fn build_request(&self, job: &Job) -> Request {
+        let mut req = self.config.style.request(
+            job.method,
+            &job.path,
+            self.config.mode.version(),
+            &self.config.host,
+        );
+        // Transport compression is negotiated for documents, not for
+        // already-compressed image formats.
+        if self.config.accept_deflate && is_html_path(&job.path) {
+            req.headers.append("Accept-Encoding", "deflate");
+        }
+        for (name, value) in &job.conditionals {
+            req.headers.append(name, value);
+        }
+        for (name, value) in &self.extra_headers {
+            req.headers.append(name, value);
+        }
+        if self.if_range_from_cache && !job.conditionals.is_empty() {
+            if let Some(etag) = self
+                .cache
+                .get(&job.path)
+                .and_then(|e| e.validators.etag.as_ref())
+            {
+                req.headers.set("If-Range", etag.to_header_value());
+            }
+        }
+        req
+    }
+
+    /// Append a job's request to a connection's pipeline buffer.
+    fn queue_request(&mut self, sock: SocketId, job: Job) {
+        let req = self.build_request(&job);
+        let conn = self.conns.get_mut(&sock).expect("live conn");
+        conn.parser.expect(job.method);
+        conn.reqbuf.extend_from_slice(&req.to_bytes());
+        conn.sent.push_back(job);
+        self.stats.requests_sent += 1;
+    }
+
+    /// Push already-flushed bytes into the socket.
+    fn push_out(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        if !conn.connected {
+            return; // transmitted on Connected
+        }
+        while !conn.outbuf.is_empty() {
+            let n = ctx.send(sock, &conn.outbuf);
+            if n == 0 {
+                break;
+            }
+            conn.outbuf.drain(..n);
+        }
+    }
+
+    /// Flush decision taken: move the request buffer to the socket.
+    fn flush_requests(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        if !conn.reqbuf.is_empty() {
+            let reqs = std::mem::take(&mut conn.reqbuf);
+            conn.outbuf.extend_from_slice(&reqs);
+            conn.flushed_any = true;
+        }
+        self.push_out(ctx, sock);
+    }
+
+    fn flush_all(&mut self, ctx: &mut Ctx<'_>) {
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for s in socks {
+            self.flush_requests(ctx, s);
+        }
+    }
+
+    fn arm_flush_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.flush_armed {
+            self.flush_armed = true;
+            ctx.set_timer(FLUSH_TOKEN, self.config.flush_timeout);
+        }
+    }
+
+    fn open_conn(&mut self, ctx: &mut Ctx<'_>) -> SocketId {
+        let sock = ctx.connect(self.config.server);
+        ctx.set_nodelay(sock, self.config.nodelay);
+        self.conns.insert(sock, Conn::new());
+        self.stats.connections_opened += 1;
+        sock
+    }
+
+    /// All work complete? Then half-close everything and mark done.
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.stats.done
+            || self.gen_scheduled
+            || !self.pending.is_empty()
+            || !self.discovery_complete
+            || self.conns.values().any(|c| !c.sent.is_empty())
+        {
+            return;
+        }
+        self.stats.done = true;
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for s in socks {
+            ctx.shutdown_write(s);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Response handling
+    // ------------------------------------------------------------------
+
+    /// Decode a body according to its Content-Encoding.
+    fn decode_body(resp: &Response) -> (Vec<u8>, bool) {
+        match coding::declared_coding(&resp.headers) {
+            Ok(ContentCoding::Deflate) => (
+                coding::decode(ContentCoding::Deflate, &resp.body)
+                    .unwrap_or_else(|_| resp.body.to_vec()),
+                true,
+            ),
+            _ => (resp.body.to_vec(), false),
+        }
+    }
+
+    /// Complete processing of a response (runs after the CPU proc delay).
+    fn handle_response(&mut self, ctx: &mut Ctx<'_>, job: Job, resp: Response) {
+        // A completed response proves the path works again.
+        self.cautious = false;
+        let (body, deflated) = Self::decode_body(&resp);
+        let validated = resp.status.0 == 304;
+        self.stats.fetched.push(FetchRecord {
+            path: job.path.clone(),
+            status: resp.status.0,
+            body_len: body.len(),
+            wire_body_len: resp.body.len(),
+            deflated,
+            validated,
+        });
+        self.completed.insert(job.path.clone());
+
+        // Update the cache from the response validators.
+        if resp.status.0 == 200 {
+            let etag = resp.headers.get("ETag").and_then(ETag::parse);
+            let last_modified = resp
+                .headers
+                .get("Last-Modified")
+                .and_then(httpwire::parse_http_date);
+            let content_type = resp
+                .headers
+                .get("Content-Type")
+                .unwrap_or("application/octet-stream")
+                .to_string();
+            let embedded = if self.is_start_page(&job.path) {
+                image_sources(&body)
+            } else {
+                Vec::new()
+            };
+            self.cache.insert(
+                &job.path,
+                CacheEntry {
+                    validators: Validators {
+                        etag,
+                        last_modified,
+                    },
+                    content_type,
+                    body_len: body.len(),
+                    embedded,
+                },
+            );
+        }
+
+        // Browse discovery: the HTML has fully arrived.
+        if self.is_start_page(&job.path) && matches!(self.workload, Workload::Browse { .. }) {
+            self.discover_from_html(&body);
+            self.discovery_complete = true;
+        }
+
+        self.pump(ctx);
+        self.maybe_finish(ctx);
+    }
+
+    fn is_start_page(&self, path: &str) -> bool {
+        match &self.workload {
+            Workload::Browse { start } | Workload::Revalidate { start, .. } => start == path,
+            Workload::FetchList { .. } => false,
+        }
+    }
+
+    /// Queue fetches for newly discovered image references.
+    fn discover_from_html(&mut self, partial_html: &[u8]) {
+        let text = String::from_utf8_lossy(partial_html);
+        for src in webcontent::html::inline_image_sources(&text) {
+            if self.discovered.insert(src.clone()) {
+                self.pending.push_back(Job {
+                    path: src,
+                    method: Method::Get,
+                    conditionals: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Streaming discovery: look at the in-progress HTML response and
+    /// issue requests for images already visible.
+    fn streaming_discovery(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        if self.discovery_complete || !matches!(self.workload, Workload::Browse { .. }) {
+            return;
+        }
+        let Some(conn) = self.conns.get(&sock) else {
+            return;
+        };
+        // Only the front-of-line response can be in progress; discovery
+        // applies when that is the start page.
+        let Some(front) = conn.sent.front() else {
+            return;
+        };
+        if !self.is_start_page(&front.path) {
+            return;
+        }
+        let Some((headers, partial)) = conn.parser.in_progress() else {
+            return;
+        };
+        let deflated = matches!(
+            coding::declared_coding(&headers),
+            Ok(ContentCoding::Deflate)
+        );
+        let visible = if deflated {
+            flate::zlib::decompress_prefix(partial).unwrap_or_default()
+        } else {
+            partial.to_vec()
+        };
+        let before = self.pending.len();
+        self.discover_from_html(&visible);
+        if self.pending.len() > before {
+            self.pump(ctx);
+        }
+    }
+
+    /// Server went away with requests outstanding: requeue and retry.
+    fn recover_outstanding(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        let Some(mut conn) = self.conns.remove(&sock) else {
+            return;
+        };
+        if self.main_conn == Some(sock) {
+            self.main_conn = None;
+        }
+        // Parse anything already buffered first (data that survived),
+        // scheduling normal response processing for it.
+        while let Ok(Some(resp)) = conn.parser.next() {
+            if let Some(job) = conn.sent.pop_front() {
+                self.schedule_cpu(
+                    ctx,
+                    CpuOp::Proc { job, resp },
+                    self.config.response_proc_time,
+                );
+            }
+        }
+        let outstanding = conn.sent.len();
+        if outstanding > 0 {
+            self.stats.retries += outstanding as u64;
+            self.cautious = true;
+            for job in conn.sent.into_iter().rev() {
+                self.pending.push_front(job);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_readable(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        let data = ctx.recv(sock, usize::MAX);
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        conn.parser.feed(&data);
+        loop {
+            let Some(conn) = self.conns.get_mut(&sock) else {
+                return;
+            };
+            match conn.parser.next() {
+                Ok(Some(resp)) => {
+                    let Some(job) = conn.sent.pop_front() else {
+                        break; // unsolicited response; drop
+                    };
+                    // HTTP/1.0 semantics: without keep-alive the server
+                    // will close after this response.
+                    if !resp.keeps_alive() {
+                        conn.finished = true;
+                    }
+                    self.schedule_cpu(
+                        ctx,
+                        CpuOp::Proc { job, resp },
+                        self.config.response_proc_time,
+                    );
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Malformed response: abandon the connection.
+                    ctx.abort(sock);
+                    self.recover_outstanding(ctx, sock);
+                    return;
+                }
+            }
+        }
+        self.streaming_discovery(ctx, sock);
+        self.pump(ctx);
+        self.maybe_finish(ctx);
+    }
+}
+
+/// Does a path name an HTML document (transport compression applies)?
+fn is_html_path(path: &str) -> bool {
+    path.ends_with(".html") || path.ends_with(".htm") || path.ends_with('/')
+}
+
+/// Extract `<img src>` references in document order.
+fn image_sources(html_bytes: &[u8]) -> Vec<String> {
+    webcontent::html::inline_image_sources(&String::from_utf8_lossy(html_bytes))
+}
+
+impl App for HttpClient {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Start => {
+                self.expand_workload();
+                self.pump(ctx);
+            }
+            AppEvent::Connected(s) => {
+                if let Some(conn) = self.conns.get_mut(&s) {
+                    conn.connected = true;
+                }
+                // Flush-decided bytes accumulated during the handshake go
+                // out now; the request buffer keeps waiting for its flush
+                // decision.
+                self.push_out(ctx, s);
+            }
+            AppEvent::Readable(s) => {
+                self.on_readable(ctx, s);
+            }
+            AppEvent::Timer(FLUSH_TOKEN) => {
+                if self.flush_armed {
+                    self.flush_armed = false;
+                    self.flush_all(ctx);
+                }
+            }
+            AppEvent::Timer(token) => match self.cpu_ops.remove(&token) {
+                Some(CpuOp::Gen(job)) => {
+                    self.gen_scheduled = false;
+                    self.place_request(ctx, job);
+                    self.pump(ctx);
+                }
+                Some(CpuOp::Proc { job, resp }) => {
+                    self.handle_response(ctx, job, resp);
+                }
+                None => {}
+            },
+            AppEvent::SendSpace(s) => self.push_out(ctx, s),
+            AppEvent::PeerFin(s) => {
+                // Flush any close-delimited response.
+                let flushed = self.conns.get_mut(&s).and_then(|conn| {
+                    match conn.parser.finish() {
+                        Ok(Some(resp)) => conn.sent.pop_front().map(|job| (job, resp)),
+                        _ => None,
+                    }
+                });
+                if let Some((job, resp)) = flushed {
+                    self.schedule_cpu(
+                        ctx,
+                        CpuOp::Proc { job, resp },
+                        self.config.response_proc_time,
+                    );
+                }
+                let outstanding = self
+                    .conns
+                    .get(&s)
+                    .map(|c| !c.sent.is_empty())
+                    .unwrap_or(false);
+                if outstanding {
+                    // Early close with requests unanswered: retry on a
+                    // fresh connection.
+                    ctx.shutdown_write(s);
+                    self.recover_outstanding(ctx, s);
+                } else {
+                    ctx.shutdown_write(s);
+                    if let Some(conn) = self.conns.get_mut(&s) {
+                        conn.finished = true;
+                    }
+                    self.pump(ctx);
+                }
+                self.maybe_finish(ctx);
+            }
+            AppEvent::Reset(s) => {
+                self.stats.resets += 1;
+                self.recover_outstanding(ctx, s);
+            }
+            AppEvent::Closed(s) => {
+                let had_outstanding = self
+                    .conns
+                    .get(&s)
+                    .map(|c| !c.sent.is_empty())
+                    .unwrap_or(false);
+                if had_outstanding {
+                    self.recover_outstanding(ctx, s);
+                } else {
+                    self.conns.remove(&s);
+                    if self.main_conn == Some(s) {
+                        self.main_conn = None;
+                    }
+                    self.pump(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn html_path_detection() {
+        assert!(is_html_path("/index.html"));
+        assert!(is_html_path("/docs/page.htm"));
+        assert!(is_html_path("/"));
+        assert!(!is_html_path("/images/logo.gif"));
+        assert!(!is_html_path("/data.bin"));
+    }
+
+    #[test]
+    fn image_source_extraction() {
+        let html = br#"<body><img src="/a.gif"><IMG SRC="/b.gif"></body>"#;
+        assert_eq!(image_sources(html), vec!["/a.gif", "/b.gif"]);
+    }
+}

@@ -1,0 +1,425 @@
+//! End-to-end tests: the robot client against the HTTP server over the
+//! simulated network, reproducing the qualitative results of the paper's
+//! protocol matrix.
+
+use httpclient::{
+    ClientCache, ClientConfig, HttpClient, ProtocolMode, RevalidationStyle, Workload,
+};
+use httpserver::{Entity, HttpServer, ServerConfig, SiteStore};
+use netsim::{HostId, LinkConfig, SimDuration, Simulator, SockAddr, TraceStats};
+use std::sync::Arc;
+
+/// Build a small three-object site (HTML + two images).
+fn small_store() -> Arc<SiteStore> {
+    let html = format!(
+        "<html><body>{}<img src=\"/images/a.gif\"><img src=\"/images/b.gif\"></body></html>",
+        "filler text ".repeat(200)
+    );
+    let mut s = SiteStore::new();
+    s.insert("/index.html", Entity::new(html.into_bytes(), "text/html", 1000).with_deflate());
+    s.insert("/images/a.gif", Entity::new(vec![1u8; 3000], "image/gif", 1000));
+    s.insert("/images/b.gif", Entity::new(vec![2u8; 500], "image/gif", 1000));
+    s.into_shared()
+}
+
+struct Run {
+    sim: Simulator,
+    client_host: HostId,
+    server_host: HostId,
+}
+
+impl Run {
+    fn stats(&self) -> TraceStats {
+        self.sim.stats(self.client_host, self.server_host)
+    }
+
+    fn client(&mut self) -> &mut HttpClient {
+        let h = self.client_host;
+        self.sim.app_mut::<HttpClient>(h).unwrap()
+    }
+}
+
+fn run(
+    link: LinkConfig,
+    server_cfg: ServerConfig,
+    store: Arc<SiteStore>,
+    make_client: impl FnOnce(SockAddr) -> HttpClient,
+) -> Run {
+    let mut sim = Simulator::new();
+    let client_host = sim.add_host("client");
+    let server_host = sim.add_host("server");
+    sim.add_link(client_host, server_host, link);
+    let addr = SockAddr::new(server_host, server_cfg.port);
+    sim.install_app(server_host, Box::new(HttpServer::new(server_cfg, store)));
+    sim.install_app(client_host, Box::new(make_client(addr)));
+    sim.run_until_idle();
+    Run {
+        sim,
+        client_host,
+        server_host,
+    }
+}
+
+fn browse(mode: ProtocolMode) -> Run {
+    run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80),
+        small_store(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(mode, addr),
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
+            )
+        },
+    )
+}
+
+#[test]
+fn browse_completes_in_all_modes() {
+    for mode in [
+        ProtocolMode::Http10Parallel { max_connections: 4 },
+        ProtocolMode::Http11Persistent,
+        ProtocolMode::Http11Pipelined,
+    ] {
+        let mut r = browse(mode);
+        let stats = r.client().stats.clone();
+        assert!(stats.done, "{mode:?} did not finish");
+        assert_eq!(stats.fetched.len(), 3, "{mode:?}: html + 2 images");
+        assert!(stats.fetched.iter().all(|f| f.status == 200));
+        let total: usize = stats.fetched.iter().map(|f| f.body_len).sum();
+        assert!(total > 3500, "{mode:?}: bodies transferred");
+    }
+}
+
+#[test]
+fn http10_opens_one_connection_per_request() {
+    let mut r = browse(ProtocolMode::Http10Parallel { max_connections: 4 });
+    assert_eq!(r.client().stats.connections_opened, 3);
+    let s = r.stats();
+    assert_eq!(s.syns, 6, "3 connections x (SYN + SYN-ACK)");
+}
+
+#[test]
+fn http11_modes_use_one_connection() {
+    for mode in [ProtocolMode::Http11Persistent, ProtocolMode::Http11Pipelined] {
+        let mut r = browse(mode);
+        assert_eq!(r.client().stats.connections_opened, 1, "{mode:?}");
+        let s = r.stats();
+        assert_eq!(s.syns, 2, "{mode:?}");
+    }
+}
+
+/// A wider site: HTML plus `n` small images (like the Microscape page in
+/// miniature), where protocol differences show clearly.
+fn wide_store(n: usize) -> Arc<SiteStore> {
+    let mut html = String::from("<html><body>");
+    for i in 0..n {
+        html.push_str(&format!("<img src=\"/img/{i}.gif\"> item {i} "));
+    }
+    html.push_str("</body></html>");
+    let mut s = SiteStore::new();
+    s.insert("/index.html", Entity::new(html.into_bytes(), "text/html", 1000).with_deflate());
+    for i in 0..n {
+        s.insert(
+            &format!("/img/{i}.gif"),
+            Entity::new(vec![i as u8; 400 + i * 37], "image/gif", 1000),
+        );
+    }
+    s.into_shared()
+}
+
+#[test]
+fn pipelining_reduces_packets() {
+    let fetch = |mode| {
+        run(LinkConfig::lan(), ServerConfig::apache(80), wide_store(16), |addr| {
+            HttpClient::new(
+                ClientConfig::robot(mode, addr),
+                Workload::Browse { start: "/index.html".into() },
+            )
+        })
+        .stats()
+        .total_packets()
+    };
+    let p10 = fetch(ProtocolMode::Http10Parallel { max_connections: 4 });
+    let pers = fetch(ProtocolMode::Http11Persistent);
+    let pipe = fetch(ProtocolMode::Http11Pipelined);
+    assert!(
+        pipe < pers && pers < p10,
+        "packets should order pipelined ({pipe}) < persistent ({pers}) < 1.0 ({p10})"
+    );
+    assert!(
+        pipe * 2 <= p10,
+        "paper: pipelining saves at least 2x packets ({pipe} vs {p10})"
+    );
+}
+
+#[test]
+fn deflate_reduces_html_bytes_on_the_wire() {
+    let store = small_store();
+    let plain = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80).with_deflate(true),
+        store.clone(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
+                Workload::Browse { start: "/index.html".into() },
+            )
+        },
+    );
+    let mut compressed = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80).with_deflate(true),
+        store,
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr).with_deflate(true),
+                Workload::Browse { start: "/index.html".into() },
+            )
+        },
+    );
+    let stats = compressed.client().stats.clone();
+    let html = stats
+        .fetched
+        .iter()
+        .find(|f| f.path == "/index.html")
+        .unwrap();
+    assert!(html.deflated, "HTML was served deflated");
+    assert!(html.wire_body_len < html.body_len / 2);
+    // Images stay identity-coded.
+    assert!(stats
+        .fetched
+        .iter()
+        .filter(|f| f.path != "/index.html")
+        .all(|f| !f.deflated));
+    assert!(compressed.stats().bytes < plain.stats().bytes);
+}
+
+#[test]
+fn revalidation_with_etags_yields_304s() {
+    let store = small_store();
+    // Prime the cache exactly as a prior visit would.
+    let mut cache = ClientCache::new();
+    let html_entity = store.get("/index.html").unwrap();
+    cache.prime(
+        "/index.html",
+        &html_entity.body,
+        "text/html",
+        1000,
+        vec!["/images/a.gif".into(), "/images/b.gif".into()],
+    );
+    for p in ["/images/a.gif", "/images/b.gif"] {
+        let e = store.get(p).unwrap();
+        cache.prime(p, &e.body, "image/gif", 1000, vec![]);
+    }
+
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80),
+        store,
+        move |addr| {
+            HttpClient::with_cache(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
+                Workload::Revalidate {
+                    start: "/index.html".into(),
+                    style: RevalidationStyle::ConditionalGetEtag,
+                },
+                cache,
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done);
+    assert_eq!(stats.fetched.len(), 3);
+    assert_eq!(stats.validated(), 3, "everything revalidates to 304");
+    assert_eq!(stats.body_bytes(), 0, "no entity bytes transferred");
+}
+
+#[test]
+fn head_revalidation_transfers_html_but_not_images() {
+    let store = small_store();
+    let mut cache = ClientCache::new();
+    let html_entity = store.get("/index.html").unwrap();
+    cache.prime(
+        "/index.html",
+        &html_entity.body,
+        "text/html",
+        1000,
+        vec!["/images/a.gif".into(), "/images/b.gif".into()],
+    );
+
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80),
+        store,
+        move |addr| {
+            HttpClient::with_cache(
+                ClientConfig::robot(
+                    ProtocolMode::Http10Parallel { max_connections: 4 },
+                    addr,
+                ),
+                Workload::Revalidate {
+                    start: "/index.html".into(),
+                    style: RevalidationStyle::HeadRequests,
+                },
+                cache,
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done);
+    assert_eq!(stats.fetched.len(), 3);
+    let html = stats.fetched.iter().find(|f| f.path == "/index.html").unwrap();
+    assert_eq!(html.status, 200);
+    assert!(html.body_len > 0, "1.0 profile re-fetches the HTML");
+    for img in stats.fetched.iter().filter(|f| f.path != "/index.html") {
+        assert_eq!(img.status, 200);
+        assert_eq!(img.body_len, 0, "HEAD transfers no body");
+    }
+}
+
+#[test]
+fn server_request_limit_with_graceful_close_recovers() {
+    // Server allows 2 requests per connection; the pipelined client must
+    // reconnect and resend to finish all 3 fetches.
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80).with_max_requests(2),
+        small_store(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
+                Workload::Browse { start: "/index.html".into() },
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done, "client recovered from the connection limit");
+    assert_eq!(stats.fetched.len(), 3);
+    assert!(stats.connections_opened >= 2);
+}
+
+#[test]
+fn naive_close_resets_pipeline_but_client_recovers() {
+    // The paper's scenario: a batch of pipelined requests, a server that
+    // closes both halves after N responses. The still-in-flight requests
+    // hit the closed socket and draw a RST that destroys buffered
+    // responses; the client must recover. A slow uplink (PPP) keeps the
+    // later requests in flight past the close, as in real deployments.
+    let paths: Vec<String> = (0..30).map(|i| format!("/img/{i}.gif")).collect();
+    let mut r = run(
+        LinkConfig::ppp(),
+        ServerConfig::apache(80)
+            .with_max_requests(3)
+            .with_naive_close(true),
+        wide_store(30),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
+                Workload::FetchList { paths },
+            )
+        },
+    );
+    let reset_count = r.stats().rsts;
+    let stats = r.client().stats.clone();
+    assert!(stats.done, "client recovered from RST");
+    assert_eq!(stats.fetched.len(), 30);
+    assert!(
+        stats.fetched.iter().all(|f| f.status == 200),
+        "every object eventually fetched"
+    );
+    assert!(
+        reset_count > 0 && stats.resets > 0,
+        "naive close should reset the pipelined connection (rsts={reset_count}, client resets={})",
+        stats.resets
+    );
+    assert!(stats.retries > 0, "lost requests were retried");
+    assert!(stats.connections_opened >= 2);
+}
+
+#[test]
+fn persistent_serializes_requests() {
+    // With serialization, elapsed time on a high-latency link must be
+    // at least requests x RTT; pipelining collapses that.
+    let store = small_store();
+    let pers = run(LinkConfig::wan(), ServerConfig::apache(80), store.clone(), |addr| {
+        HttpClient::new(
+            ClientConfig::robot(ProtocolMode::Http11Persistent, addr),
+            Workload::Browse { start: "/index.html".into() },
+        )
+    });
+    let pipe = run(LinkConfig::wan(), ServerConfig::apache(80), store, |addr| {
+        HttpClient::new(
+            ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
+            Workload::Browse { start: "/index.html".into() },
+        )
+    });
+    let t_pers = pers.stats().elapsed_secs();
+    let t_pipe = pipe.stats().elapsed_secs();
+    assert!(
+        t_pipe < t_pers,
+        "pipelined ({t_pipe:.3}s) must beat persistent ({t_pers:.3}s) on the WAN"
+    );
+}
+
+#[test]
+fn flush_timer_saves_unflushed_requests() {
+    // Without app flush and with a tiny workload, requests sit in the
+    // 1024-byte buffer until the timer fires; the run must still finish.
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80),
+        small_store(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr)
+                    .with_app_flush(false)
+                    .with_flush_timeout(SimDuration::from_millis(1000)),
+                Workload::Browse { start: "/index.html".into() },
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done);
+    assert_eq!(stats.fetched.len(), 3);
+}
+
+#[test]
+fn fetch_list_workload() {
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80),
+        small_store(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
+                Workload::FetchList {
+                    paths: vec!["/images/a.gif".into(), "/images/b.gif".into()],
+                },
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done);
+    assert_eq!(stats.fetched.len(), 2);
+}
+
+#[test]
+fn missing_object_reported_as_404() {
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80),
+        small_store(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
+                Workload::FetchList { paths: vec!["/missing.gif".into()] },
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done);
+    assert_eq!(stats.fetched[0].status, 404);
+}

@@ -1,0 +1,29 @@
+//! # httpserver — the simulated origin server
+//!
+//! An event-driven HTTP/1.0+1.1 server running on a [`netsim`] host, with
+//! behaviour profiles modelling the paper's two servers (W3C Jigsaw 1.06
+//! and Apache 1.2b10): response output buffering, a single-CPU service
+//! model, conditional requests and byte ranges, pre-deflated entities, a
+//! per-connection request limit, and both the correct independent
+//! half-close and the naive close that causes the paper's RST hazard.
+//!
+//! ```
+//! use httpserver::{Entity, HttpServer, ServerConfig, SiteStore};
+//!
+//! let mut store = SiteStore::new();
+//! store.insert("/index.html", Entity::new(&b"<html>hi</html>"[..], "text/html", 865_000_000));
+//! let server = HttpServer::new(ServerConfig::apache(80), store.into_shared());
+//! assert_eq!(server.config().port, 80);
+//! // install with: sim.install_app(host, Box::new(server))
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod server;
+pub mod store;
+
+pub use config::{ServerConfig, ServerKind};
+pub use server::{HttpServer, ServerStats};
+pub use store::{Entity, SiteStore};

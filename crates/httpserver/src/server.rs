@@ -1,0 +1,556 @@
+//! The HTTP origin server as a simulated application.
+//!
+//! One [`HttpServer`] instance drives one host. It implements the
+//! behaviours the paper studied server-side:
+//!
+//! * **response buffering** — responses accumulate in a per-connection
+//!   output buffer flushed when full or when the connection goes idle,
+//!   which is what aggregates many 304s into single segments;
+//! * **a global CPU model** — per-request service time serializes across
+//!   connections (the testbed server was a single-CPU SPARC), so four
+//!   parallel HTTP/1.0 connections do not get a 4× CPU speedup;
+//! * **connection limits and the close hazard** — an optional
+//!   max-requests-per-connection with either a correct independent
+//!   half-close (drain the read side) or the naive simultaneous close
+//!   that RSTs pipelined clients;
+//! * **conditional requests, HEAD, byte ranges, and pre-deflated
+//!   entities**.
+
+use crate::config::{ServerConfig, ServerKind};
+use crate::store::SiteStore;
+use bytes::Bytes;
+use httpwire::coding;
+use httpwire::range;
+use httpwire::validators::{evaluate_conditional, if_range_matches, CondResult};
+use httpwire::{format_http_date, Method, Request, RequestParser, Response, StatusCode, Version};
+use netsim::sim::{App, AppEvent, Ctx};
+use netsim::{SimTime, SocketId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters exposed after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered.
+    pub requests: u64,
+    /// The responses 200.
+    pub responses_200: u64,
+    /// The responses 206.
+    pub responses_206: u64,
+    /// The responses 304.
+    pub responses_304: u64,
+    /// The responses 4xx.
+    pub responses_4xx: u64,
+    /// Entity bytes transmitted.
+    pub body_bytes_sent: u64,
+    /// Responses served with the deflate coding.
+    pub deflate_responses: u64,
+    /// Connections closed by the per-connection request limit.
+    pub connections_closed_by_limit: u64,
+}
+
+#[derive(Debug)]
+struct Conn {
+    parser: RequestParser,
+    /// Bytes generated but not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// Requests received but not yet answered.
+    in_service: u32,
+    /// Responses generated on this connection.
+    served: u32,
+    /// We have decided to close once the buffer drains.
+    closing: bool,
+    /// We half-closed and are draining (ignoring) further requests.
+    draining: bool,
+    peer_closed: bool,
+}
+
+impl Conn {
+    fn new() -> Conn {
+        Conn {
+            parser: RequestParser::new(),
+            outbuf: Vec::new(),
+            in_service: 0,
+            served: 0,
+            closing: false,
+            draining: false,
+            peer_closed: false,
+        }
+    }
+}
+
+/// The server application.
+pub struct HttpServer {
+    config: ServerConfig,
+    store: Arc<SiteStore>,
+    conns: HashMap<SocketId, Conn>,
+    /// Service-completion timers: token → (connection, request).
+    pending: HashMap<u64, (SocketId, Request)>,
+    next_token: u64,
+    /// The single-CPU service queue.
+    cpu_busy_until: SimTime,
+    /// Run statistics.
+    pub stats: ServerStats,
+}
+
+impl HttpServer {
+    /// Create a new, empty instance.
+    pub fn new(config: ServerConfig, store: Arc<SiteStore>) -> HttpServer {
+        HttpServer {
+            config,
+            store,
+            conns: HashMap::new(),
+            pending: HashMap::new(),
+            next_token: 1,
+            cpu_busy_until: SimTime::ZERO,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The configuration this server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Virtual wall-clock for the `Date` header.
+    fn http_date(&self, now: SimTime) -> String {
+        format_http_date(self.config.date_base + now.as_secs_f64() as u64)
+    }
+
+    fn schedule_request(&mut self, ctx: &mut Ctx<'_>, sock: SocketId, req: Request) {
+        let service = match req.method {
+            Method::Head => self.config.service_time_validate,
+            _ if req.headers.contains("If-None-Match")
+                || req.headers.contains("If-Modified-Since") =>
+            {
+                self.config.service_time_validate
+            }
+            _ => self.config.service_time_get,
+        };
+        let now = ctx.now();
+        let start = self.cpu_busy_until.max(now);
+        let done = start + service;
+        self.cpu_busy_until = done;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, (sock, req));
+        ctx.set_timer(token, done.since(now));
+    }
+
+    /// Build the response for one request.
+    fn respond(&mut self, req: &Request, now: SimTime) -> Response {
+        let version = req.version;
+        let Some(entity) = self.store.get(&req.target) else {
+            self.stats.responses_4xx += 1;
+            let body = Bytes::from_static(b"<HTML><BODY><H1>404 Not Found</H1></BODY></HTML>\n");
+            return Response::new(version, StatusCode::NOT_FOUND)
+                .with_header("Date", self.http_date(now))
+                .with_header("Server", self.config.kind.server_header())
+                .with_header("Content-Type", "text/html")
+                .with_header("Content-Length", body.len().to_string())
+                .with_body(body);
+        };
+
+        // Cache validation.
+        if evaluate_conditional(&req.headers, &entity.validators) == CondResult::NotModified {
+            self.stats.responses_304 += 1;
+            let mut resp = Response::new(version, StatusCode::NOT_MODIFIED)
+                .with_header("Date", self.http_date(now))
+                .with_header("Server", self.config.kind.server_header());
+            if let Some(etag) = &entity.validators.etag {
+                resp.headers.set("ETag", etag.to_header_value());
+            }
+            if self.config.kind == ServerKind::Jigsaw {
+                // Jigsaw's 304s repeated the entity metadata.
+                if let Some(lm) = entity.validators.last_modified {
+                    resp.headers.set("Last-Modified", format_http_date(lm));
+                }
+                resp.headers.set("Content-Type", entity.content_type.clone());
+            }
+            return resp;
+        }
+
+        // Choose the representation: deflated when negotiated for HTML.
+        let mut content_encoding = None;
+        let mut body = entity.body.clone();
+        if self.config.serve_deflate
+            && entity.content_type == "text/html"
+            && coding::accepts(&req.headers, httpwire::ContentCoding::Deflate)
+        {
+            if let Some(d) = &entity.deflated {
+                body = d.clone();
+                content_encoding = Some("deflate");
+            }
+        }
+
+        // Byte ranges (only single ranges; multipart/byteranges is beyond
+        // what the experiments need).
+        let mut status = StatusCode::OK;
+        let mut content_range = None;
+        if let Some(raw_range) = req.headers.get("Range") {
+            if if_range_matches(&req.headers, &entity.validators) {
+                if let Some(ranges) = range::parse_range_header(raw_range) {
+                    if ranges.len() == 1 {
+                        match ranges[0].resolve(body.len() as u64) {
+                            Some((off, len)) => {
+                                status = StatusCode::PARTIAL_CONTENT;
+                                content_range = Some(range::content_range(
+                                    off,
+                                    len,
+                                    body.len() as u64,
+                                ));
+                                body = body.slice(off as usize..(off + len) as usize);
+                            }
+                            None => {
+                                self.stats.responses_4xx += 1;
+                                return Response::new(version, StatusCode::RANGE_NOT_SATISFIABLE)
+                                    .with_header("Date", self.http_date(now))
+                                    .with_header("Server", self.config.kind.server_header())
+                                    .with_header("Content-Length", "0");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut resp = Response::new(version, status)
+            .with_header("Date", self.http_date(now))
+            .with_header("Server", self.config.kind.server_header());
+        if self.config.kind == ServerKind::Jigsaw {
+            resp.headers.set("MIME-Version", "1.0");
+        }
+        resp.headers.set("Content-Type", entity.content_type.clone());
+        resp.headers.set("Content-Length", body.len().to_string());
+        if let Some(enc) = content_encoding {
+            resp.headers.set("Content-Encoding", enc);
+            self.stats.deflate_responses += 1;
+        }
+        if let Some(cr) = content_range {
+            resp.headers.set("Content-Range", cr);
+        }
+        entity.validators.write_headers(&mut resp.headers);
+
+        match status {
+            StatusCode::PARTIAL_CONTENT => self.stats.responses_206 += 1,
+            _ => self.stats.responses_200 += 1,
+        }
+
+        if req.method == Method::Head {
+            // Headers describe the entity; no body is transmitted.
+            return resp;
+        }
+        self.stats.body_bytes_sent += body.len() as u64;
+        resp.with_body(body)
+    }
+
+    /// Append a generated response to the connection's buffer, applying
+    /// keep-alive and connection-limit policy.
+    fn queue_response(&mut self, ctx: &mut Ctx<'_>, sock: SocketId, req: Request) {
+        // Requests that were already parsed when the connection-limit
+        // decision landed are dropped, exactly like a real server that
+        // stops reading: the client must retry them elsewhere.
+        if self
+            .conns
+            .get(&sock)
+            .is_none_or(|c| c.closing || c.draining)
+        {
+            if let Some(conn) = self.conns.get_mut(&sock) {
+                conn.in_service = conn.in_service.saturating_sub(1);
+                self.flush(ctx, sock);
+            }
+            return;
+        }
+        let now = ctx.now();
+        let mut resp = self.respond(&req, now);
+        self.stats.requests += 1;
+
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return; // connection vanished (reset) while the request was in service
+        };
+        conn.in_service = conn.in_service.saturating_sub(1);
+        conn.served += 1;
+
+        let mut close_after = !req.wants_keep_alive();
+        if let Some(limit) = self.config.max_requests_per_connection {
+            if conn.served >= limit {
+                close_after = true;
+                self.stats.connections_closed_by_limit += 1;
+            }
+        }
+        if close_after {
+            if req.version == Version::Http11 {
+                resp.headers.set("Connection", "close");
+            }
+            conn.closing = true;
+        } else if req.version == Version::Http10 {
+            // Honouring HTTP/1.0 Keep-Alive requires saying so.
+            resp.headers.set("Connection", "Keep-Alive");
+        }
+
+        conn.outbuf.extend_from_slice(&resp.to_bytes());
+        self.flush(ctx, sock);
+    }
+
+    /// Flush policy: push buffered bytes when the buffer is full or the
+    /// connection has no requests in flight (idle).
+    fn flush(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        let idle = conn.in_service == 0;
+        if conn.outbuf.len() < self.config.output_buffer && !idle && !conn.closing {
+            return;
+        }
+        while !conn.outbuf.is_empty() {
+            let n = ctx.send(sock, &conn.outbuf);
+            if n == 0 {
+                break; // socket buffer full: resume on SendSpace
+            }
+            conn.outbuf.drain(..n);
+        }
+        if conn.outbuf.is_empty() && conn.closing && conn.in_service == 0 {
+            if self.config.naive_close {
+                // The hazard: closing both halves at once resets any
+                // pipelined requests already in flight.
+                ctx.close(sock);
+                self.conns.remove(&sock);
+            } else {
+                // Correct behaviour: half-close and drain the read side.
+                ctx.shutdown_write(sock);
+                conn.draining = true;
+            }
+        } else if conn.outbuf.is_empty() && conn.peer_closed && conn.in_service == 0 {
+            // Client finished and everything is answered: close our half.
+            ctx.shutdown_write(sock);
+        }
+    }
+
+    fn on_readable(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        let data = ctx.recv(sock, usize::MAX);
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        if conn.draining {
+            return; // reading only to drain; requests beyond the limit are dropped
+        }
+        conn.parser.feed(&data);
+        loop {
+            match self.conns.get_mut(&sock).unwrap().parser.next() {
+                Ok(Some(req)) => {
+                    let conn = self.conns.get_mut(&sock).unwrap();
+                    if conn.closing || conn.draining {
+                        continue; // arrived after the limit: dropped
+                    }
+                    conn.in_service += 1;
+                    self.schedule_request(ctx, sock, req);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Malformed request: 400 and close.
+                    let conn = self.conns.get_mut(&sock).unwrap();
+                    self.stats.responses_4xx += 1;
+                    let resp = Response::new(Version::Http10, StatusCode::BAD_REQUEST)
+                        .with_header("Content-Length", "0")
+                        .with_header("Connection", "close");
+                    conn.outbuf.extend_from_slice(&resp.to_bytes());
+                    conn.closing = true;
+                    self.flush(ctx, sock);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl App for HttpServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Start => {
+                ctx.listen(self.config.port);
+            }
+            AppEvent::Accepted { socket, .. } => {
+                self.stats.connections += 1;
+                ctx.set_nodelay(socket, self.config.nodelay);
+                self.conns.insert(socket, Conn::new());
+                // Accepting costs CPU (fork / thread spawn): requests on
+                // any connection queue behind it.
+                let now = ctx.now();
+                self.cpu_busy_until =
+                    self.cpu_busy_until.max(now) + self.config.per_connection_cost;
+            }
+            AppEvent::Readable(s) => self.on_readable(ctx, s),
+            AppEvent::Timer(token) => {
+                if let Some((sock, req)) = self.pending.remove(&token) {
+                    if self.conns.contains_key(&sock) {
+                        self.queue_response(ctx, sock, req);
+                    }
+                }
+            }
+            AppEvent::SendSpace(s) => self.flush(ctx, s),
+            AppEvent::PeerFin(s) => {
+                if let Some(conn) = self.conns.get_mut(&s) {
+                    conn.peer_closed = true;
+                    self.flush(ctx, s);
+                }
+            }
+            AppEvent::Reset(s) | AppEvent::Closed(s) => {
+                self.conns.remove(&s);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Entity;
+    use httpwire::ETag;
+
+    fn store() -> Arc<SiteStore> {
+        let mut s = SiteStore::new();
+        s.insert(
+            "/index.html",
+            Entity::new(
+                "<html>hello world hello world</html>".repeat(10).into_bytes(),
+                "text/html",
+                1000,
+            )
+            .with_deflate(),
+        );
+        s.insert("/a.gif", Entity::new(vec![0u8; 500], "image/gif", 1000));
+        s.into_shared()
+    }
+
+    fn server() -> HttpServer {
+        HttpServer::new(ServerConfig::apache(80), store())
+    }
+
+    #[test]
+    fn respond_200_with_validators() {
+        let mut srv = server();
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11);
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.get_int("Content-Length"), Some(500));
+        assert!(resp.headers.contains("ETag"));
+        assert!(resp.headers.contains("Last-Modified"));
+        assert_eq!(resp.body.len(), 500);
+    }
+
+    #[test]
+    fn respond_304_on_matching_etag() {
+        let mut srv = server();
+        let etag = srv
+            .store
+            .get("/a.gif")
+            .unwrap()
+            .validators
+            .etag
+            .clone()
+            .unwrap();
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
+            .with_header("If-None-Match", etag.to_header_value());
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::NOT_MODIFIED);
+        assert!(resp.body.is_empty());
+        assert_eq!(srv.stats.responses_304, 1);
+    }
+
+    #[test]
+    fn respond_200_on_stale_etag() {
+        let mut srv = server();
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
+            .with_header("If-None-Match", ETag::strong("stale").to_header_value());
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn head_has_headers_but_no_body() {
+        let mut srv = server();
+        let req = Request::new(Method::Head, "/a.gif", Version::Http10);
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.get_int("Content-Length"), Some(500));
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn deflate_negotiated_for_html_only() {
+        let mut srv = HttpServer::new(ServerConfig::apache(80).with_deflate(true), store());
+        let req = Request::new(Method::Get, "/index.html", Version::Http11)
+            .with_header("Accept-Encoding", "deflate");
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.headers.get("Content-Encoding"), Some("deflate"));
+        let plain_len: usize = 37 * 10;
+        assert!(resp.body.len() < plain_len);
+
+        // GIFs are never deflated.
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
+            .with_header("Accept-Encoding", "deflate");
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert!(!resp.headers.contains("Content-Encoding"));
+
+        // And without Accept-Encoding the HTML stays plain.
+        let req = Request::new(Method::Get, "/index.html", Version::Http11);
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert!(!resp.headers.contains("Content-Encoding"));
+    }
+
+    #[test]
+    fn range_request_served() {
+        let mut srv = server();
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
+            .with_header("Range", "bytes=0-99");
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.body.len(), 100);
+        assert_eq!(resp.headers.get("Content-Range"), Some("bytes 0-99/500"));
+    }
+
+    #[test]
+    fn if_range_mismatch_serves_full_entity() {
+        let mut srv = server();
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
+            .with_header("Range", "bytes=0-99")
+            .with_header("If-Range", "\"different\"");
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body.len(), 500);
+    }
+
+    #[test]
+    fn unsatisfiable_range_rejected() {
+        let mut srv = server();
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
+            .with_header("Range", "bytes=900-999");
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::RANGE_NOT_SATISFIABLE);
+    }
+
+    #[test]
+    fn missing_object_is_404() {
+        let mut srv = server();
+        let req = Request::new(Method::Get, "/nope.gif", Version::Http11);
+        let resp = srv.respond(&req, SimTime::ZERO);
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        assert!(!resp.body.is_empty());
+    }
+
+    #[test]
+    fn jigsaw_304_is_more_verbose_than_apache() {
+        let st = store();
+        let etag = st.get("/a.gif").unwrap().validators.etag.clone().unwrap();
+        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
+            .with_header("If-None-Match", etag.to_header_value());
+        let mut apache = HttpServer::new(ServerConfig::apache(80), st.clone());
+        let mut jigsaw = HttpServer::new(ServerConfig::jigsaw(80), st);
+        let a = apache.respond(&req, SimTime::ZERO).wire_len();
+        let j = jigsaw.respond(&req, SimTime::ZERO).wire_len();
+        assert!(j > a, "jigsaw 304 ({j}) should exceed apache ({a})");
+    }
+}

@@ -1,0 +1,234 @@
+//! Integration tests driving the server over the simulated network with
+//! a raw-bytes test client (deliberately *not* the `httpclient` robot, so
+//! the server is exercised against an independent implementation).
+
+use bytes::Bytes;
+use httpserver::{Entity, HttpServer, ServerConfig, SiteStore};
+use httpwire::{Method, ResponseParser};
+use netsim::sim::{App, AppEvent, Ctx};
+use netsim::{LinkConfig, Simulator, SockAddr, SocketId};
+use std::sync::Arc;
+
+/// Sends a fixed preformatted byte blob, collects responses.
+struct RawClient {
+    server: SockAddr,
+    to_send: Vec<u8>,
+    expect: Vec<Method>,
+    parser: ResponseParser,
+    responses: Vec<httpwire::Response>,
+    sock: Option<SocketId>,
+    half_close_after_send: bool,
+}
+
+impl RawClient {
+    fn new(server: SockAddr, to_send: Vec<u8>, expect: Vec<Method>) -> Self {
+        RawClient {
+            server,
+            to_send,
+            expect,
+            parser: ResponseParser::new(),
+            responses: Vec::new(),
+            sock: None,
+            half_close_after_send: true,
+        }
+    }
+}
+
+impl App for RawClient {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                for m in &self.expect {
+                    self.parser.expect(*m);
+                }
+                self.sock = Some(ctx.connect(self.server));
+            }
+            AppEvent::Connected(s) => {
+                let data = std::mem::take(&mut self.to_send);
+                ctx.send(s, &data);
+                if self.half_close_after_send {
+                    ctx.shutdown_write(s);
+                }
+            }
+            AppEvent::Readable(s) => {
+                let data = ctx.recv(s, usize::MAX);
+                self.parser.feed(&data);
+                while let Ok(Some(resp)) = self.parser.next() {
+                    self.responses.push(resp);
+                }
+            }
+            AppEvent::PeerFin(_) => {
+                if let Ok(Some(resp)) = self.parser.finish() {
+                    self.responses.push(resp);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn store() -> Arc<SiteStore> {
+    let mut s = SiteStore::new();
+    s.insert(
+        "/index.html",
+        Entity::new(
+            "<html><body>test page body</body></html>".repeat(20).into_bytes(),
+            "text/html",
+            865_000_000,
+        )
+        .with_deflate(),
+    );
+    s.insert(
+        "/big.gif",
+        Entity::new(vec![7u8; 20_000], "image/gif", 865_000_000),
+    );
+    s.into_shared()
+}
+
+fn run_raw(
+    server_cfg: ServerConfig,
+    wire: Vec<u8>,
+    expect: Vec<Method>,
+) -> Vec<httpwire::Response> {
+    let mut sim = Simulator::new();
+    let c = sim.add_host("client");
+    let s = sim.add_host("server");
+    sim.add_link(c, s, LinkConfig::lan());
+    sim.install_app(s, Box::new(HttpServer::new(server_cfg, store())));
+    sim.install_app(
+        c,
+        Box::new(RawClient::new(SockAddr::new(s, 80), wire, expect)),
+    );
+    sim.run_until_idle();
+    sim.app_mut::<RawClient>(c).unwrap().responses.clone()
+}
+
+#[test]
+fn serves_pipelined_batch_in_order() {
+    let wire = b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n\
+                 GET /big.gif HTTP/1.1\r\nHost: x\r\n\r\n\
+                 GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"
+        .to_vec();
+    let resps = run_raw(
+        ServerConfig::apache(80),
+        wire,
+        vec![Method::Get, Method::Get, Method::Get],
+    );
+    assert_eq!(resps.len(), 3);
+    assert_eq!(resps[0].headers.get("Content-Type"), Some("text/html"));
+    assert_eq!(resps[1].body.len(), 20_000);
+    assert_eq!(resps[2].status.0, 200);
+}
+
+#[test]
+fn http10_connection_closes_after_response() {
+    let wire = b"GET /big.gif HTTP/1.0\r\n\r\n".to_vec();
+    let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Get]);
+    assert_eq!(resps.len(), 1);
+    assert!(!resps[0].keeps_alive());
+}
+
+#[test]
+fn http10_keep_alive_honoured() {
+    let wire = b"GET /big.gif HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n".to_vec();
+    let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Get]);
+    assert_eq!(resps.len(), 1);
+    assert!(resps[0].keeps_alive());
+    assert_eq!(resps[0].headers.get("Connection"), Some("Keep-Alive"));
+}
+
+#[test]
+fn bad_request_gets_400() {
+    let wire = b"BOGUS REQUEST LINE\r\n\r\n".to_vec();
+    let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Get]);
+    assert_eq!(resps.len(), 1);
+    assert_eq!(resps[0].status.0, 400);
+}
+
+#[test]
+fn request_limit_marks_last_response_close() {
+    let wire = b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n\
+                 GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n\
+                 GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"
+        .to_vec();
+    let resps = run_raw(
+        ServerConfig::apache(80).with_max_requests(2),
+        wire,
+        vec![Method::Get, Method::Get, Method::Get],
+    );
+    // Only two answered; the second carries Connection: close.
+    assert_eq!(resps.len(), 2);
+    assert!(resps[0].keeps_alive());
+    assert!(!resps[1].keeps_alive());
+}
+
+#[test]
+fn deflate_served_when_negotiated() {
+    let wire = b"GET /index.html HTTP/1.1\r\nHost: x\r\nAccept-Encoding: deflate\r\n\r\n"
+        .to_vec();
+    let resps = run_raw(
+        ServerConfig::apache(80).with_deflate(true),
+        wire,
+        vec![Method::Get],
+    );
+    assert_eq!(resps[0].headers.get("Content-Encoding"), Some("deflate"));
+    let body = httpwire::coding::decode(httpwire::ContentCoding::Deflate, &resps[0].body)
+        .expect("valid deflate body");
+    assert!(String::from_utf8_lossy(&body).contains("test page body"));
+}
+
+#[test]
+fn conditional_get_roundtrip_over_network() {
+    // First fetch to learn the ETag, second conditional fetch gets 304.
+    let wire = b"GET /big.gif HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+    let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Get]);
+    let etag = resps[0].headers.get("ETag").expect("etag present").to_string();
+
+    let wire2 = format!(
+        "GET /big.gif HTTP/1.1\r\nHost: x\r\nIf-None-Match: {etag}\r\n\r\n"
+    )
+    .into_bytes();
+    let resps2 = run_raw(ServerConfig::apache(80), wire2, vec![Method::Get]);
+    assert_eq!(resps2[0].status.0, 304);
+    assert!(resps2[0].body.is_empty());
+}
+
+#[test]
+fn range_request_over_network() {
+    let wire =
+        b"GET /big.gif HTTP/1.1\r\nHost: x\r\nRange: bytes=100-199\r\n\r\n".to_vec();
+    let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Get]);
+    assert_eq!(resps[0].status.0, 206);
+    assert_eq!(resps[0].body, Bytes::from(vec![7u8; 100]));
+    assert_eq!(
+        resps[0].headers.get("Content-Range"),
+        Some("bytes 100-199/20000")
+    );
+}
+
+#[test]
+fn head_over_network_sends_no_body() {
+    let wire = b"HEAD /big.gif HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+    let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Head]);
+    assert_eq!(resps[0].status.0, 200);
+    assert!(resps[0].body.is_empty());
+    assert_eq!(resps[0].headers.get_int("Content-Length"), Some(20_000));
+}
+
+#[test]
+fn big_response_buffer_backpressure() {
+    // Ten large objects pipelined: the server must handle socket
+    // backpressure (SendSpace) without losing or reordering data.
+    let mut wire = Vec::new();
+    let mut expect = Vec::new();
+    for _ in 0..10 {
+        wire.extend_from_slice(b"GET /big.gif HTTP/1.1\r\nHost: x\r\n\r\n");
+        expect.push(Method::Get);
+    }
+    let resps = run_raw(ServerConfig::apache(80), wire, expect);
+    assert_eq!(resps.len(), 10);
+    for r in &resps {
+        assert_eq!(r.body.len(), 20_000);
+        assert!(r.body.iter().all(|&b| b == 7));
+    }
+}

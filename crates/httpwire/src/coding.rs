@@ -1,0 +1,168 @@
+//! Content codings (`Content-Encoding`) and their negotiation
+//! (`Accept-Encoding`), per RFC 2068 §3.5/§14.3.
+//!
+//! The paper's compression experiment: the client advertises
+//! `Accept-Encoding: deflate`, the server responds with a pre-deflated
+//! HTML entity marked `Content-Encoding: deflate`, and the client inflates
+//! on the fly. Only the HTML is compressed — the GIF images already carry
+//! their own compression.
+
+use crate::headers::HeaderMap;
+use flate::{inflate, Level};
+
+/// A content coding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentCoding {
+    /// No transformation.
+    #[default]
+    Identity,
+    /// The zlib format (RFC 1950), HTTP's "deflate" coding.
+    Deflate,
+}
+
+impl ContentCoding {
+    /// The wire token for this value.
+    pub fn token(self) -> &'static str {
+        match self {
+            ContentCoding::Identity => "identity",
+            ContentCoding::Deflate => "deflate",
+        }
+    }
+
+    /// Parse a coding token (case-insensitive).
+    pub fn parse(s: &str) -> Option<ContentCoding> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("identity") {
+            Some(ContentCoding::Identity)
+        } else if s.eq_ignore_ascii_case("deflate") {
+            Some(ContentCoding::Deflate)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors decoding an encoded entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodingError {
+    /// The `Content-Encoding` token is not supported.
+    Unsupported,
+    /// The encoded data is corrupt.
+    Corrupt,
+}
+
+impl std::fmt::Display for CodingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodingError::Unsupported => f.write_str("unsupported content-coding"),
+            CodingError::Corrupt => f.write_str("corrupt encoded entity"),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+/// Apply a coding to entity bytes.
+///
+/// HTTP's "deflate" coding is the zlib container (RFC 1950); we emit that,
+/// matching the paper's use of the zlib library. (Historically some
+/// implementations sent raw RFC 1951 streams — the decoder below accepts
+/// both, as robust clients learned to.)
+pub fn encode(coding: ContentCoding, body: &[u8], level: Level) -> Vec<u8> {
+    match coding {
+        ContentCoding::Identity => body.to_vec(),
+        ContentCoding::Deflate => flate::zlib::compress(body, level),
+    }
+}
+
+/// Undo a coding.
+pub fn decode(coding: ContentCoding, body: &[u8]) -> Result<Vec<u8>, CodingError> {
+    match coding {
+        ContentCoding::Identity => Ok(body.to_vec()),
+        ContentCoding::Deflate => match flate::zlib::decompress(body) {
+            Ok(v) => Ok(v),
+            // Tolerate raw-deflate senders.
+            Err(_) => inflate(body).map_err(|_| CodingError::Corrupt),
+        },
+    }
+}
+
+/// Convenience: deflate at the level the paper used (zlib defaults).
+pub fn deflate_entity(body: &[u8]) -> Vec<u8> {
+    encode(ContentCoding::Deflate, body, Level::Default)
+}
+
+/// Does the request's `Accept-Encoding` permit `coding`?
+pub fn accepts(request_headers: &HeaderMap, coding: ContentCoding) -> bool {
+    match coding {
+        ContentCoding::Identity => true,
+        ContentCoding::Deflate => request_headers.has_token("Accept-Encoding", "deflate"),
+    }
+}
+
+/// The coding declared by a message's `Content-Encoding` header.
+pub fn declared_coding(headers: &HeaderMap) -> Result<ContentCoding, CodingError> {
+    match headers.get("Content-Encoding") {
+        None => Ok(ContentCoding::Identity),
+        Some(v) => ContentCoding::parse(v).ok_or(CodingError::Unsupported),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flate::deflate;
+
+    #[test]
+    fn deflate_roundtrip() {
+        let body = b"<html><body>compress me compress me compress me</body></html>".repeat(10);
+        let enc = encode(ContentCoding::Deflate, &body, Level::Default);
+        assert!(enc.len() < body.len());
+        assert_eq!(decode(ContentCoding::Deflate, &enc).unwrap(), body);
+    }
+
+    #[test]
+    fn raw_deflate_accepted_too() {
+        let body = b"interoperability matters ".repeat(20);
+        let raw = deflate(&body, Level::Default);
+        assert_eq!(decode(ContentCoding::Deflate, &raw).unwrap(), body.to_vec());
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let body = b"plain";
+        assert_eq!(encode(ContentCoding::Identity, body, Level::Default), body);
+        assert_eq!(decode(ContentCoding::Identity, body).unwrap(), body);
+    }
+
+    #[test]
+    fn negotiation() {
+        let mut h = HeaderMap::new();
+        assert!(!accepts(&h, ContentCoding::Deflate));
+        assert!(accepts(&h, ContentCoding::Identity));
+        h.set("Accept-Encoding", "deflate");
+        assert!(accepts(&h, ContentCoding::Deflate));
+        h.set("Accept-Encoding", "gzip, DEFLATE");
+        assert!(accepts(&h, ContentCoding::Deflate));
+        h.set("Accept-Encoding", "gzip");
+        assert!(!accepts(&h, ContentCoding::Deflate));
+    }
+
+    #[test]
+    fn declared_coding_parsing() {
+        let mut h = HeaderMap::new();
+        assert_eq!(declared_coding(&h).unwrap(), ContentCoding::Identity);
+        h.set("Content-Encoding", "deflate");
+        assert_eq!(declared_coding(&h).unwrap(), ContentCoding::Deflate);
+        h.set("Content-Encoding", "br");
+        assert_eq!(declared_coding(&h).unwrap_err(), CodingError::Unsupported);
+    }
+
+    #[test]
+    fn corrupt_data_detected() {
+        assert_eq!(
+            decode(ContentCoding::Deflate, b"\x00garbage").unwrap_err(),
+            CodingError::Corrupt
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! An ordered, case-insensitive header map.
+//!
+//! Header order matters for wire-size measurements (the paper's request
+//! profiles differ mostly in which headers products emit and how verbose
+//! they are), so insertion order is preserved exactly.
+
+use std::fmt;
+
+/// One header line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Header field name as written.
+    pub name: String,
+    /// Field value with surrounding whitespace trimmed.
+    pub value: String,
+}
+
+/// Ordered multimap of headers with case-insensitive name lookup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<Header>,
+}
+
+impl HeaderMap {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Append a header, preserving any existing ones with the same name.
+    pub fn append(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.push(Header {
+            name: name.to_string(),
+            value: value.into(),
+        });
+    }
+
+    /// Replace all headers named `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.append(name, value);
+    }
+
+    /// Remove all headers named `name`; returns whether any existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|h| !h.name.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// First value for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|h| h.name.eq_ignore_ascii_case(name))
+            .map(|h| h.value.as_str())
+    }
+
+    /// All values for `name` in order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |h| h.name.eq_ignore_ascii_case(name))
+            .map(|h| h.value.as_str())
+    }
+
+    /// Whether an entry with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Parse a header's value as a decimal integer.
+    pub fn get_int(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(|v| v.trim().parse().ok())
+    }
+
+    /// True if any `name` header contains `token` as a comma-separated,
+    /// case-insensitive list element (e.g. `Connection: keep-alive, close`).
+    pub fn has_token(&self, name: &str, token: &str) -> bool {
+        self.get_all(name)
+            .flat_map(|v| v.split(','))
+            .any(|t| t.trim().eq_ignore_ascii_case(token))
+    }
+
+    /// Iterate over the contents in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Header> {
+        self.entries.iter()
+    }
+
+    /// Number of contained elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is contained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialized size in bytes, including each `: ` and CRLF.
+    pub fn wire_len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|h| h.name.len() + 2 + h.value.len() + 2)
+            .sum()
+    }
+
+    /// Write all header lines (without the terminating blank line).
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        for h in &self.entries {
+            out.extend_from_slice(h.name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(h.value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+impl fmt::Display for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for h in &self.entries {
+            writeln!(f, "{}: {}", h.name, h.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = HeaderMap::new();
+        h.append("Content-Length", "42");
+        assert_eq!(h.get("content-length"), Some("42"));
+        assert_eq!(h.get("CONTENT-LENGTH"), Some("42"));
+        assert_eq!(h.get_int("Content-Length"), Some(42));
+        assert!(h.contains("content-LENGTH"));
+        assert!(!h.contains("Content-Type"));
+    }
+
+    #[test]
+    fn order_preserved() {
+        let mut h = HeaderMap::new();
+        h.append("B", "2");
+        h.append("A", "1");
+        h.append("B", "3");
+        let names: Vec<_> = h.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["B", "A", "B"]);
+        let values: Vec<_> = h.get_all("b").collect();
+        assert_eq!(values, vec!["2", "3"]);
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = HeaderMap::new();
+        h.append("X", "1");
+        h.append("X", "2");
+        h.set("x", "3");
+        assert_eq!(h.get_all("X").count(), 1);
+        assert_eq!(h.get("X"), Some("3"));
+    }
+
+    #[test]
+    fn token_lists() {
+        let mut h = HeaderMap::new();
+        h.append("Connection", "Keep-Alive, Close");
+        assert!(h.has_token("connection", "close"));
+        assert!(h.has_token("Connection", "keep-alive"));
+        assert!(!h.has_token("Connection", "upgrade"));
+    }
+
+    #[test]
+    fn wire_len_matches_serialization() {
+        let mut h = HeaderMap::new();
+        h.append("Host", "www.example.com");
+        h.append("Accept", "*/*");
+        let mut out = Vec::new();
+        h.write_to(&mut out);
+        assert_eq!(out.len(), h.wire_len());
+        assert_eq!(
+            out,
+            b"Host: www.example.com\r\nAccept: */*\r\n".to_vec()
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Request and response messages with wire serialization.
+
+use crate::headers::HeaderMap;
+use crate::types::{Method, StatusCode, Version};
+use bytes::Bytes;
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request-target (origin-form path).
+    pub target: String,
+    /// Protocol version on the wire.
+    pub version: Version,
+    /// Header block, order-preserving.
+    pub headers: HeaderMap,
+    /// Entity body (empty when none).
+    pub body: Bytes,
+}
+
+impl Request {
+    /// Create a new, empty instance.
+    pub fn new(method: Method, target: impl Into<String>, version: Version) -> Self {
+        Request {
+            method,
+            target: target.into(),
+            version,
+            headers: HeaderMap::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Builder-style header append.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.append(name, value);
+        self
+    }
+
+    /// Serialize onto the wire. A `Content-Length` header is added
+    /// automatically when a body is present and none was set.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.headers.wire_len() + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.version.as_str().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        self.headers.write_to(&mut out);
+        if !self.body.is_empty() && !self.headers.contains("Content-Length") {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Size on the wire.
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Whether the sender wants the connection kept open after this
+    /// request (HTTP/1.1 default-persistent semantics, HTTP/1.0
+    /// `Connection: keep-alive` opt-in).
+    pub fn wants_keep_alive(&self) -> bool {
+        if self.headers.has_token("Connection", "close") {
+            return false;
+        }
+        self.version.persistent_by_default() || self.headers.has_token("Connection", "keep-alive")
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Protocol version on the wire.
+    pub version: Version,
+    /// Status code and reason.
+    pub status: StatusCode,
+    /// Header block, order-preserving.
+    pub headers: HeaderMap,
+    /// Entity body (empty when none).
+    pub body: Bytes,
+}
+
+impl Response {
+    /// Create a new, empty instance.
+    pub fn new(version: Version, status: StatusCode) -> Self {
+        Response {
+            version,
+            status,
+            headers: HeaderMap::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Builder-style header append.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.append(name, value);
+        self
+    }
+
+    /// Builder-style body assignment.
+    pub fn with_body(mut self, body: impl Into<Bytes>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Serialize the status line and headers only (the body follows as-is
+    /// unless chunked coding is applied by the caller).
+    pub fn head_to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.headers.wire_len());
+        out.extend_from_slice(self.version.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.status.0.to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.status.reason().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        self.headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out
+    }
+
+    /// Serialize head plus body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.head_to_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.head_to_bytes().len() + self.body.len()
+    }
+
+    /// Whether the connection persists after this response.
+    pub fn keeps_alive(&self) -> bool {
+        if self.headers.has_token("Connection", "close") {
+            return false;
+        }
+        self.version.persistent_by_default() || self.headers.has_token("Connection", "keep-alive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_serialization() {
+        let req = Request::new(Method::Get, "/index.html", Version::Http11)
+            .with_header("Host", "microscape.example");
+        let bytes = req.to_bytes();
+        assert_eq!(
+            bytes,
+            b"GET /index.html HTTP/1.1\r\nHost: microscape.example\r\n\r\n".to_vec()
+        );
+        assert_eq!(req.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn request_with_body_gets_content_length() {
+        let mut req = Request::new(Method::Post, "/submit", Version::Http11);
+        req.body = Bytes::from_static(b"a=1");
+        let s = String::from_utf8(req.to_bytes()).unwrap();
+        assert!(s.contains("Content-Length: 3\r\n"));
+        assert!(s.ends_with("\r\n\r\na=1"));
+    }
+
+    #[test]
+    fn response_serialization() {
+        let resp = Response::new(Version::Http11, StatusCode::OK)
+            .with_header("Content-Length", "5")
+            .with_body(&b"hello"[..]);
+        let bytes = resp.to_bytes();
+        let s = String::from_utf8(bytes).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn keep_alive_semantics() {
+        let r10 = Request::new(Method::Get, "/", Version::Http10);
+        assert!(!r10.wants_keep_alive());
+        let r10ka = Request::new(Method::Get, "/", Version::Http10)
+            .with_header("Connection", "Keep-Alive");
+        assert!(r10ka.wants_keep_alive());
+        let r11 = Request::new(Method::Get, "/", Version::Http11);
+        assert!(r11.wants_keep_alive());
+        let r11c =
+            Request::new(Method::Get, "/", Version::Http11).with_header("Connection", "close");
+        assert!(!r11c.wants_keep_alive());
+
+        let resp = Response::new(Version::Http11, StatusCode::OK);
+        assert!(resp.keeps_alive());
+        let resp_close = Response::new(Version::Http11, StatusCode::OK)
+            .with_header("Connection", "close");
+        assert!(!resp_close.keeps_alive());
+    }
+
+    #[test]
+    fn compact_robot_request_is_small() {
+        // The paper: "an average request size of around 190 bytes".
+        let req = Request::new(Method::Get, "/images/logo.gif", Version::Http11)
+            .with_header("Host", "www.microscape.example")
+            .with_header("User-Agent", "libwww-robot/5.1")
+            .with_header("Accept", "*/*")
+            .with_header("If-None-Match", "\"2ca3-1a7b-33a1c7f2\"")
+            .with_header("Accept-Encoding", "deflate");
+        let n = req.wire_len();
+        assert!((150..=250).contains(&n), "compact request is ~190B, got {n}");
+    }
+}

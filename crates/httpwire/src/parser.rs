@@ -1,0 +1,540 @@
+//! Incremental, pipelining-safe HTTP message parsers.
+//!
+//! Both parsers accumulate raw bytes and yield complete messages on demand.
+//! Because HTTP/1.1 pipelining packs many messages into single TCP
+//! segments, the parsers are careful to consume exactly one message at a
+//! time and leave trailing bytes untouched.
+
+use crate::chunked::ChunkedDecoder;
+use crate::headers::HeaderMap;
+use crate::message::{Request, Response};
+use crate::types::{Method, StatusCode, Version};
+use bytes::{Bytes, BytesMut};
+
+/// Parse failures. In a real server these map to `400 Bad Request`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Bad request line.
+    BadRequestLine,
+    /// Bad status line.
+    BadStatusLine,
+    /// Bad header.
+    BadHeader,
+    /// Bad chunk.
+    BadChunk,
+    /// A message without a determinate length on a connection that must
+    /// stay open.
+    LengthRequired,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ParseError::BadRequestLine => "malformed request line",
+            ParseError::BadStatusLine => "malformed status line",
+            ParseError::BadHeader => "malformed header",
+            ParseError::BadChunk => "malformed chunked body",
+            ParseError::LengthRequired => "message length cannot be determined",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Find the end of the header block (`\r\n\r\n`); returns the offset just
+/// past it. Tolerates bare-LF line endings like most deployed servers.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // \n\n or \n\r\n
+            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
+                return Some(i + 2);
+            }
+            if i + 2 < buf.len() && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_headers(lines: &str) -> Result<HeaderMap, ParseError> {
+    let mut headers = HeaderMap::new();
+    for line in lines.split('\n') {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadHeader);
+        }
+        headers.append(name, value.trim().to_string());
+    }
+    Ok(headers)
+}
+
+/// How the body of a message is delimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BodyKind {
+    None,
+    Length(usize),
+    Chunked,
+    /// Body runs until the peer closes the connection (HTTP/1.0 style).
+    ToClose,
+}
+
+// ---------------------------------------------------------------------
+// Request parser (server side)
+// ---------------------------------------------------------------------
+
+/// Incremental parser for a stream of requests on one connection.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: BytesMut,
+}
+
+impl RequestParser {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Append raw bytes from the connection.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet parsed into a message.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to parse the next complete request.
+    pub fn next(&mut self) -> Result<Option<Request>, ParseError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            return Ok(None);
+        };
+        let head =
+            std::str::from_utf8(&self.buf[..head_end]).map_err(|_| ParseError::BadRequestLine)?;
+        let mut lines = head.splitn(2, '\n');
+        let request_line = lines.next().unwrap_or("").trim_end_matches('\r');
+        let rest = lines.next().unwrap_or("");
+
+        let mut parts = request_line.split_ascii_whitespace();
+        let method: Method = parts
+            .next()
+            .ok_or(ParseError::BadRequestLine)?
+            .parse()
+            .map_err(|_| ParseError::BadRequestLine)?;
+        let target = parts.next().ok_or(ParseError::BadRequestLine)?.to_string();
+        let version: Version = parts
+            .next()
+            .ok_or(ParseError::BadRequestLine)?
+            .parse()
+            .map_err(|_| ParseError::BadRequestLine)?;
+        if parts.next().is_some() {
+            return Err(ParseError::BadRequestLine);
+        }
+        let headers = parse_headers(rest)?;
+
+        // Requests must have a determinate length.
+        let body_kind = if headers.has_token("Transfer-Encoding", "chunked") {
+            BodyKind::Chunked
+        } else if let Some(n) = headers.get_int("Content-Length") {
+            BodyKind::Length(n as usize)
+        } else {
+            BodyKind::None
+        };
+
+        match body_kind {
+            BodyKind::None => {
+                let _ = self.buf.split_to(head_end);
+                Ok(Some(Request {
+                    method,
+                    target,
+                    version,
+                    headers,
+                    body: Bytes::new(),
+                }))
+            }
+            BodyKind::Length(n) => {
+                if self.buf.len() < head_end + n {
+                    return Ok(None);
+                }
+                let _ = self.buf.split_to(head_end);
+                let body = self.buf.split_to(n).freeze();
+                Ok(Some(Request {
+                    method,
+                    target,
+                    version,
+                    headers,
+                    body,
+                }))
+            }
+            BodyKind::Chunked => {
+                let mut dec = ChunkedDecoder::new();
+                let used = dec
+                    .feed(&self.buf[head_end..])
+                    .map_err(|_| ParseError::BadChunk)?;
+                if !dec.done {
+                    return Ok(None);
+                }
+                let _ = self.buf.split_to(head_end + used);
+                Ok(Some(Request {
+                    method,
+                    target,
+                    version,
+                    headers,
+                    body: Bytes::from(dec.output),
+                }))
+            }
+            BodyKind::ToClose => unreachable!("requests are never close-delimited"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response parser (client side)
+// ---------------------------------------------------------------------
+
+/// Incremental parser for a stream of responses on one connection.
+///
+/// Pipelined HTTP requires the client to remember which request each
+/// response answers: a response to `HEAD` has headers describing a body
+/// that is *not* sent. Register each outgoing request's method with
+/// [`ResponseParser::expect`] before (or as) it is transmitted.
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    buf: BytesMut,
+    expectations: std::collections::VecDeque<Method>,
+}
+
+impl ResponseParser {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        ResponseParser::default()
+    }
+
+    /// Register that a request with `method` was sent; responses are
+    /// matched to expectations in FIFO order.
+    pub fn expect(&mut self, method: Method) {
+        self.expectations.push_back(method);
+    }
+
+    /// Number of responses still outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.expectations.len()
+    }
+
+    /// Append raw bytes from the connection.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn classify(&self, status: StatusCode, headers: &HeaderMap, method: Method) -> BodyKind {
+        if !method.response_has_body() || status.bodyless() {
+            return BodyKind::None;
+        }
+        if headers.has_token("Transfer-Encoding", "chunked") {
+            return BodyKind::Chunked;
+        }
+        if let Some(n) = headers.get_int("Content-Length") {
+            return BodyKind::Length(n as usize);
+        }
+        BodyKind::ToClose
+    }
+
+    /// Try to parse the next complete response. Close-delimited responses
+    /// are only returned by [`ResponseParser::finish`].
+    pub fn next(&mut self) -> Result<Option<Response>, ParseError> {
+        self.parse(false)
+    }
+
+    /// Peek at the *in-progress* response: its headers plus however much
+    /// of its body has arrived. Returns `None` until the header block is
+    /// complete. This is what lets a streaming client start parsing HTML
+    /// (and issuing pipelined image requests) before the document
+    /// finishes arriving.
+    pub fn in_progress(&self) -> Option<(HeaderMap, &[u8])> {
+        let head_end = find_head_end(&self.buf)?;
+        let head = std::str::from_utf8(&self.buf[..head_end]).ok()?;
+        let rest = head.split_once('\n')?.1;
+        let headers = parse_headers(rest).ok()?;
+        Some((headers, &self.buf[head_end..]))
+    }
+
+    /// The peer closed the connection: flush a close-delimited response if
+    /// one is pending.
+    pub fn finish(&mut self) -> Result<Option<Response>, ParseError> {
+        self.parse(true)
+    }
+
+    fn parse(&mut self, at_eof: bool) -> Result<Option<Response>, ParseError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            return Ok(None);
+        };
+        let head =
+            std::str::from_utf8(&self.buf[..head_end]).map_err(|_| ParseError::BadStatusLine)?;
+        let mut lines = head.splitn(2, '\n');
+        let status_line = lines.next().unwrap_or("").trim_end_matches('\r');
+        let rest = lines.next().unwrap_or("");
+
+        let mut parts = status_line.splitn(3, ' ');
+        let version: Version = parts
+            .next()
+            .ok_or(ParseError::BadStatusLine)?
+            .parse()
+            .map_err(|_| ParseError::BadStatusLine)?;
+        let code: u16 = parts
+            .next()
+            .ok_or(ParseError::BadStatusLine)?
+            .parse()
+            .map_err(|_| ParseError::BadStatusLine)?;
+        let status = StatusCode(code);
+        let headers = parse_headers(rest)?;
+
+        let method = self.expectations.front().copied().unwrap_or(Method::Get);
+        let body_kind = self.classify(status, &headers, method);
+
+        let (body, consumed) = match body_kind {
+            BodyKind::None => (Bytes::new(), head_end),
+            BodyKind::Length(n) => {
+                if self.buf.len() < head_end + n {
+                    return Ok(None);
+                }
+                (
+                    Bytes::copy_from_slice(&self.buf[head_end..head_end + n]),
+                    head_end + n,
+                )
+            }
+            BodyKind::Chunked => {
+                let mut dec = ChunkedDecoder::new();
+                let used = dec
+                    .feed(&self.buf[head_end..])
+                    .map_err(|_| ParseError::BadChunk)?;
+                if !dec.done {
+                    return Ok(None);
+                }
+                (Bytes::from(dec.output), head_end + used)
+            }
+            BodyKind::ToClose => {
+                if !at_eof {
+                    return Ok(None);
+                }
+                (
+                    Bytes::copy_from_slice(&self.buf[head_end..]),
+                    self.buf.len(),
+                )
+            }
+        };
+
+        let _ = self.buf.split_to(consumed);
+        self.expectations.pop_front();
+        Ok(Some(Response {
+            version,
+            status,
+            headers,
+            body,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_request() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /index.html HTTP/1.1\r\nHost: a.example\r\n\r\n");
+        let req = p.next().unwrap().unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/index.html");
+        assert_eq!(req.version, Version::Http11);
+        assert_eq!(req.headers.get("host"), Some("a.example"));
+        assert!(p.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let mut p = RequestParser::new();
+        let wire = b"GET /a HTTP/1.1\r\nHost: x\r\n\r\nGET /b HTTP/1.1\r\nHost: x\r\n\r\nHEAD /c HTTP/1.1\r\nHost: x\r\n\r\n";
+        p.feed(wire);
+        let a = p.next().unwrap().unwrap();
+        let b = p.next().unwrap().unwrap();
+        let c = p.next().unwrap().unwrap();
+        assert_eq!(a.target, "/a");
+        assert_eq!(b.target, "/b");
+        assert_eq!(c.method, Method::Head);
+        assert!(p.next().unwrap().is_none());
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn request_arrives_byte_by_byte() {
+        let wire = b"GET /slow HTTP/1.0\r\nUser-Agent: test\r\n\r\n";
+        let mut p = RequestParser::new();
+        for (i, &b) in wire.iter().enumerate() {
+            p.feed(&[b]);
+            let r = p.next().unwrap();
+            if i + 1 < wire.len() {
+                assert!(r.is_none(), "complete too early at {i}");
+            } else {
+                assert_eq!(r.unwrap().target, "/slow");
+            }
+        }
+    }
+
+    #[test]
+    fn request_with_body() {
+        let mut p = RequestParser::new();
+        p.feed(b"POST /f HTTP/1.1\r\nContent-Length: 4\r\n\r\nwxyz");
+        let req = p.next().unwrap().unwrap();
+        assert_eq!(&req.body[..], b"wxyz");
+    }
+
+    #[test]
+    fn chunked_request_body() {
+        let mut p = RequestParser::new();
+        p.feed(b"POST /f HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n");
+        let req = p.next().unwrap().unwrap();
+        assert_eq!(&req.body[..], b"abc");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn bad_request_line() {
+        let mut p = RequestParser::new();
+        p.feed(b"FROB / HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next().unwrap_err(), ParseError::BadRequestLine);
+    }
+
+    #[test]
+    fn parse_simple_response() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Get);
+        p.feed(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello");
+        let resp = p.next().unwrap().unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"hello");
+        assert_eq!(p.outstanding(), 0);
+    }
+
+    #[test]
+    fn head_response_has_no_body() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Head);
+        p.expect(Method::Get);
+        // HEAD response advertises Content-Length but sends no body; the
+        // next response follows immediately.
+        p.feed(b"HTTP/1.1 200 OK\r\nContent-Length: 999\r\n\r\nHTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+        let head = p.next().unwrap().unwrap();
+        assert!(head.body.is_empty());
+        assert_eq!(head.headers.get_int("Content-Length"), Some(999));
+        let get = p.next().unwrap().unwrap();
+        assert_eq!(&get.body[..], b"ok");
+    }
+
+    #[test]
+    fn not_modified_has_no_body() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Get);
+        p.expect(Method::Get);
+        p.feed(b"HTTP/1.1 304 Not Modified\r\nETag: \"x\"\r\n\r\nHTTP/1.1 304 Not Modified\r\n\r\n");
+        assert_eq!(p.next().unwrap().unwrap().status, StatusCode::NOT_MODIFIED);
+        assert_eq!(p.next().unwrap().unwrap().status, StatusCode::NOT_MODIFIED);
+    }
+
+    #[test]
+    fn pipelined_responses() {
+        let mut p = ResponseParser::new();
+        for _ in 0..3 {
+            p.expect(Method::Get);
+        }
+        let mut wire = Vec::new();
+        for i in 0..3 {
+            wire.extend_from_slice(
+                format!("HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\n{i}").as_bytes(),
+            );
+        }
+        p.feed(&wire);
+        for i in 0..3u8 {
+            let r = p.next().unwrap().unwrap();
+            assert_eq!(r.body[0], b'0' + i);
+        }
+        assert!(p.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_response() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Get);
+        p.feed(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n");
+        let r = p.next().unwrap().unwrap();
+        assert_eq!(&r.body[..], b"wikipedia");
+    }
+
+    #[test]
+    fn close_delimited_response() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Get);
+        p.feed(b"HTTP/1.0 200 OK\r\nContent-Type: text/html\r\n\r\npartial body");
+        assert!(p.next().unwrap().is_none(), "no length: wait for close");
+        p.feed(b" more");
+        assert!(p.next().unwrap().is_none());
+        let r = p.finish().unwrap().unwrap();
+        assert_eq!(&r.body[..], b"partial body more");
+    }
+
+    #[test]
+    fn incomplete_fixed_body_waits() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Get);
+        p.feed(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n12345");
+        assert!(p.next().unwrap().is_none());
+        p.feed(b"67890");
+        assert_eq!(&p.next().unwrap().unwrap().body[..], b"1234567890");
+    }
+
+    #[test]
+    fn in_progress_exposes_partial_body() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Get);
+        p.feed(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\npartial body so far");
+        let (headers, body) = p.in_progress().expect("head complete");
+        assert_eq!(headers.get_int("Content-Length"), Some(100));
+        assert_eq!(body, b"partial body so far");
+        // Not yet a complete response.
+        assert!(p.next().unwrap().is_none());
+
+        let mut p = ResponseParser::new();
+        p.feed(b"HTTP/1.1 200 OK\r\nContent-");
+        assert!(p.in_progress().is_none(), "head incomplete");
+    }
+
+    #[test]
+    fn bad_status_line() {
+        let mut p = ResponseParser::new();
+        p.expect(Method::Get);
+        p.feed(b"SMTP/1.0 garbage\r\n\r\n");
+        assert_eq!(p.next().unwrap_err(), ParseError::BadStatusLine);
+    }
+
+    #[test]
+    fn header_parsing_edge_cases() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\nX-Multi: a\r\nX-Multi: b\r\nX-Spacey:    v   \r\n\r\n");
+        let req = p.next().unwrap().unwrap();
+        assert_eq!(req.headers.get_all("x-multi").collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(req.headers.get("x-spacey"), Some("v"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Core protocol vocabulary: versions, methods and status codes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// HTTP protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Version {
+    /// HTTP/1.0 (RFC 1945): one request per connection by default.
+    Http10,
+    /// HTTP/1.1 (RFC 2068): persistent connections by default.
+    Http11,
+}
+
+impl Version {
+    /// Whether connections persist after a response unless negotiated
+    /// otherwise.
+    pub fn persistent_by_default(self) -> bool {
+        matches!(self, Version::Http11)
+    }
+
+    /// The canonical string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Version {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "HTTP/1.0" => Ok(Version::Http10),
+            "HTTP/1.1" => Ok(Version::Http11),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Request methods used by the experiments (plus POST/PUT for
+/// completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Get.
+    Get,
+    /// Head.
+    Head,
+    /// Post.
+    Post,
+    /// Put.
+    Put,
+    /// Options.
+    Options,
+    /// Trace.
+    Trace,
+}
+
+impl Method {
+    /// The canonical string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Options => "OPTIONS",
+            Method::Trace => "TRACE",
+        }
+    }
+
+    /// Whether a response to this method carries a body.
+    pub fn response_has_body(self) -> bool {
+        !matches!(self, Method::Head)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Method {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "OPTIONS" => Ok(Method::Options),
+            "TRACE" => Ok(Method::Trace),
+            _ => Err(()),
+        }
+    }
+}
+
+/// An HTTP status code plus its canonical reason phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// HTTP 200.
+    pub const OK: StatusCode = StatusCode(200);
+    /// HTTP 206.
+    pub const PARTIAL_CONTENT: StatusCode = StatusCode(206);
+    /// HTTP 304.
+    pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    /// HTTP 400.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// HTTP 404.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// HTTP 412.
+    pub const PRECONDITION_FAILED: StatusCode = StatusCode(412);
+    /// HTTP 416.
+    pub const RANGE_NOT_SATISFIABLE: StatusCode = StatusCode(416);
+    /// HTTP 500.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// HTTP 501.
+    pub const NOT_IMPLEMENTED: StatusCode = StatusCode(501);
+
+    /// The canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            206 => "Partial Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            412 => "Precondition Failed",
+            416 => "Requested Range Not Satisfiable",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            _ => "Unknown",
+        }
+    }
+
+    /// Whether a response with this status never carries a body
+    /// (1xx, 204, 304).
+    pub fn bodyless(self) -> bool {
+        self.0 / 100 == 1 || self.0 == 204 || self.0 == 304
+    }
+
+    /// True for 2xx status codes.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_parse_display() {
+        assert_eq!("HTTP/1.1".parse::<Version>().unwrap(), Version::Http11);
+        assert_eq!(Version::Http10.to_string(), "HTTP/1.0");
+        assert!("HTTP/2.0".parse::<Version>().is_err());
+        assert!(Version::Http11.persistent_by_default());
+        assert!(!Version::Http10.persistent_by_default());
+    }
+
+    #[test]
+    fn method_parse_display() {
+        assert_eq!("GET".parse::<Method>().unwrap(), Method::Get);
+        assert_eq!(Method::Head.to_string(), "HEAD");
+        assert!(!Method::Head.response_has_body());
+        assert!(Method::Get.response_has_body());
+        assert!("get".parse::<Method>().is_err(), "methods are case-sensitive");
+    }
+
+    #[test]
+    fn status_properties() {
+        assert!(StatusCode::NOT_MODIFIED.bodyless());
+        assert!(!StatusCode::OK.bodyless());
+        assert!(StatusCode(204).bodyless());
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::NOT_MODIFIED.is_success());
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+        assert_eq!(StatusCode::NOT_MODIFIED.reason(), "Not Modified");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the HTTP message layer: serialization/parse
+//! roundtrips under arbitrary network fragmentation, chunked-coding
+//! roundtrips, and robustness against arbitrary bytes.
+
+use bytes::Bytes;
+use httpwire::{
+    Method, Request, RequestParser, Response, ResponseParser, StatusCode, Version,
+};
+use proptest::prelude::*;
+
+fn methods() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Get),
+        Just(Method::Head),
+        Just(Method::Post),
+        Just(Method::Put),
+    ]
+}
+
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    "[ -~&&[^\r\n]]{0,40}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrip_under_fragmentation(
+        method in methods(),
+        path in "/[a-z0-9/._-]{0,30}",
+        headers in proptest::collection::vec((token(), header_value()), 0..8),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        frag in 1usize..64,
+    ) {
+        let mut req = Request::new(method, path.clone(), Version::Http11);
+        for (name, value) in &headers {
+            // Skip names that collide with framing headers.
+            if name.eq_ignore_ascii_case("content-length")
+                || name.eq_ignore_ascii_case("transfer-encoding") {
+                continue;
+            }
+            req.headers.append(name, value.clone());
+        }
+        if method == Method::Post || method == Method::Put {
+            req.body = Bytes::from(body.clone());
+        }
+        let wire = req.to_bytes();
+
+        let mut parser = RequestParser::new();
+        let mut parsed = None;
+        for chunk in wire.chunks(frag) {
+            parser.feed(chunk);
+            if let Some(r) = parser.next().unwrap() {
+                parsed = Some(r);
+            }
+        }
+        // A final poll in case the last chunk completed it.
+        if parsed.is_none() {
+            parsed = parser.next().unwrap();
+        }
+        let parsed = parsed.expect("complete request parses");
+        prop_assert_eq!(parsed.method, method);
+        prop_assert_eq!(parsed.target, path);
+        if method == Method::Post || method == Method::Put {
+            prop_assert_eq!(&parsed.body[..], &body[..]);
+        }
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_responses_roundtrip(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..6),
+        frag in 1usize..48,
+    ) {
+        let mut wire = Vec::new();
+        let mut parser = ResponseParser::new();
+        for body in &bodies {
+            parser.expect(Method::Get);
+            let resp = Response::new(Version::Http11, StatusCode::OK)
+                .with_header("Content-Length", body.len().to_string())
+                .with_body(Bytes::from(body.clone()));
+            wire.extend_from_slice(&resp.to_bytes());
+        }
+
+        let mut got = Vec::new();
+        for chunk in wire.chunks(frag) {
+            parser.feed(chunk);
+            while let Some(r) = parser.next().unwrap() {
+                got.push(r);
+            }
+        }
+        prop_assert_eq!(got.len(), bodies.len());
+        for (resp, body) in got.iter().zip(&bodies) {
+            prop_assert_eq!(&resp.body[..], &body[..]);
+        }
+    }
+
+    #[test]
+    fn chunked_roundtrip_any_chunk_size(
+        body in proptest::collection::vec(any::<u8>(), 0..600),
+        chunk_size in 1usize..128,
+        frag in 1usize..32,
+    ) {
+        let enc = httpwire::chunked::encode(&body, chunk_size);
+        let mut resp_wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        resp_wire.extend_from_slice(&enc);
+        let mut parser = ResponseParser::new();
+        parser.expect(Method::Get);
+        let mut got = None;
+        for chunk in resp_wire.chunks(frag) {
+            parser.feed(chunk);
+            if let Some(r) = parser.next().unwrap() {
+                got = Some(r);
+            }
+        }
+        let got = got.expect("chunked response completes");
+        prop_assert_eq!(&got.body[..], &body[..]);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut rp = RequestParser::new();
+        rp.feed(&data);
+        let _ = rp.next();
+        let mut sp = ResponseParser::new();
+        sp.expect(Method::Get);
+        sp.feed(&data);
+        let _ = sp.next();
+        let _ = sp.finish();
+    }
+
+    #[test]
+    fn http_dates_roundtrip(secs in 0u64..4_000_000_000) {
+        let s = httpwire::format_http_date(secs);
+        prop_assert_eq!(httpwire::parse_http_date(&s), Some(secs));
+    }
+
+    #[test]
+    fn range_headers_roundtrip(first in 0u64..100_000, len in 1u64..100_000) {
+        let hdr = httpwire::range::format_range_header(&[httpwire::ByteRange::FromTo(
+            first,
+            Some(first + len - 1),
+        )]);
+        let parsed = httpwire::parse_range_header(&hdr).expect("parses");
+        prop_assert_eq!(parsed.len(), 1);
+        let resolved = parsed[0].resolve(first + len).expect("satisfiable");
+        prop_assert_eq!(resolved, (first, len));
+    }
+}

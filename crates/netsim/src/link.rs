@@ -1,0 +1,305 @@
+//! Point-to-point link model.
+//!
+//! A [`Link`] connects two hosts with independent per-direction state:
+//! bandwidth (serialization delay), propagation delay, an optional
+//! deterministic loss pattern (for retransmission testing), and an optional
+//! link-level compressor modelling V.42bis modem compression.
+//!
+//! The link is a FIFO per direction: a packet begins transmission when the
+//! previous one has finished serializing, and arrives one propagation delay
+//! after its serialization completes. This reproduces the queueing that makes
+//! a 28.8 kbps modem downlink the bottleneck in the paper's PPP tests.
+
+use crate::packet::{HostId, Segment};
+use crate::time::{SimDuration, SimTime};
+
+/// A stateful link-level compressor applied to each packet's bytes to decide
+/// how long the packet occupies the wire.
+///
+/// This models modem data compression (ITU V.42bis): the packet still exists
+/// as a packet (counts are unchanged) but its serialization time shrinks when
+/// the payload is compressible. Implementations keep dictionary state across
+/// packets in one direction, as a real modem does for the whole PPP byte
+/// stream.
+pub trait LinkCodec: Send {
+    /// Returns the number of bytes actually sent on the wire for a packet of
+    /// `wire_bytes` whose application payload is `payload`.
+    ///
+    /// Headers are assumed incompressible; implementations typically compress
+    /// only the payload portion and add back `wire_bytes - payload.len()`.
+    fn wire_bytes(&mut self, wire_bytes: usize, payload: &[u8]) -> usize;
+
+    /// A short human-readable name used in traces.
+    fn name(&self) -> &'static str;
+}
+
+/// Configuration for one link between two hosts (symmetric by default).
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Bandwidth in bits per second; `None` means infinitely fast
+    /// serialization (useful for idealized tests).
+    pub bits_per_sec: Option<u64>,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Drop every `n`-th data-bearing packet in each direction when
+    /// `Some(n)`; used only by loss/retransmission tests.
+    pub drop_every: Option<u64>,
+}
+
+impl LinkConfig {
+    /// 10 Mbit/s Ethernet LAN, sub-millisecond RTT (Table 1, row 1).
+    pub fn lan() -> Self {
+        LinkConfig {
+            bits_per_sec: Some(10_000_000),
+            propagation: SimDuration::from_micros(250),
+            drop_every: None,
+        }
+    }
+
+    /// Transcontinental WAN: high bandwidth, ~90 ms RTT (Table 1, row 2).
+    pub fn wan() -> Self {
+        LinkConfig {
+            bits_per_sec: Some(10_000_000),
+            propagation: SimDuration::from_millis(45),
+            drop_every: None,
+        }
+    }
+
+    /// 28.8 kbps dialup PPP, ~150 ms RTT (Table 1, row 3).
+    pub fn ppp() -> Self {
+        LinkConfig {
+            bits_per_sec: Some(28_800),
+            propagation: SimDuration::from_millis(75),
+            drop_every: None,
+        }
+    }
+
+    /// An ideal link: no serialization delay, fixed propagation.
+    pub fn ideal(propagation: SimDuration) -> Self {
+        LinkConfig {
+            bits_per_sec: None,
+            propagation,
+            drop_every: None,
+        }
+    }
+
+    /// Returns a copy dropping every `n`-th data packet per direction.
+    pub fn with_drop_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "drop interval must be positive");
+        self.drop_every = Some(n);
+        self
+    }
+}
+
+/// Per-direction dynamic state.
+struct Direction {
+    /// Time at which the transmitter becomes free.
+    busy_until: SimTime,
+    /// Count of data-bearing packets seen (for the deterministic drop model).
+    data_packets: u64,
+    codec: Option<Box<dyn LinkCodec>>,
+}
+
+impl Direction {
+    fn new() -> Self {
+        Direction {
+            busy_until: SimTime::ZERO,
+            data_packets: 0,
+            codec: None,
+        }
+    }
+}
+
+/// The outcome of submitting a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transmit {
+    /// The packet will arrive at the given time.
+    Arrives(SimTime),
+    /// The packet was dropped by the loss model.
+    Dropped,
+}
+
+/// A full-duplex point-to-point link between hosts `a` and `b`.
+pub struct Link {
+    /// The a.
+    pub a: HostId,
+    /// The b.
+    pub b: HostId,
+    config: LinkConfig,
+    a_to_b: Direction,
+    b_to_a: Direction,
+}
+
+impl Link {
+    /// Create a new, empty instance.
+    pub fn new(a: HostId, b: HostId, config: LinkConfig) -> Self {
+        Link {
+            a,
+            b,
+            config,
+            a_to_b: Direction::new(),
+            b_to_a: Direction::new(),
+        }
+    }
+
+    /// The link parameters.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Install a link-level compressor on both directions, constructed per
+    /// direction by `make` (the dictionaries of the two directions are
+    /// independent, as in a real modem pair).
+    pub fn set_codec(&mut self, mut make: impl FnMut() -> Box<dyn LinkCodec>) {
+        self.a_to_b.codec = Some(make());
+        self.b_to_a.codec = Some(make());
+    }
+
+    fn direction(&mut self, from: HostId) -> &mut Direction {
+        if from == self.a {
+            &mut self.a_to_b
+        } else {
+            debug_assert_eq!(from, self.b);
+            &mut self.b_to_a
+        }
+    }
+
+    /// Submit `segment` for transmission at time `now`.
+    ///
+    /// Returns the arrival time at the far end (or `Dropped`), plus the
+    /// number of bytes the packet occupied on the physical wire after any
+    /// link compression.
+    pub fn transmit(&mut self, now: SimTime, from: HostId, segment: &Segment) -> (Transmit, usize) {
+        let config = self.config.clone();
+        let dir = self.direction(from);
+
+        if segment.has_payload() {
+            dir.data_packets += 1;
+            if let Some(n) = config.drop_every {
+                if dir.data_packets % n == 0 {
+                    return (Transmit::Dropped, 0);
+                }
+            }
+        }
+
+        let raw = segment.wire_len();
+        let physical = match dir.codec.as_mut() {
+            Some(codec) => codec.wire_bytes(raw, &segment.payload),
+            None => raw,
+        };
+
+        let start = dir.busy_until.max(now);
+        let tx = match config.bits_per_sec {
+            Some(bps) => SimDuration::transmission(physical, bps),
+            None => SimDuration::ZERO,
+        };
+        let done = start + tx;
+        dir.busy_until = done;
+        (Transmit::Arrives(done + config.propagation), physical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{SockAddr, TcpFlags};
+    use bytes::Bytes;
+
+    fn seg(len: usize) -> Segment {
+        Segment {
+            src: SockAddr::new(HostId(0), 1),
+            dst: SockAddr::new(HostId(1), 2),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 0,
+            payload: Bytes::from(vec![b'x'; len]),
+        }
+    }
+
+    #[test]
+    fn fifo_serialization() {
+        // Two 1460-byte packets on 10 Mbit/s: second arrives one
+        // serialization time after the first.
+        let mut link = Link::new(HostId(0), HostId(1), LinkConfig::lan());
+        let (t1, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(1460));
+        let (t2, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(1460));
+        let (Transmit::Arrives(t1), Transmit::Arrives(t2)) = (t1, t2) else {
+            panic!("expected arrivals");
+        };
+        let tx = SimDuration::transmission(1500, 10_000_000);
+        assert_eq!(t2.since(t1), tx);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = Link::new(HostId(0), HostId(1), LinkConfig::ppp());
+        let (a, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(512));
+        let (b, _) = link.transmit(SimTime::ZERO, HostId(1), &seg(512));
+        assert_eq!(a, b, "full duplex: reverse direction does not queue behind forward");
+    }
+
+    #[test]
+    fn ideal_link_has_only_propagation() {
+        let mut link = Link::new(
+            HostId(0),
+            HostId(1),
+            LinkConfig::ideal(SimDuration::from_millis(10)),
+        );
+        let (t, _) = link.transmit(SimTime::from_nanos(5), HostId(0), &seg(100_000));
+        assert_eq!(
+            t,
+            Transmit::Arrives(SimTime::from_nanos(5) + SimDuration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn deterministic_drop_model() {
+        let mut link = Link::new(
+            HostId(0),
+            HostId(1),
+            LinkConfig::lan().with_drop_every(3),
+        );
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(100));
+            outcomes.push(matches!(o, Transmit::Dropped));
+        }
+        assert_eq!(outcomes, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn pure_acks_never_dropped() {
+        let mut link = Link::new(
+            HostId(0),
+            HostId(1),
+            LinkConfig::lan().with_drop_every(1),
+        );
+        let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(0));
+        assert!(matches!(o, Transmit::Arrives(_)));
+    }
+
+    struct HalfCodec;
+    impl LinkCodec for HalfCodec {
+        fn wire_bytes(&mut self, wire: usize, payload: &[u8]) -> usize {
+            wire - payload.len() + payload.len() / 2
+        }
+        fn name(&self) -> &'static str {
+            "half"
+        }
+    }
+
+    #[test]
+    fn codec_shrinks_wire_time() {
+        let mut plain = Link::new(HostId(0), HostId(1), LinkConfig::ppp());
+        let mut compressed = Link::new(HostId(0), HostId(1), LinkConfig::ppp());
+        compressed.set_codec(|| Box::new(HalfCodec));
+        let (outcome_p, raw) = plain.transmit(SimTime::ZERO, HostId(0), &seg(1000));
+        let (outcome_c, small) = compressed.transmit(SimTime::ZERO, HostId(0), &seg(1000));
+        let Transmit::Arrives(tp) = outcome_p else { panic!() };
+        let Transmit::Arrives(tc) = outcome_c else { panic!() };
+        assert!(tc < tp);
+        assert_eq!(raw, 1040);
+        assert_eq!(small, 540);
+    }
+}

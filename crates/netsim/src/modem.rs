@@ -1,0 +1,209 @@
+//! A V.42bis-style modem compressor for the PPP link.
+//!
+//! ITU V.42bis is BTLZ, an LZW variant running over the modem's entire byte
+//! stream. This module implements a streaming LZW coder that persists its
+//! dictionary across packets in one direction and reports how many bytes the
+//! compressed representation of each packet occupies — which is all the link
+//! model needs to compute serialization time.
+//!
+//! The paper's §"Further Compression Experiments" finds deflate
+//! significantly outperforms modem compression on HTML; running this codec
+//! under the PPP link reproduces that comparison.
+
+use crate::link::LinkCodec;
+use std::collections::HashMap;
+
+/// Maximum LZW code width in bits (V.42bis commonly negotiates dictionaries
+/// of 2048 entries ≈ 11 bits; we allow 12 which slightly flatters the
+/// modem, making the deflate-vs-modem comparison conservative).
+const MAX_CODE_BITS: u32 = 12;
+const MAX_CODES: usize = 1 << MAX_CODE_BITS;
+
+/// Streaming LZW compressor that counts output bits.
+///
+/// It never materializes compressed bytes — the link model only needs the
+/// compressed *size*, so we track emitted bits and let the caller convert to
+/// bytes per packet with carry.
+#[derive(Debug)]
+pub struct LzwSizer {
+    dict: HashMap<(u32, u8), u32>,
+    next_code: u32,
+    code_bits: u32,
+    current: Option<u32>,
+    /// Fractional bits carried between packets (a real modem bit-stream does
+    /// not byte-align per packet).
+    carry_bits: u64,
+}
+
+impl Default for LzwSizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LzwSizer {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        LzwSizer {
+            dict: HashMap::new(),
+            next_code: 256,
+            code_bits: 9,
+            current: None,
+            carry_bits: 0,
+        }
+    }
+
+    fn reset_dict(&mut self) {
+        self.dict.clear();
+        self.next_code = 256;
+        self.code_bits = 9;
+    }
+
+    /// Feed `data` through the coder and return the number of whole bytes
+    /// the compressed stream grew by.
+    pub fn push(&mut self, data: &[u8]) -> usize {
+        let mut bits = self.carry_bits;
+        for &byte in data {
+            match self.current {
+                None => self.current = Some(byte as u32),
+                Some(prefix) => {
+                    if let Some(&code) = self.dict.get(&(prefix, byte)) {
+                        self.current = Some(code);
+                    } else {
+                        bits += self.code_bits as u64;
+                        if self.next_code < MAX_CODES as u32 {
+                            self.dict.insert((prefix, byte), self.next_code);
+                            self.next_code += 1;
+                            if self.next_code.is_power_of_two()
+                                && self.code_bits < MAX_CODE_BITS
+                            {
+                                self.code_bits += 1;
+                            }
+                        } else {
+                            // Dictionary full: V.42bis re-initializes.
+                            self.reset_dict();
+                        }
+                        self.current = Some(byte as u32);
+                    }
+                }
+            }
+        }
+        let bytes = (bits / 8) as usize;
+        self.carry_bits = bits % 8;
+        bytes
+    }
+
+    /// Flush the pending symbol (e.g. at end of measurement) and return the
+    /// final byte count including the partial byte.
+    pub fn finish(&mut self) -> usize {
+        let mut bits = self.carry_bits;
+        if self.current.take().is_some() {
+            bits += self.code_bits as u64;
+        }
+        self.carry_bits = 0;
+        bits.div_ceil(8) as usize
+    }
+}
+
+/// [`LinkCodec`] applying LZW compression to packet payloads, as a modem
+/// does to the PPP stream. TCP/IP headers are modelled as incompressible
+/// (they are small and effectively random to an LZW dictionary; real modems
+/// gained little on them, and VJ header compression is out of scope).
+#[derive(Debug, Default)]
+pub struct ModemCompressor {
+    lzw: LzwSizer,
+}
+
+impl ModemCompressor {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LinkCodec for ModemCompressor {
+    fn wire_bytes(&mut self, wire_bytes: usize, payload: &[u8]) -> usize {
+        let header = wire_bytes - payload.len();
+        if payload.is_empty() {
+            return wire_bytes;
+        }
+        // The pending-symbol flush is at most one code; charge one byte so a
+        // packet is always deliverable on its own.
+        let compressed = self.lzw.push(payload) + 1;
+        header + compressed.min(payload.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "v42bis-lzw"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let mut lzw = LzwSizer::new();
+        let data = "the quick brown fox ".repeat(200);
+        let emitted = lzw.push(data.as_bytes()) + lzw.finish();
+        assert!(
+            emitted < data.len() / 3,
+            "LZW should compress repetitive text >3x, got {emitted}/{}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn random_like_data_does_not_explode() {
+        // A simple LCG byte stream: nearly incompressible.
+        let mut x: u32 = 12345;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let mut codec = ModemCompressor::new();
+        let wire = codec.wire_bytes(data.len() + 40, &data);
+        // Compressed size is capped at the raw payload size.
+        assert!(wire <= data.len() + 40);
+        // And it should not beat ~7/8 of raw (9-bit codes on fresh bytes).
+        assert!(wire > data.len() / 2);
+    }
+
+    #[test]
+    fn dictionary_persists_across_packets() {
+        let phrase = b"hypertext transfer protocol ".repeat(30);
+        let mut codec = ModemCompressor::new();
+        let first = codec.wire_bytes(phrase.len() + 40, &phrase);
+        let second = codec.wire_bytes(phrase.len() + 40, &phrase);
+        assert!(
+            second < first,
+            "second packet must reuse the dictionary: {second} !< {first}"
+        );
+    }
+
+    #[test]
+    fn header_only_packets_unchanged() {
+        let mut codec = ModemCompressor::new();
+        assert_eq!(codec.wire_bytes(40, &[]), 40);
+    }
+
+    #[test]
+    fn html_compresses_roughly_two_to_one() {
+        // Representative mid-90s HTML.
+        let html = r#"<TABLE BORDER=0 CELLPADDING=0 CELLSPACING=0 WIDTH=600>
+<TR><TD ALIGN=LEFT VALIGN=TOP><A HREF="/products/index.html"><IMG
+SRC="/images/products.gif" WIDTH=100 HEIGHT=30 BORDER=0 ALT="Products"></A>
+</TD></TR></TABLE>"#
+            .repeat(40);
+        let mut lzw = LzwSizer::new();
+        let emitted = lzw.push(html.as_bytes()) + lzw.finish();
+        let ratio = emitted as f64 / html.len() as f64;
+        assert!(
+            ratio < 0.55,
+            "modem compression should roughly halve HTML, ratio={ratio:.2}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The wire unit of the simulator: a TCP segment with an IP-level address.
+//!
+//! The simulator does not serialize real byte-level headers; instead each
+//! [`Segment`] carries structured fields and the byte accounting assumes the
+//! classic 40-byte TCP/IP header (20 bytes IPv4 + 20 bytes TCP, no options),
+//! which is how the paper computes its `%ov` overhead column.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Identifies a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u16);
+
+/// A transport address: host plus TCP port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SockAddr {
+    /// The host part of the address.
+    pub host: HostId,
+    /// The TCP port.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Construct from host and port.
+    pub const fn new(host: HostId, port: u16) -> Self {
+        SockAddr { host, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}:{}", self.host.0, self.port)
+    }
+}
+
+/// TCP header flags carried by a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Synchronize: opens a connection.
+    pub syn: bool,
+    /// The acknowledgement number is valid.
+    pub ack: bool,
+    /// No more data from the sender (half-close).
+    pub fin: bool,
+    /// Abort the connection.
+    pub rst: bool,
+    /// Push: deliver promptly to the application.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// A bare SYN (active open).
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    /// SYN+ACK (passive-open reply).
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    /// A plain acknowledgement.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    /// FIN piggybacked on an acknowledgement.
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    /// A bare reset.
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (set, c) in [
+            (self.syn, 'S'),
+            (self.fin, 'F'),
+            (self.rst, 'R'),
+            (self.psh, 'P'),
+            (self.ack, '.'),
+        ] {
+            if set {
+                write!(f, "{c}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// Size in bytes of the combined IPv4 + TCP headers without options.
+pub const TCP_IP_HEADER_BYTES: usize = 40;
+
+/// A simulated TCP segment in flight.
+///
+/// Sequence and acknowledgement numbers are absolute `u64` offsets from the
+/// connection's initial sequence number; a simulator has no need to model
+/// 32-bit wraparound and absolute numbers make traces easy to read.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Sender address.
+    pub src: SockAddr,
+    /// Destination address.
+    pub dst: SockAddr,
+    /// First sequence number this segment occupies.
+    pub seq: u64,
+    /// Cumulative acknowledgement (next expected octet).
+    pub ack: u64,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window advertised by the sender, in bytes.
+    pub window: usize,
+    /// Application bytes carried.
+    pub payload: Bytes,
+}
+
+impl Segment {
+    /// Total bytes this segment occupies on the wire, headers included.
+    pub fn wire_len(&self) -> usize {
+        TCP_IP_HEADER_BYTES + self.payload.len()
+    }
+
+    /// The amount of sequence space this segment consumes
+    /// (payload bytes, plus one for SYN and one for FIN).
+    pub fn seq_space(&self) -> u64 {
+        self.payload.len() as u64
+            + u64::from(self.flags.syn)
+            + u64::from(self.flags.fin)
+    }
+
+    /// The sequence number of the octet just past this segment.
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.seq_space()
+    }
+
+    /// True if the segment carries application payload.
+    pub fn has_payload(&self) -> bool {
+        !self.payload.is_empty()
+    }
+
+    /// A pure RST segment aborting the connection identified by `src`/`dst`.
+    pub fn rst(src: SockAddr, dst: SockAddr, seq: u64) -> Segment {
+        Segment {
+            src,
+            dst,
+            seq,
+            ack: 0,
+            flags: TcpFlags::RST,
+            window: 0,
+            payload: Bytes::new(),
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} > {} [{}] seq {} ack {} win {} len {}",
+            self.src,
+            self.dst,
+            self.flags,
+            self.seq,
+            self.ack,
+            self.window,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(flags: TcpFlags, len: usize) -> Segment {
+        Segment {
+            src: SockAddr::new(HostId(0), 1000),
+            dst: SockAddr::new(HostId(1), 80),
+            seq: 100,
+            ack: 0,
+            flags,
+            window: 32768,
+            payload: Bytes::from(vec![0u8; len]),
+        }
+    }
+
+    #[test]
+    fn wire_len_includes_headers() {
+        assert_eq!(seg(TcpFlags::ACK, 0).wire_len(), 40);
+        assert_eq!(seg(TcpFlags::ACK, 1460).wire_len(), 1500);
+    }
+
+    #[test]
+    fn seq_space_counts_syn_and_fin() {
+        assert_eq!(seg(TcpFlags::SYN, 0).seq_space(), 1);
+        assert_eq!(seg(TcpFlags::FIN_ACK, 0).seq_space(), 1);
+        assert_eq!(seg(TcpFlags::ACK, 10).seq_space(), 10);
+        let mut s = seg(TcpFlags::FIN_ACK, 10);
+        s.flags.syn = false;
+        assert_eq!(s.seq_space(), 11);
+        assert_eq!(s.seq_end(), 111);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(format!("{}", TcpFlags::SYN), "S");
+        assert_eq!(format!("{}", TcpFlags::SYN_ACK), "S.");
+        assert_eq!(format!("{}", TcpFlags::FIN_ACK), "F.");
+        assert_eq!(format!("{}", TcpFlags::default()), "-");
+    }
+
+    #[test]
+    fn segment_display_is_tcpdump_like() {
+        let s = seg(TcpFlags::SYN, 0);
+        assert_eq!(
+            format!("{s}"),
+            "h0:1000 > h1:80 [S] seq 100 ack 0 win 32768 len 0"
+        );
+    }
+}

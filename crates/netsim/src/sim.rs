@@ -1,0 +1,838 @@
+//! The discrete-event simulator: hosts, sockets, the event loop, and the
+//! application programming model.
+//!
+//! One [`App`] runs per host and is driven purely by events: socket readiness
+//! notifications and application timers. The API mirrors a classic BSD
+//! socket interface (`connect` / `listen` / `send` / `recv` / `shutdown` /
+//! `close`) so the HTTP client and server crates read like ordinary
+//! event-driven network programs.
+
+use crate::link::{Link, LinkConfig, Transmit};
+use crate::packet::{HostId, Segment, SockAddr};
+use crate::tcp::{Effects, SockNotify, State, Tcb, TcpConfig, TimerKind};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceRecord, TraceStats};
+use bytes::Bytes;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Identifies one socket on one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketId {
+    /// Host the socket lives on.
+    pub host: HostId,
+    /// Index into the host's socket table.
+    pub slot: u32,
+}
+
+/// Events delivered to applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppEvent {
+    /// Delivered once when the simulation starts.
+    Start,
+    /// An active open completed.
+    Connected(SocketId),
+    /// A passive open completed on the listener at `listener_port`.
+    Accepted {
+        /// The newly created connection.
+        socket: SocketId,
+        /// The listening port that accepted it.
+        listener_port: u16,
+    },
+    /// Buffered data is available to read.
+    Readable(SocketId),
+    /// The peer half-closed; no data beyond what is buffered will arrive.
+    PeerFin(SocketId),
+    /// Send-buffer space freed up after a short write.
+    SendSpace(SocketId),
+    /// The connection was reset.
+    Reset(SocketId),
+    /// The connection closed gracefully.
+    Closed(SocketId),
+    /// An application timer set with [`Ctx::set_timer`] fired.
+    Timer(u64),
+}
+
+/// A simulated application bound to one host.
+///
+/// `Any` is a supertrait so results can be extracted after a run via
+/// [`Simulator::app_mut`].
+pub trait App: Any {
+    /// Handle one delivered event.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: AppEvent);
+}
+
+/// Per-host socket-usage statistics (the paper's Table 3 reports both).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketStats {
+    /// Total TCP connections created over the run.
+    pub sockets_used: u64,
+    /// Peak number of simultaneously open (non-CLOSED) sockets.
+    pub max_simultaneous: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueuedKind {
+    Arrival,
+    TcpTimer { slot: u32, kind: TimerKind, epoch: u64 },
+    AppTimer { token: u64 },
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    host: HostId,
+    kind: QueuedKind,
+    /// Only for arrivals.
+    segment: Option<Segment>,
+    sent: SimTime,
+    physical: usize,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct HostState {
+    name: String,
+    tcp_config: TcpConfig,
+    sockets: Vec<Tcb>,
+    /// (local port, remote addr) → socket slot.
+    demux: HashMap<(u16, SockAddr), u32>,
+    /// Listening ports.
+    listeners: HashMap<u16, ()>,
+    next_ephemeral: u16,
+    stats: SocketStats,
+}
+
+impl HostState {
+    fn open_sockets(&self) -> u64 {
+        self.sockets.iter().filter(|t| t.state.is_open()).count() as u64
+    }
+}
+
+/// The simulation kernel: owns hosts, links, the event queue and the trace.
+pub struct Kernel {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    hosts: Vec<HostState>,
+    links: Vec<Link>,
+    link_index: HashMap<(HostId, HostId), usize>,
+    trace: Trace,
+    pending: VecDeque<(HostId, AppEvent)>,
+    events_processed: u64,
+    /// Safety valve against runaway simulations.
+    max_events: u64,
+}
+
+impl Kernel {
+    fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            hosts: Vec::new(),
+            links: Vec::new(),
+            link_index: HashMap::new(),
+            trace: Trace::new(),
+            pending: VecDeque::new(),
+            events_processed: 0,
+            max_events: 200_000_000,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn push(&mut self, at: SimTime, host: HostId, kind: QueuedKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq: self.seq,
+            host,
+            kind,
+            segment: None,
+            sent: SimTime::ZERO,
+            physical: 0,
+        }));
+    }
+
+    fn push_arrival(
+        &mut self,
+        at: SimTime,
+        host: HostId,
+        segment: Segment,
+        sent: SimTime,
+        physical: usize,
+    ) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq: self.seq,
+            host,
+            kind: QueuedKind::Arrival,
+            segment: Some(segment),
+            sent,
+            physical,
+        }));
+    }
+
+    fn host(&mut self, id: HostId) -> &mut HostState {
+        &mut self.hosts[id.0 as usize]
+    }
+
+    /// Transmit a segment onto the link towards its destination.
+    fn transmit(&mut self, seg: Segment) {
+        let from = seg.src.host;
+        let to = seg.dst.host;
+        let idx = *self
+            .link_index
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no link between h{} and h{}", from.0, to.0));
+        let now = self.now;
+        let (outcome, physical) = self.links[idx].transmit(now, from, &seg);
+        match outcome {
+            Transmit::Arrives(at) => self.push_arrival(at, to, seg, now, physical),
+            Transmit::Dropped => {}
+        }
+    }
+
+    /// Apply the side effects a TCB produced.
+    fn apply_effects(&mut self, host: HostId, slot: u32, fx: &mut Effects) {
+        for seg in fx.segments.drain(..) {
+            self.transmit(seg);
+        }
+        for (kind, at, epoch) in fx.timers.drain(..) {
+            self.push(at, host, QueuedKind::TcpTimer { slot, kind, epoch });
+        }
+        let mut any_close = false;
+        for n in fx.notifications.drain(..) {
+            let sock = SocketId { host, slot };
+            let ev = match n {
+                SockNotify::Connected => AppEvent::Connected(sock),
+                SockNotify::Accepted => {
+                    let port = self.hosts[host.0 as usize].sockets[slot as usize]
+                        .local
+                        .port;
+                    AppEvent::Accepted {
+                        socket: sock,
+                        listener_port: port,
+                    }
+                }
+                SockNotify::Readable => AppEvent::Readable(sock),
+                SockNotify::PeerFin => AppEvent::PeerFin(sock),
+                SockNotify::SendSpace => AppEvent::SendSpace(sock),
+                SockNotify::Reset => {
+                    any_close = true;
+                    AppEvent::Reset(sock)
+                }
+                SockNotify::Closed => {
+                    any_close = true;
+                    AppEvent::Closed(sock)
+                }
+            };
+            self.pending.push_back((host, ev));
+        }
+        if any_close {
+            // Remove closed sockets from the demux table so the 4-tuple can
+            // be reused.
+            let h = self.host(host);
+            let tcb = &h.sockets[slot as usize];
+            if !tcb.state.is_open() {
+                let key = (tcb.local.port, tcb.remote);
+                h.demux.remove(&key);
+            }
+        }
+    }
+
+    fn update_peak(&mut self, host: HostId) {
+        let h = self.host(host);
+        let open = h.open_sockets();
+        if open > h.stats.max_simultaneous {
+            h.stats.max_simultaneous = open;
+        }
+    }
+
+    fn handle_arrival(&mut self, host: HostId, seg: Segment, sent: SimTime, physical: usize) {
+        self.trace.record(TraceRecord {
+            sent,
+            received: self.now,
+            segment: seg.clone(),
+            physical_bytes: physical,
+        });
+
+        let key = (seg.dst.port, seg.src);
+        let h = &self.hosts[host.0 as usize];
+        if let Some(&slot) = h.demux.get(&key) {
+            let mut fx = Effects::default();
+            let now = self.now;
+            self.host(host).sockets[slot as usize].on_segment(now, &seg, &mut fx);
+            self.apply_effects(host, slot, &mut fx);
+            self.update_peak(host);
+            return;
+        }
+
+        // No connection. A SYN to a listening port performs a passive open.
+        if seg.flags.syn && !seg.flags.ack && h.listeners.contains_key(&seg.dst.port) {
+            let local = SockAddr::new(host, seg.dst.port);
+            let remote = seg.src;
+            let cfg = h.tcp_config.clone();
+            let mut fx = Effects::default();
+            let now = self.now;
+            let tcb = Tcb::open_passive(local, remote, cfg, &seg, now, &mut fx);
+            let h = self.host(host);
+            let slot = h.sockets.len() as u32;
+            h.sockets.push(tcb);
+            h.demux.insert((local.port, remote), slot);
+            h.stats.sockets_used += 1;
+            self.apply_effects(host, slot, &mut fx);
+            self.update_peak(host);
+            return;
+        }
+
+        // Anything else aimed at a closed port draws a RST (unless it *is*
+        // a RST).
+        if !seg.flags.rst {
+            let rst = Segment::rst(seg.dst, seg.src, seg.ack);
+            self.transmit(rst);
+        }
+    }
+
+    fn handle_tcp_timer(&mut self, host: HostId, slot: u32, kind: TimerKind, epoch: u64) {
+        let mut fx = Effects::default();
+        let now = self.now;
+        self.host(host).sockets[slot as usize].on_timer(now, kind, epoch, &mut fx);
+        self.apply_effects(host, slot, &mut fx);
+    }
+
+    // --- socket syscalls used by Ctx -----------------------------------
+
+    fn sock<'a>(&'a mut self, id: SocketId) -> &'a mut Tcb {
+        &mut self.hosts[id.host.0 as usize].sockets[id.slot as usize]
+    }
+
+    fn connect(&mut self, host: HostId, remote: SockAddr) -> SocketId {
+        let cfg = self.host(host).tcp_config.clone();
+        let h = self.host(host);
+        let port = h.next_ephemeral;
+        h.next_ephemeral = h.next_ephemeral.wrapping_add(1).max(40_000);
+        let local = SockAddr::new(host, port);
+        let mut fx = Effects::default();
+        let now = self.now;
+        let tcb = Tcb::open_active(local, remote, cfg, now, &mut fx);
+        let h = self.host(host);
+        let slot = h.sockets.len() as u32;
+        h.sockets.push(tcb);
+        h.demux.insert((port, remote), slot);
+        h.stats.sockets_used += 1;
+        self.apply_effects(host, slot, &mut fx);
+        self.update_peak(host);
+        SocketId { host, slot }
+    }
+
+    fn listen(&mut self, host: HostId, port: u16) {
+        self.host(host).listeners.insert(port, ());
+    }
+}
+
+/// The API surface applications use to act on the world.
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    host: HostId,
+}
+
+impl<'a> Ctx<'a> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// This application's host.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Begin an active open to `remote`. Completion is signalled by
+    /// [`AppEvent::Connected`].
+    pub fn connect(&mut self, remote: SockAddr) -> SocketId {
+        self.kernel.connect(self.host, remote)
+    }
+
+    /// Accept connections on `port`; each is signalled by
+    /// [`AppEvent::Accepted`].
+    pub fn listen(&mut self, port: u16) {
+        self.kernel.listen(self.host, port);
+    }
+
+    /// Queue bytes for transmission; returns the number accepted (bounded
+    /// by the socket send buffer).
+    pub fn send(&mut self, sock: SocketId, data: &[u8]) -> usize {
+        debug_assert_eq!(sock.host, self.host, "cannot use another host's socket");
+        let mut fx = Effects::default();
+        let now = self.kernel.now;
+        let n = self.kernel.sock(sock).app_send(now, data, &mut fx);
+        self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        n
+    }
+
+    /// Read up to `max` buffered bytes.
+    pub fn recv(&mut self, sock: SocketId, max: usize) -> Bytes {
+        let mut fx = Effects::default();
+        let data = self.kernel.sock(sock).app_recv(max, &mut fx);
+        self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        data
+    }
+
+    /// Bytes currently buffered for reading.
+    pub fn readable_bytes(&mut self, sock: SocketId) -> usize {
+        self.kernel.sock(sock).readable_bytes()
+    }
+
+    /// Half-close the sending direction (graceful FIN after queued data).
+    pub fn shutdown_write(&mut self, sock: SocketId) {
+        let mut fx = Effects::default();
+        let now = self.kernel.now;
+        self.kernel.sock(sock).app_shutdown_write(now, &mut fx);
+        self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.update_peak(sock.host);
+    }
+
+    /// Full close: also declares the application will never read again, so
+    /// late-arriving data triggers a RST (the naive-close hazard).
+    pub fn close(&mut self, sock: SocketId) {
+        let mut fx = Effects::default();
+        let now = self.kernel.now;
+        self.kernel.sock(sock).app_close(now, &mut fx);
+        self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.update_peak(sock.host);
+    }
+
+    /// Abortive close: RST immediately.
+    pub fn abort(&mut self, sock: SocketId) {
+        let mut fx = Effects::default();
+        self.kernel.sock(sock).app_abort(&mut fx);
+        self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.update_peak(sock.host);
+    }
+
+    /// Set or clear TCP_NODELAY (the Nagle algorithm).
+    pub fn set_nodelay(&mut self, sock: SocketId, nodelay: bool) {
+        self.kernel.sock(sock).set_nodelay(nodelay);
+    }
+
+    /// Current TCP state (for diagnostics and tests).
+    pub fn sock_state(&mut self, sock: SocketId) -> State {
+        self.kernel.sock(sock).state
+    }
+
+    /// Arm an application timer; fires as [`AppEvent::Timer`] with `token`.
+    /// Timers are one-shot; arming the same token again schedules another
+    /// independent firing.
+    pub fn set_timer(&mut self, token: u64, delay: SimDuration) {
+        let at = self.kernel.now + delay;
+        let host = self.host;
+        self.kernel.push(at, host, QueuedKind::AppTimer { token });
+    }
+}
+
+/// The top-level simulator owning the kernel and the applications.
+pub struct Simulator {
+    kernel: Kernel,
+    apps: Vec<Option<Box<dyn App>>>,
+    started: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        Simulator {
+            kernel: Kernel::new(),
+            apps: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Add a host with default TCP configuration.
+    pub fn add_host(&mut self, name: &str) -> HostId {
+        let id = HostId(self.kernel.hosts.len() as u16);
+        self.kernel.hosts.push(HostState {
+            name: name.to_string(),
+            tcp_config: TcpConfig::default(),
+            sockets: Vec::new(),
+            demux: HashMap::new(),
+            listeners: HashMap::new(),
+            next_ephemeral: 40_000,
+            stats: SocketStats::default(),
+        });
+        self.apps.push(None);
+        id
+    }
+
+    /// Override the TCP parameters new sockets on `host` will use.
+    pub fn set_tcp_config(&mut self, host: HostId, cfg: TcpConfig) {
+        self.kernel.host(host).tcp_config = cfg;
+    }
+
+    /// Connect two hosts with a link.
+    pub fn add_link(&mut self, a: HostId, b: HostId, config: LinkConfig) {
+        let idx = self.kernel.links.len();
+        self.kernel.links.push(Link::new(a, b, config));
+        self.kernel.link_index.insert((a, b), idx);
+        self.kernel.link_index.insert((b, a), idx);
+    }
+
+    /// Mutable access to the link between two hosts (e.g. to install a
+    /// modem codec).
+    pub fn link_mut(&mut self, a: HostId, b: HostId) -> &mut Link {
+        let idx = self.kernel.link_index[&(a, b)];
+        &mut self.kernel.links[idx]
+    }
+
+    /// Install the application driving `host`.
+    pub fn install_app(&mut self, host: HostId, app: Box<dyn App>) {
+        self.apps[host.0 as usize] = Some(app);
+    }
+
+    /// Borrow an installed application, downcast to its concrete type.
+    pub fn app_mut<T: App>(&mut self, host: HostId) -> Option<&mut T> {
+        let app = self.apps[host.0 as usize].as_mut()?;
+        let any: &mut dyn Any = app.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The packet capture of the run so far.
+    pub fn trace(&self) -> &Trace {
+        &self.kernel.trace
+    }
+
+    /// Statistics over all packets between `client` and `server`.
+    pub fn stats(&self, client: HostId, server: HostId) -> TraceStats {
+        self.kernel.trace.stats(client, server)
+    }
+
+    /// Per-host socket usage (sockets used / max simultaneous).
+    pub fn socket_stats(&self, host: HostId) -> SocketStats {
+        self.kernel.hosts[host.0 as usize].stats
+    }
+
+    /// The display name the host was created with.
+    pub fn host_name(&self, host: HostId) -> &str {
+        &self.kernel.hosts[host.0 as usize].name
+    }
+
+    fn dispatch_pending(&mut self) {
+        while let Some((host, ev)) = self.kernel.pending.pop_front() {
+            let Some(mut app) = self.apps[host.0 as usize].take() else {
+                continue;
+            };
+            let mut ctx = Ctx {
+                kernel: &mut self.kernel,
+                host,
+            };
+            app.on_event(&mut ctx, ev);
+            self.apps[host.0 as usize] = Some(app);
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.apps.len() {
+            let host = HostId(i as u16);
+            if self.apps[i].is_some() {
+                self.kernel.pending.push_back((host, AppEvent::Start));
+            }
+        }
+        self.dispatch_pending();
+    }
+
+    /// Run until the event queue drains or `deadline` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        loop {
+            let Some(Reverse(head)) = self.kernel.queue.peek() else {
+                break;
+            };
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.kernel.queue.pop().unwrap();
+            self.kernel.now = ev.at;
+            self.kernel.events_processed += 1;
+            processed += 1;
+            assert!(
+                self.kernel.events_processed < self.kernel.max_events,
+                "simulation exceeded {} events — runaway?",
+                self.kernel.max_events
+            );
+            match ev.kind {
+                QueuedKind::Arrival => {
+                    let seg = ev.segment.expect("arrival carries a segment");
+                    self.kernel.handle_arrival(ev.host, seg, ev.sent, ev.physical);
+                }
+                QueuedKind::TcpTimer { slot, kind, epoch } => {
+                    self.kernel.handle_tcp_timer(ev.host, slot, kind, epoch);
+                }
+                QueuedKind::AppTimer { token } => {
+                    self.kernel
+                        .pending
+                        .push_back((ev.host, AppEvent::Timer(token)));
+                }
+            }
+            self.dispatch_pending();
+        }
+        processed
+    }
+
+    /// Run until no more events remain (including lingering TIME_WAIT
+    /// timers, which merely advance the clock).
+    pub fn run_until_idle(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run for a bounded amount of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.kernel.now + d;
+        self.run_until(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo server: accepts connections and echoes every byte back; closes
+    /// when the peer half-closes.
+    struct Echo {
+        port: u16,
+        echoed: usize,
+    }
+
+    impl App for Echo {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+            match ev {
+                AppEvent::Start => ctx.listen(self.port),
+                AppEvent::Readable(s) => {
+                    let data = ctx.recv(s, usize::MAX);
+                    self.echoed += data.len();
+                    ctx.send(s, &data);
+                }
+                AppEvent::PeerFin(s) => ctx.shutdown_write(s),
+                _ => {}
+            }
+        }
+    }
+
+    /// Client that sends a payload (handling short writes), waits for the
+    /// echo, then closes.
+    struct EchoClient {
+        server: SockAddr,
+        payload: Vec<u8>,
+        sent: usize,
+        received: Vec<u8>,
+        done: bool,
+        sock: Option<SocketId>,
+    }
+
+    impl EchoClient {
+        fn pump_send(&mut self, ctx: &mut Ctx<'_>, s: SocketId) {
+            while self.sent < self.payload.len() {
+                let n = ctx.send(s, &self.payload[self.sent..]);
+                if n == 0 {
+                    break;
+                }
+                self.sent += n;
+            }
+        }
+    }
+
+    impl App for EchoClient {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+            match ev {
+                AppEvent::Start => {
+                    self.sock = Some(ctx.connect(self.server));
+                }
+                AppEvent::Connected(s) | AppEvent::SendSpace(s) => {
+                    self.pump_send(ctx, s);
+                }
+                AppEvent::Readable(s) => {
+                    let data = ctx.recv(s, usize::MAX);
+                    self.received.extend_from_slice(&data);
+                    if self.received.len() == self.payload.len() {
+                        self.done = true;
+                        ctx.shutdown_write(s);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn echo_roundtrip(cfg: LinkConfig, payload_len: usize) -> (Simulator, HostId, HostId) {
+        let mut sim = Simulator::new();
+        let client = sim.add_host("client");
+        let server = sim.add_host("server");
+        sim.add_link(client, server, cfg);
+        sim.install_app(
+            server,
+            Box::new(Echo {
+                port: 80,
+                echoed: 0,
+            }),
+        );
+        sim.install_app(
+            client,
+            Box::new(EchoClient {
+                server: SockAddr::new(server, 80),
+                payload: (0..payload_len).map(|i| (i % 251) as u8).collect(),
+                sent: 0,
+                received: Vec::new(),
+                done: false,
+                sock: None,
+            }),
+        );
+        sim.run_until_idle();
+        (sim, client, server)
+    }
+
+    #[test]
+    fn echo_small_payload_lan() {
+        let (mut sim, client, _server) = echo_roundtrip(LinkConfig::lan(), 100);
+        let app = sim.app_mut::<EchoClient>(client).unwrap();
+        assert!(app.done, "echo completed");
+        assert_eq!(app.received.len(), 100);
+    }
+
+    #[test]
+    fn echo_large_payload_wan() {
+        let (mut sim, client, server) = echo_roundtrip(LinkConfig::wan(), 100_000);
+        let app = sim.app_mut::<EchoClient>(client).unwrap();
+        assert!(app.done);
+        assert_eq!(app.received.len(), 100_000);
+        let stats = sim.stats(client, server);
+        // 200 KB of payload at 1460 MSS in both directions: at least 138
+        // data segments, and the handshake.
+        assert!(stats.total_packets() > 140);
+        assert!(stats.syns == 2);
+    }
+
+    #[test]
+    fn echo_over_lossy_link_still_completes() {
+        let (mut sim, client, _server) =
+            echo_roundtrip(LinkConfig::lan().with_drop_every(7), 50_000);
+        let app = sim.app_mut::<EchoClient>(client).unwrap();
+        assert!(app.done, "retransmission recovered all losses");
+        assert_eq!(app.received.len(), 50_000);
+    }
+
+    #[test]
+    fn connection_to_closed_port_resets() {
+        struct Probe {
+            server: SockAddr,
+            reset: bool,
+        }
+        impl App for Probe {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+                match ev {
+                    AppEvent::Start => {
+                        ctx.connect(self.server);
+                    }
+                    AppEvent::Reset(_) => self.reset = true,
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let client = sim.add_host("client");
+        let server = sim.add_host("server");
+        sim.add_link(client, server, LinkConfig::lan());
+        sim.install_app(
+            client,
+            Box::new(Probe {
+                server: SockAddr::new(server, 81), // nothing listens there
+                reset: false,
+            }),
+        );
+        sim.run_until_idle();
+        assert!(sim.app_mut::<Probe>(client).unwrap().reset);
+    }
+
+    #[test]
+    fn socket_stats_track_usage() {
+        let (sim, client, server) = echo_roundtrip(LinkConfig::lan(), 10);
+        assert_eq!(sim.socket_stats(client).sockets_used, 1);
+        assert_eq!(sim.socket_stats(server).sockets_used, 1);
+        assert!(sim.socket_stats(client).max_simultaneous >= 1);
+    }
+
+    #[test]
+    fn app_timer_fires() {
+        struct TimerApp {
+            fired: Vec<u64>,
+        }
+        impl App for TimerApp {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+                match ev {
+                    AppEvent::Start => {
+                        ctx.set_timer(7, SimDuration::from_millis(50));
+                        ctx.set_timer(8, SimDuration::from_millis(10));
+                    }
+                    AppEvent::Timer(t) => self.fired.push(t),
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let h = sim.add_host("solo");
+        sim.install_app(h, Box::new(TimerApp { fired: Vec::new() }));
+        sim.run_until_idle();
+        assert_eq!(sim.app_mut::<TimerApp>(h).unwrap().fired, vec![8, 7]);
+    }
+
+    #[test]
+    fn elapsed_time_reflects_link_latency() {
+        let (sim, client, server) = echo_roundtrip(LinkConfig::wan(), 1000);
+        let stats = sim.stats(client, server);
+        // Handshake + request + echo + close takes several RTTs at 90 ms.
+        assert!(stats.elapsed_secs() > 0.15, "got {}", stats.elapsed_secs());
+    }
+
+    #[test]
+    fn trace_dump_contains_syn() {
+        let (sim, _c, _s) = echo_roundtrip(LinkConfig::lan(), 10);
+        let dump = sim.trace().dump();
+        assert!(dump.contains("[S]"), "dump:\n{dump}");
+    }
+}

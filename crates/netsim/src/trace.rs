@@ -1,0 +1,332 @@
+//! Packet trace capture and the statistics the paper reports.
+//!
+//! Every packet that arrives (i.e. was not dropped) is recorded, mimicking a
+//! `tcpdump` capture on a shared medium. The paper's tables report, per run:
+//! packets client→server, packets server→client, total packets, total bytes
+//! on the wire, elapsed seconds, and the percentage of bytes that are TCP/IP
+//! header overhead — [`TraceStats`] computes all of these.
+
+use crate::packet::{HostId, Segment, TCP_IP_HEADER_BYTES};
+use crate::time::SimTime;
+use std::fmt;
+
+/// One captured packet.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Time the packet was handed to the link (departure).
+    pub sent: SimTime,
+    /// Time the packet arrived at the receiving host.
+    pub received: SimTime,
+    /// The captured segment itself.
+    pub segment: Segment,
+    /// Bytes the packet occupied on the physical wire (after any link
+    /// compression); equals `segment.wire_len()` on uncompressed links.
+    pub physical_bytes: usize,
+}
+
+/// A full capture of a simulation run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append a captured packet.
+    pub fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+
+    /// True when nothing is contained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of contained elements.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// All captured packets in arrival order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Drop all accumulated contents.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Statistics over all packets flowing in either direction between the
+    /// two hosts, with `client` defining the "client → server" direction.
+    pub fn stats(&self, client: HostId, server: HostId) -> TraceStats {
+        let mut s = TraceStats::default();
+        for rec in &self.records {
+            let seg = &rec.segment;
+            let (from, to) = (seg.src.host, seg.dst.host);
+            if (from, to) == (client, server) {
+                s.packets_c2s += 1;
+            } else if (from, to) == (server, client) {
+                s.packets_s2c += 1;
+            } else {
+                continue;
+            }
+            s.bytes += seg.wire_len() as u64;
+            s.physical_bytes += rec.physical_bytes as u64;
+            s.header_bytes += TCP_IP_HEADER_BYTES as u64;
+            s.payload_bytes += seg.payload.len() as u64;
+            if seg.flags.syn {
+                s.syns += 1;
+            }
+            if seg.flags.fin {
+                s.fins += 1;
+            }
+            if seg.flags.rst {
+                s.rsts += 1;
+            }
+            if seg.payload.is_empty() && !seg.flags.syn && !seg.flags.fin && !seg.flags.rst {
+                s.pure_acks += 1;
+            }
+            s.first = Some(s.first.map_or(rec.sent, |f: SimTime| f.min(rec.sent)));
+            s.last = Some(s.last.map_or(rec.received, |l: SimTime| l.max(rec.received)));
+        }
+        s
+    }
+
+    /// Renders the capture in a compact tcpdump-like text form (useful when
+    /// debugging protocol behaviour in tests).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&format!("{} {}\n", rec.sent, rec.segment));
+        }
+        out
+    }
+
+    /// Time-sequence points for data flowing out of `from`: one
+    /// `(seconds, sequence-end)` pair per data-bearing segment, in
+    /// departure order — the series Shepard's `xplot` draws and the paper
+    /// used to find its implementation bugs.
+    pub fn time_sequence(&self, from: HostId) -> Vec<(f64, u64)> {
+        self.records
+            .iter()
+            .filter(|r| r.segment.src.host == from && r.segment.has_payload())
+            .map(|r| (r.sent.as_secs_f64(), r.segment.seq_end()))
+            .collect()
+    }
+
+    /// Serialize the capture in xplot(1) format: data segments from
+    /// `from` as green lines (retransmissions in red) and the returning
+    /// ACK series as yellow ticks.
+    pub fn xplot(&self, from: HostId, title: &str) -> String {
+        use std::collections::HashSet;
+        let mut out = String::new();
+        out.push_str("timeval unsigned\n");
+        out.push_str(&format!("title\n{title}\n"));
+        out.push_str("xlabel\ntime\nylabel\nsequence number\n");
+        let mut seen: HashSet<(u64, u64)> = HashSet::new();
+        for rec in &self.records {
+            let seg = &rec.segment;
+            if seg.src.host == from && seg.has_payload() {
+                let fresh = seen.insert((seg.seq, seg.seq_end()));
+                let color = if fresh { "green" } else { "red" };
+                out.push_str(&format!(
+                    "{color}\nline {:.6} {} {:.6} {}\n",
+                    rec.sent.as_secs_f64(),
+                    seg.seq,
+                    rec.sent.as_secs_f64(),
+                    seg.seq_end(),
+                ));
+            } else if seg.dst.host == from && seg.flags.ack {
+                out.push_str(&format!(
+                    "yellow\ntick {:.6} {}\n",
+                    rec.received.as_secs_f64(),
+                    seg.ack
+                ));
+            }
+        }
+        out.push_str("go\n");
+        out
+    }
+}
+
+/// Aggregate statistics for one client/server pair — the paper's metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    /// Packets from the client toward the server.
+    pub packets_c2s: u64,
+    /// Packets from the server toward the client.
+    pub packets_s2c: u64,
+    /// Total bytes including 40-byte TCP/IP headers (pre-link-compression).
+    pub bytes: u64,
+    /// Bytes after link-level (modem) compression, if any.
+    pub physical_bytes: u64,
+    /// TCP/IP header bytes across all packets.
+    pub header_bytes: u64,
+    /// Application payload bytes across all packets.
+    pub payload_bytes: u64,
+    /// Segments carrying SYN.
+    pub syns: u64,
+    /// Segments carrying FIN.
+    pub fins: u64,
+    /// Segments carrying RST.
+    pub rsts: u64,
+    /// Bare acknowledgements (no payload, no flags).
+    pub pure_acks: u64,
+    /// Departure time of the first packet.
+    pub first: Option<SimTime>,
+    /// Arrival time of the last packet.
+    pub last: Option<SimTime>,
+}
+
+impl TraceStats {
+    /// Packets in both directions.
+    pub fn total_packets(&self) -> u64 {
+        self.packets_c2s + self.packets_s2c
+    }
+
+    /// Percentage of wire bytes that are TCP/IP header overhead — the
+    /// paper's `%ov` column.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.header_bytes as f64 * 100.0 / self.bytes as f64
+        }
+    }
+
+    /// Wall-clock span from the first departure to the last arrival.
+    pub fn elapsed_secs(&self) -> f64 {
+        match (self.first, self.last) {
+            (Some(f), Some(l)) => l.since(f).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pkts ({} c2s / {} s2c), {} bytes, {:.1}% ov, {:.2}s",
+            self.total_packets(),
+            self.packets_c2s,
+            self.packets_s2c,
+            self.bytes,
+            self.overhead_pct(),
+            self.elapsed_secs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{SockAddr, TcpFlags};
+    use bytes::Bytes;
+
+    fn rec(from: u16, to: u16, flags: TcpFlags, len: usize, t_ns: u64) -> TraceRecord {
+        let seg = Segment {
+            src: SockAddr::new(HostId(from), 1000),
+            dst: SockAddr::new(HostId(to), 80),
+            seq: 0,
+            ack: 0,
+            flags,
+            window: 0,
+            payload: Bytes::from(vec![0u8; len]),
+        };
+        let physical = seg.wire_len();
+        TraceRecord {
+            sent: SimTime::from_nanos(t_ns),
+            received: SimTime::from_nanos(t_ns + 100),
+            segment: seg,
+            physical_bytes: physical,
+        }
+    }
+
+    #[test]
+    fn stats_count_directions() {
+        let mut t = Trace::new();
+        t.record(rec(0, 1, TcpFlags::SYN, 0, 0));
+        t.record(rec(1, 0, TcpFlags::SYN_ACK, 0, 10));
+        t.record(rec(0, 1, TcpFlags::ACK, 100, 20));
+        let s = t.stats(HostId(0), HostId(1));
+        assert_eq!(s.packets_c2s, 2);
+        assert_eq!(s.packets_s2c, 1);
+        assert_eq!(s.total_packets(), 3);
+        assert_eq!(s.bytes, 40 + 40 + 140);
+        assert_eq!(s.syns, 2);
+        assert_eq!(s.payload_bytes, 100);
+    }
+
+    #[test]
+    fn overhead_percentage() {
+        let mut t = Trace::new();
+        t.record(rec(0, 1, TcpFlags::ACK, 360, 0)); // 400 wire bytes, 40 header
+        let s = t.stats(HostId(0), HostId(1));
+        assert!((s.overhead_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elapsed_spans_first_to_last() {
+        let mut t = Trace::new();
+        t.record(rec(0, 1, TcpFlags::ACK, 1, 1_000_000_000));
+        t.record(rec(1, 0, TcpFlags::ACK, 1, 3_000_000_000));
+        let s = t.stats(HostId(0), HostId(1));
+        assert!((s.elapsed_secs() - 2.0000001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn other_host_pairs_excluded() {
+        let mut t = Trace::new();
+        t.record(rec(0, 1, TcpFlags::ACK, 1, 0));
+        t.record(rec(2, 1, TcpFlags::ACK, 1, 0));
+        let s = t.stats(HostId(0), HostId(1));
+        assert_eq!(s.total_packets(), 1);
+    }
+
+    #[test]
+    fn time_sequence_monotone_without_loss() {
+        let mut t = Trace::new();
+        for (i, len) in [(0u64, 100usize), (1, 200), (2, 300)] {
+            t.record(rec(0, 1, TcpFlags::ACK, len, i * 1000));
+        }
+        let ts = t.time_sequence(HostId(0));
+        assert_eq!(ts.len(), 3);
+        assert!(ts.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn xplot_marks_retransmissions_red() {
+        let mut t = Trace::new();
+        let mut seg = rec(0, 1, TcpFlags::ACK, 100, 0);
+        seg.segment.seq = 50;
+        t.record(seg.clone());
+        seg.sent = SimTime::from_nanos(5_000_000);
+        t.record(seg); // identical sequence range: a retransmission
+        let plot = t.xplot(HostId(0), "demo");
+        assert!(plot.contains("green
+"));
+        assert!(plot.contains("red
+"), "{plot}");
+        assert!(plot.starts_with("timeval unsigned
+"));
+        assert!(plot.ends_with("go
+"));
+    }
+
+    #[test]
+    fn pure_ack_classification() {
+        let mut t = Trace::new();
+        t.record(rec(0, 1, TcpFlags::ACK, 0, 0));
+        t.record(rec(0, 1, TcpFlags::ACK, 5, 0));
+        t.record(rec(0, 1, TcpFlags::FIN_ACK, 0, 0));
+        let s = t.stats(HostId(0), HostId(1));
+        assert_eq!(s.pure_acks, 1);
+        assert_eq!(s.fins, 1);
+    }
+}

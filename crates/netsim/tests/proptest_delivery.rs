@@ -1,0 +1,174 @@
+//! Property tests for the TCP simulator: reliable in-order delivery must
+//! hold for arbitrary payloads, arbitrary link parameters, deterministic
+//! loss patterns, and arbitrary application write chunkings.
+
+use netsim::sim::{App, AppEvent, Ctx};
+use netsim::{LinkConfig, SimDuration, Simulator, SockAddr, TcpConfig};
+use proptest::prelude::*;
+
+/// Sends `payload` in the given chunk sizes, then half-closes.
+struct ChunkSender {
+    server: SockAddr,
+    payload: Vec<u8>,
+    chunks: Vec<usize>,
+    offset: usize,
+    chunk_idx: usize,
+}
+
+impl ChunkSender {
+    fn pump(&mut self, ctx: &mut Ctx<'_>, s: netsim::SocketId) {
+        while self.offset < self.payload.len() {
+            let chunk = self
+                .chunks
+                .get(self.chunk_idx)
+                .copied()
+                .unwrap_or(1024)
+                .max(1)
+                .min(self.payload.len() - self.offset);
+            let n = ctx.send(s, &self.payload[self.offset..self.offset + chunk]);
+            if n == 0 {
+                return;
+            }
+            self.offset += n;
+            self.chunk_idx += 1;
+        }
+        ctx.shutdown_write(s);
+    }
+}
+
+impl App for ChunkSender {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                ctx.connect(self.server);
+            }
+            AppEvent::Connected(s) | AppEvent::SendSpace(s) => self.pump(ctx, s),
+            _ => {}
+        }
+    }
+}
+
+/// Collects everything it reads; half-closes back on FIN.
+struct Collector {
+    received: Vec<u8>,
+    peer_closed: bool,
+}
+
+impl App for Collector {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => ctx.listen(80),
+            AppEvent::Readable(s) => {
+                let data = ctx.recv(s, usize::MAX);
+                self.received.extend_from_slice(&data);
+            }
+            AppEvent::PeerFin(s) => {
+                self.peer_closed = true;
+                // Drain anything still buffered, then close.
+                let data = ctx.recv(s, usize::MAX);
+                self.received.extend_from_slice(&data);
+                ctx.shutdown_write(s);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_transfer(
+    payload: Vec<u8>,
+    chunks: Vec<usize>,
+    link: LinkConfig,
+    tcp: TcpConfig,
+) -> (Vec<u8>, bool) {
+    let mut sim = Simulator::new();
+    let client = sim.add_host("client");
+    let server = sim.add_host("server");
+    sim.set_tcp_config(client, tcp.clone());
+    sim.set_tcp_config(server, tcp);
+    sim.add_link(client, server, link);
+    sim.install_app(
+        server,
+        Box::new(Collector {
+            received: Vec::new(),
+            peer_closed: false,
+        }),
+    );
+    sim.install_app(
+        client,
+        Box::new(ChunkSender {
+            server: SockAddr::new(server, 80),
+            payload,
+            chunks,
+            offset: 0,
+            chunk_idx: 0,
+        }),
+    );
+    sim.run_until_idle();
+    let collector = sim.app_mut::<Collector>(server).unwrap();
+    (collector.received.clone(), collector.peer_closed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reliable_delivery_arbitrary_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..40_000),
+        chunks in proptest::collection::vec(1usize..4096, 0..40),
+        nodelay in any::<bool>(),
+    ) {
+        let mut tcp = TcpConfig::default();
+        tcp.nodelay = nodelay;
+        let (received, closed) = run_transfer(payload.clone(), chunks, LinkConfig::lan(), tcp);
+        prop_assert_eq!(received, payload);
+        prop_assert!(closed);
+    }
+
+    #[test]
+    fn reliable_delivery_under_loss(
+        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
+        drop_every in 2u64..40,
+    ) {
+        let link = LinkConfig::lan().with_drop_every(drop_every);
+        let (received, closed) =
+            run_transfer(payload.clone(), vec![], link, TcpConfig::default());
+        prop_assert_eq!(received, payload);
+        prop_assert!(closed);
+    }
+
+    #[test]
+    fn reliable_delivery_any_link_speed(
+        payload in proptest::collection::vec(any::<u8>(), 1..8_000),
+        kbps in 16u64..10_000,
+        delay_ms in 0u64..300,
+    ) {
+        let link = LinkConfig {
+            bits_per_sec: Some(kbps * 1000),
+            propagation: SimDuration::from_millis(delay_ms),
+            drop_every: None,
+        };
+        let (received, _) = run_transfer(payload.clone(), vec![], link, TcpConfig::default());
+        prop_assert_eq!(received, payload);
+    }
+
+    #[test]
+    fn reliable_delivery_small_windows(
+        payload in proptest::collection::vec(any::<u8>(), 1..10_000),
+        window_kb in 2usize..32,
+        mss in prop_oneof![Just(536usize), Just(1460usize)],
+    ) {
+        let mut tcp = TcpConfig::default();
+        tcp.recv_window = window_kb * 1024;
+        tcp.send_buffer = window_kb * 1024;
+        tcp.mss = mss;
+        let (received, _) = run_transfer(payload.clone(), vec![], LinkConfig::lan(), tcp);
+        prop_assert_eq!(received, payload);
+    }
+
+    #[test]
+    fn determinism(payload in proptest::collection::vec(any::<u8>(), 0..5_000)) {
+        let a = run_transfer(payload.clone(), vec![], LinkConfig::wan(), TcpConfig::default());
+        let b = run_transfer(payload, vec![], LinkConfig::wan(), TcpConfig::default());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,400 @@
+//! A CSS1 subset: parsing, compact serialization, and the image→HTML+CSS
+//! replacement model behind the paper's style-sheet savings analysis.
+//!
+//! The paper's Figure 1: a 682-byte "solutions" GIF is visually replaced
+//! by ~150 bytes of HTML+CSS (a `P.banner` rule plus `<P CLASS=banner>`).
+//! This module reproduces that analysis across the Microscape page's 40
+//! static images: each image role that CSS can replace gets a concrete
+//! rule + markup cost, and [`ReplacementAnalysis`] totals the byte and
+//! request savings.
+
+use crate::synth::ImageRole;
+use std::fmt;
+
+/// One CSS declaration, e.g. `color: white`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// Property name, lowercased.
+    pub property: String,
+    /// Value with normalized whitespace.
+    pub value: String,
+}
+
+/// One CSS rule: selectors and a declaration block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Comma-separated selectors, one entry each.
+    pub selectors: Vec<String>,
+    /// Declarations in source order.
+    pub declarations: Vec<Declaration>,
+}
+
+/// A parsed stylesheet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stylesheet {
+    /// Rules in source order.
+    pub rules: Vec<Rule>,
+}
+
+/// CSS parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CssError {
+    /// A `{` without matching `}`.
+    UnterminatedBlock,
+    /// A declaration without a `:` separator.
+    BadDeclaration(String),
+    /// A block with no selector.
+    MissingSelector,
+}
+
+impl fmt::Display for CssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CssError::UnterminatedBlock => f.write_str("unterminated declaration block"),
+            CssError::BadDeclaration(d) => write!(f, "malformed declaration: {d}"),
+            CssError::MissingSelector => f.write_str("rule without selector"),
+        }
+    }
+}
+
+impl std::error::Error for CssError {}
+
+fn strip_comments(css: &str) -> String {
+    let mut out = String::with_capacity(css.len());
+    let mut rest = css;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start + 2..].find("*/") {
+            Some(end) => rest = &rest[start + 2 + end + 2..],
+            None => return out, // unterminated comment swallows the rest
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Parse a CSS1 stylesheet (selectors with class/element syntax,
+/// declaration blocks; at-rules are not part of the subset).
+pub fn parse(css: &str) -> Result<Stylesheet, CssError> {
+    let css = strip_comments(css);
+    let mut rules = Vec::new();
+    let mut rest = css.as_str();
+    loop {
+        let Some(open) = rest.find('{') else {
+            if !rest.trim().is_empty() {
+                return Err(CssError::UnterminatedBlock);
+            }
+            break;
+        };
+        let selector_src = rest[..open].trim();
+        if selector_src.is_empty() {
+            return Err(CssError::MissingSelector);
+        }
+        let close = rest[open..].find('}').ok_or(CssError::UnterminatedBlock)? + open;
+        let block = &rest[open + 1..close];
+        let selectors: Vec<String> = selector_src
+            .split(',')
+            .map(|s| s.split_whitespace().collect::<Vec<_>>().join(" "))
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut declarations = Vec::new();
+        for decl in block.split(';') {
+            let decl = decl.trim();
+            if decl.is_empty() {
+                continue;
+            }
+            let (prop, value) = decl
+                .split_once(':')
+                .ok_or_else(|| CssError::BadDeclaration(decl.to_string()))?;
+            declarations.push(Declaration {
+                property: prop.trim().to_ascii_lowercase(),
+                value: value.split_whitespace().collect::<Vec<_>>().join(" "),
+            });
+        }
+        rules.push(Rule {
+            selectors,
+            declarations,
+        });
+        rest = &rest[close + 1..];
+    }
+    Ok(Stylesheet { rules })
+}
+
+/// Serialize compactly (no pretty-printing — byte counts matter here).
+pub fn serialize(sheet: &Stylesheet) -> String {
+    let mut out = String::new();
+    for rule in &sheet.rules {
+        out.push_str(&rule.selectors.join(","));
+        out.push('{');
+        for (i, d) in rule.declarations.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(&d.property);
+            out.push(':');
+            out.push_str(&d.value);
+        }
+        out.push('}');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The image-replacement model
+// ---------------------------------------------------------------------
+
+/// The paper's Figure 1 stylesheet for a text banner.
+pub fn banner_rule(class: &str) -> Rule {
+    Rule {
+        selectors: vec![format!("P.{class}")],
+        declarations: vec![
+            Declaration {
+                property: "color".into(),
+                value: "white".into(),
+            },
+            Declaration {
+                property: "background".into(),
+                value: "#FC0".into(),
+            },
+            Declaration {
+                property: "font".into(),
+                value: "bold oblique 20px sans-serif".into(),
+            },
+            Declaration {
+                property: "padding".into(),
+                value: "0.2em 10em 0.2em 1em".into(),
+            },
+        ],
+    }
+}
+
+/// The CSS rule that replaces an image of the given role, or `None` when
+/// the role needs real raster data.
+pub fn replacement_rule(role: ImageRole, class: &str) -> Option<Rule> {
+    match role {
+        ImageRole::TextBanner => Some(banner_rule(class)),
+        ImageRole::Bullet => Some(Rule {
+            selectors: vec![format!("LI.{class}")],
+            declarations: vec![Declaration {
+                property: "list-style".into(),
+                value: "disc".into(),
+            }],
+        }),
+        ImageRole::Spacer => Some(Rule {
+            selectors: vec![format!(".{class}")],
+            declarations: vec![Declaration {
+                property: "margin-left".into(),
+                value: "1em".into(),
+            }],
+        }),
+        ImageRole::Rule => Some(Rule {
+            selectors: vec![format!("HR.{class}")],
+            declarations: vec![
+                Declaration {
+                    property: "border".into(),
+                    value: "1px solid #888".into(),
+                },
+                Declaration {
+                    property: "height".into(),
+                    value: "2px".into(),
+                },
+            ],
+        }),
+        ImageRole::Icon | ImageRole::Photo | ImageRole::Animation => None,
+    }
+}
+
+/// In-document markup that replaces the `<IMG ...>` element, e.g.
+/// `<P CLASS=banner> solutions` for Figure 1.
+pub fn replacement_markup(role: ImageRole, class: &str, label: &str) -> Option<String> {
+    match role {
+        ImageRole::TextBanner => Some(format!("<P CLASS={class}> {label}")),
+        ImageRole::Bullet => Some(format!("<LI CLASS={class}>")),
+        ImageRole::Spacer => Some(format!("<SPAN CLASS={class}></SPAN>")),
+        ImageRole::Rule => Some(format!("<HR CLASS={class}>")),
+        _ => None,
+    }
+}
+
+/// One image's replacement outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replacement {
+    /// Image path on the site.
+    pub path: String,
+    /// What the image depicted.
+    pub role: ImageRole,
+    /// Size of the original GIF.
+    pub gif_bytes: usize,
+    /// Bytes of `<IMG ...>` markup removed from the HTML.
+    pub img_tag_bytes: usize,
+    /// Bytes of CSS rule added to the shared stylesheet (0 if kept).
+    pub css_bytes: usize,
+    /// Bytes of replacement markup added to the HTML (0 if kept).
+    pub markup_bytes: usize,
+    /// Whether CSS replaced the image.
+    pub replaced: bool,
+}
+
+/// Totals over a page.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplacementAnalysis {
+    /// Per-image outcomes.
+    pub items: Vec<Replacement>,
+}
+
+impl ReplacementAnalysis {
+    /// Analyze a page's images. `images` is (path, role, gif bytes,
+    /// img-tag bytes, label).
+    pub fn analyze(images: &[(String, ImageRole, usize, usize, String)]) -> Self {
+        let mut items = Vec::with_capacity(images.len());
+        for (i, (path, role, gif_bytes, img_tag_bytes, label)) in images.iter().enumerate() {
+            let class = format!("c{i}");
+            let (css_bytes, markup_bytes, replaced) = match (
+                replacement_rule(*role, &class),
+                replacement_markup(*role, &class, label),
+            ) {
+                (Some(rule), Some(markup)) => {
+                    let css = serialize(&Stylesheet { rules: vec![rule] });
+                    (css.len(), markup.len(), true)
+                }
+                _ => (0, 0, false),
+            };
+            items.push(Replacement {
+                path: path.clone(),
+                role: *role,
+                gif_bytes: *gif_bytes,
+                img_tag_bytes: *img_tag_bytes,
+                css_bytes,
+                markup_bytes,
+                replaced,
+            });
+        }
+        ReplacementAnalysis { items }
+    }
+
+    /// How many images were replaced by HTML+CSS.
+    pub fn replaced_count(&self) -> usize {
+        self.items.iter().filter(|i| i.replaced).count()
+    }
+
+    /// HTTP requests eliminated (one per replaced image).
+    pub fn requests_saved(&self) -> usize {
+        self.replaced_count()
+    }
+
+    /// Net payload bytes saved: removed GIFs and img tags, minus added CSS
+    /// and markup.
+    pub fn bytes_saved(&self) -> i64 {
+        self.items
+            .iter()
+            .filter(|i| i.replaced)
+            .map(|i| {
+                i.gif_bytes as i64 + i.img_tag_bytes as i64
+                    - i.css_bytes as i64
+                    - i.markup_bytes as i64
+            })
+            .sum()
+    }
+
+    /// Total image bytes on the original page.
+    pub fn total_gif_bytes(&self) -> usize {
+        self.items.iter().map(|i| i.gif_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure_one() {
+        let css = r#"
+            P.banner {
+              color: white;
+              background: #FC0;
+              font: bold oblique 20px sans-serif;
+              padding: 0.2em 10em 0.2em 1em;
+            }
+        "#;
+        let sheet = parse(css).unwrap();
+        assert_eq!(sheet.rules.len(), 1);
+        assert_eq!(sheet.rules[0].selectors, vec!["P.banner"]);
+        assert_eq!(sheet.rules[0].declarations.len(), 4);
+        assert_eq!(sheet.rules[0].declarations[0].property, "color");
+    }
+
+    #[test]
+    fn serialize_is_compact_and_reparses() {
+        let css = "P.banner { color: white; background: #FC0 }\nH1, H2 { font-size : 20px; }";
+        let sheet = parse(css).unwrap();
+        let compact = serialize(&sheet);
+        assert!(!compact.contains('\n'));
+        assert_eq!(parse(&compact).unwrap(), sheet);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let sheet = parse("/* note */ P { /* inner */ color: red }").unwrap();
+        assert_eq!(sheet.rules[0].declarations[0].value, "red");
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(parse("P { color: red").unwrap_err(), CssError::UnterminatedBlock);
+        assert_eq!(parse("{ color: red }").unwrap_err(), CssError::MissingSelector);
+        assert!(matches!(
+            parse("P { colorred }").unwrap_err(),
+            CssError::BadDeclaration(_)
+        ));
+    }
+
+    #[test]
+    fn figure_one_size_claim() {
+        // "The HTML and CSS version only takes up around 150 bytes" for a
+        // 682-byte GIF: a >4x reduction.
+        let rule = banner_rule("banner");
+        let css = serialize(&Stylesheet { rules: vec![rule] });
+        let markup = replacement_markup(ImageRole::TextBanner, "banner", "solutions").unwrap();
+        let total = css.len() + markup.len();
+        assert!(
+            (100..=200).contains(&total),
+            "HTML+CSS replacement should be ~150 bytes, got {total}"
+        );
+        assert!(682 / total >= 4, "reduction factor of more than 4");
+    }
+
+    #[test]
+    fn analysis_totals() {
+        let images = vec![
+            (
+                "banner.gif".to_string(),
+                ImageRole::TextBanner,
+                682,
+                60,
+                "solutions".to_string(),
+            ),
+            (
+                "photo.gif".to_string(),
+                ImageRole::Photo,
+                40_000,
+                60,
+                String::new(),
+            ),
+            ("dot.gif".to_string(), ImageRole::Bullet, 120, 50, String::new()),
+        ];
+        let a = ReplacementAnalysis::analyze(&images);
+        assert_eq!(a.replaced_count(), 2);
+        assert_eq!(a.requests_saved(), 2);
+        assert!(a.bytes_saved() > 0);
+        assert_eq!(a.total_gif_bytes(), 40_802);
+        // The photo was kept.
+        assert!(!a.items[1].replaced);
+    }
+
+    #[test]
+    fn unreplaceable_roles_have_no_rule() {
+        assert!(replacement_rule(ImageRole::Photo, "x").is_none());
+        assert!(replacement_rule(ImageRole::Animation, "x").is_none());
+        assert!(replacement_markup(ImageRole::Icon, "x", "y").is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! The in-memory image model shared by the GIF, PNG and MNG codecs.
+//!
+//! Mid-90s web images are palette-indexed (GIF is always ≤256 colors), so
+//! the common model is an indexed bitmap plus an RGB palette.
+
+/// An RGB palette entry.
+pub type Rgb = [u8; 3];
+
+/// A palette-indexed bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexedImage {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// 2..=256 RGB entries.
+    pub palette: Vec<Rgb>,
+    /// Row-major pixel indices into `palette`, `width * height` entries.
+    pub pixels: Vec<u8>,
+}
+
+impl IndexedImage {
+    /// Create a solid-color image using palette index 0.
+    pub fn solid(width: u32, height: u32, palette: Vec<Rgb>) -> Self {
+        assert!(!palette.is_empty() && palette.len() <= 256);
+        IndexedImage {
+            width,
+            height,
+            palette,
+            pixels: vec![0; (width * height) as usize],
+        }
+    }
+
+    /// Pixel accessor (row-major).
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, x: u32, y: u32, index: u8) {
+        debug_assert!((index as usize) < self.palette.len());
+        self.pixels[(y * self.width + x) as usize] = index;
+    }
+
+    /// The minimum bits needed to represent every palette index (1..=8).
+    pub fn bit_depth(&self) -> u32 {
+        let n = self.palette.len().max(2);
+        (usize::BITS - (n - 1).leading_zeros()).max(1)
+    }
+
+    /// Validity check: every pixel indexes into the palette and dimensions
+    /// match the pixel count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.palette.is_empty() || self.palette.len() > 256 {
+            return Err(format!("palette size {} out of range", self.palette.len()));
+        }
+        if self.pixels.len() != (self.width * self.height) as usize {
+            return Err(format!(
+                "pixel count {} does not match {}x{}",
+                self.pixels.len(),
+                self.width,
+                self.height
+            ));
+        }
+        if let Some(&bad) = self
+            .pixels
+            .iter()
+            .find(|&&p| p as usize >= self.palette.len())
+        {
+            return Err(format!("pixel index {bad} exceeds palette"));
+        }
+        Ok(())
+    }
+}
+
+/// A frame of an animation: an image plus a display delay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame bitmap.
+    pub image: IndexedImage,
+    /// Delay before the next frame, in centiseconds (GIF's unit).
+    pub delay_cs: u16,
+}
+
+/// A multi-frame animation. All frames share dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Animation {
+    /// Frames in display order.
+    pub frames: Vec<Frame>,
+}
+
+impl Animation {
+    /// Create a new, empty instance.
+    pub fn new(frames: Vec<Frame>) -> Self {
+        assert!(!frames.is_empty());
+        let (w, h) = (frames[0].image.width, frames[0].image.height);
+        assert!(
+            frames.iter().all(|f| f.image.width == w && f.image.height == h),
+            "all frames must share dimensions"
+        );
+        Animation { frames }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.frames[0].image.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.frames[0].image.height
+    }
+}
+
+/// The standard 216-color web-safe palette plus grays, commonly used by
+/// mid-90s tools.
+pub fn web_safe_palette() -> Vec<Rgb> {
+    let mut p = Vec::with_capacity(256);
+    for r in 0..6u8 {
+        for g in 0..6u8 {
+            for b in 0..6u8 {
+                p.push([r * 51, g * 51, b * 51]);
+            }
+        }
+    }
+    for i in 0..40u8 {
+        let v = (i as u16 * 255 / 39) as u8;
+        p.push([v, v, v]);
+    }
+    p
+}
+
+/// A small palette of `n` visually-distinct colors for simple graphics.
+pub fn small_palette(n: usize) -> Vec<Rgb> {
+    assert!((2..=256).contains(&n));
+    let mut p = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / n as f64;
+        let r = (127.0 + 127.0 * (t * 6.28318).cos()) as u8;
+        let g = (127.0 + 127.0 * ((t + 0.33) * 6.28318).cos()) as u8;
+        let b = (127.0 + 127.0 * ((t + 0.66) * 6.28318).cos()) as u8;
+        p.push([r, g, b]);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solid_image_valid() {
+        let img = IndexedImage::solid(10, 5, small_palette(4));
+        img.validate().unwrap();
+        assert_eq!(img.pixels.len(), 50);
+        assert_eq!(img.get(3, 2), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = IndexedImage::solid(4, 4, small_palette(8));
+        img.set(2, 3, 5);
+        assert_eq!(img.get(2, 3), 5);
+        assert_eq!(img.get(3, 2), 0);
+    }
+
+    #[test]
+    fn bit_depth_computation() {
+        let mk = |n| IndexedImage::solid(1, 1, small_palette(n));
+        assert_eq!(mk(2).bit_depth(), 1);
+        assert_eq!(mk(3).bit_depth(), 2);
+        assert_eq!(mk(4).bit_depth(), 2);
+        assert_eq!(mk(5).bit_depth(), 3);
+        assert_eq!(mk(16).bit_depth(), 4);
+        assert_eq!(mk(17).bit_depth(), 5);
+        assert_eq!(mk(256).bit_depth(), 8);
+    }
+
+    #[test]
+    fn validate_catches_bad_pixels() {
+        let mut img = IndexedImage::solid(2, 2, small_palette(2));
+        img.pixels[0] = 7;
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_dimension_mismatch() {
+        let mut img = IndexedImage::solid(2, 2, small_palette(2));
+        img.pixels.pop();
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn web_safe_palette_size() {
+        let p = web_safe_palette();
+        assert_eq!(p.len(), 256);
+        assert_eq!(p[0], [0, 0, 0]);
+        assert_eq!(p[215], [255, 255, 255]);
+    }
+
+    #[test]
+    fn animation_dimension_check() {
+        let f = |w, h| Frame {
+            image: IndexedImage::solid(w, h, small_palette(2)),
+            delay_cs: 10,
+        };
+        let anim = Animation::new(vec![f(8, 8), f(8, 8)]);
+        assert_eq!(anim.width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn animation_rejects_mismatched_frames() {
+        let f = |w, h| Frame {
+            image: IndexedImage::solid(w, h, small_palette(2)),
+            delay_cs: 10,
+        };
+        Animation::new(vec![f(8, 8), f(9, 8)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # webcontent — the Microscape workload and its content transformations
+//!
+//! The content half of the SIGCOMM '97 reproduction:
+//!
+//! * [`microscape`] — the synthetic test site (42 KB HTML + 42 GIFs with
+//!   the paper's exact size histogram);
+//! * [`gif`] — a GIF87a/89a codec with a real LZW implementation;
+//! * [`png`] — a PNG (RFC 2083) codec for indexed images, built on the
+//!   from-scratch DEFLATE in `flate`;
+//! * [`mng`] — a minimal MNG-style animation container with delta frames;
+//! * [`html`] — a tokenizer for image extraction and tag-case rewriting;
+//! * [`css`] — a CSS1 subset plus the image→HTML+CSS replacement model
+//!   (the paper's Figure 1 analysis);
+//! * [`synth`] — deterministic generators for period-typical images;
+//! * [`convert`] — the GIF→PNG / GIF→MNG batch conversion study.
+//!
+//! ```
+//! let site = webcontent::microscape::site();
+//! assert_eq!(site.images.len(), 42);
+//! assert_eq!(site.browse_order().len(), 43); // 1 HTML + 42 images
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod css;
+pub mod gif;
+pub mod html;
+pub mod image;
+pub mod microscape;
+pub mod mng;
+pub mod png;
+pub mod synth;
+
+pub use image::{Animation, Frame, IndexedImage};
+pub use microscape::{Microscape, SiteObject};
+pub use synth::ImageRole;

@@ -1,0 +1,297 @@
+//! A minimal MNG-style animation container.
+//!
+//! MNG (Multiple-image Network Graphics) is PNG's animation sibling; the
+//! paper converts its two GIF animations to MNG for a ~35% saving. This
+//! module implements the subset that delivers that saving:
+//!
+//! * the MNG signature, `MHDR` header and `MEND` trailer (per the 1997
+//!   draft the paper cites);
+//! * a full PNG-encoded first frame;
+//! * subsequent frames as *delta* objects in the spirit of MNG's
+//!   Delta-PNG: a deflate-compressed per-pixel difference against the
+//!   previous frame, which is where animation formats beat GIF's
+//!   full-frame LZW re-encoding.
+//!
+//! The chunk framing (length / type / data / CRC-32) is exactly PNG's.
+
+use crate::image::{Animation, Frame, IndexedImage};
+use crate::png::{self, PngOptions};
+use flate::checksum::crc32;
+use flate::Level;
+
+/// MNG signature bytes (like PNG's, with "MNG").
+pub const SIGNATURE: [u8; 8] = [0x8A, b'M', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
+
+/// Errors reading an MNG stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MngError {
+    /// Bad signature.
+    BadSignature,
+    /// Truncated.
+    Truncated,
+    /// Bad crc.
+    BadCrc,
+    /// Bad frame.
+    BadFrame,
+    /// Unsupported.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for MngError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MngError::BadSignature => f.write_str("not an MNG file"),
+            MngError::Truncated => f.write_str("truncated MNG stream"),
+            MngError::BadCrc => f.write_str("chunk CRC mismatch"),
+            MngError::BadFrame => f.write_str("frame reconstruction failed"),
+            MngError::Unsupported(w) => write!(f, "unsupported MNG feature: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for MngError {}
+
+fn chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(data);
+    let mut crc_input = Vec::with_capacity(4 + data.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(data);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+/// Encode a delta frame: positions where the frame differs from `prev`
+/// are run-encoded as (skip, run of replacement bytes), then deflated.
+fn encode_delta(prev: &IndexedImage, cur: &IndexedImage) -> Vec<u8> {
+    debug_assert_eq!(prev.pixels.len(), cur.pixels.len());
+    let mut runs = Vec::new();
+    let mut i = 0;
+    let n = cur.pixels.len();
+    while i < n {
+        // Skip identical pixels.
+        let start = i;
+        while i < n && cur.pixels[i] == prev.pixels[i] {
+            i += 1;
+        }
+        let skip = i - start;
+        // Collect a run of changed pixels.
+        let run_start = i;
+        while i < n && cur.pixels[i] != prev.pixels[i] {
+            i += 1;
+        }
+        let run = &cur.pixels[run_start..i];
+        if run.is_empty() && i >= n {
+            break;
+        }
+        runs.extend_from_slice(&(skip as u32).to_be_bytes());
+        runs.extend_from_slice(&(run.len() as u32).to_be_bytes());
+        runs.extend_from_slice(run);
+    }
+    flate::zlib::compress(&runs, Level::Default)
+}
+
+fn decode_delta(prev: &IndexedImage, data: &[u8]) -> Result<IndexedImage, MngError> {
+    let runs = flate::zlib::decompress(data).map_err(|_| MngError::BadFrame)?;
+    let mut img = prev.clone();
+    let mut pos = 0usize; // position in pixels
+    let mut i = 0usize; // position in runs
+    while i + 8 <= runs.len() {
+        let skip = u32::from_be_bytes([runs[i], runs[i + 1], runs[i + 2], runs[i + 3]]) as usize;
+        let len =
+            u32::from_be_bytes([runs[i + 4], runs[i + 5], runs[i + 6], runs[i + 7]]) as usize;
+        i += 8;
+        pos += skip;
+        if i + len > runs.len() || pos + len > img.pixels.len() {
+            return Err(MngError::BadFrame);
+        }
+        img.pixels[pos..pos + len].copy_from_slice(&runs[i..i + len]);
+        pos += len;
+        i += len;
+    }
+    Ok(img)
+}
+
+/// Encode an animation as an MNG stream.
+pub fn encode(anim: &Animation) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SIGNATURE);
+
+    // MHDR: width, height, ticks/sec, layers, frames, play time, simplicity.
+    let mut mhdr = Vec::with_capacity(28);
+    mhdr.extend_from_slice(&anim.width().to_be_bytes());
+    mhdr.extend_from_slice(&anim.height().to_be_bytes());
+    mhdr.extend_from_slice(&100u32.to_be_bytes()); // centiseconds
+    mhdr.extend_from_slice(&(anim.frames.len() as u32).to_be_bytes());
+    mhdr.extend_from_slice(&(anim.frames.len() as u32).to_be_bytes());
+    let play: u32 = anim.frames.iter().map(|f| f.delay_cs as u32).sum();
+    mhdr.extend_from_slice(&play.to_be_bytes());
+    mhdr.extend_from_slice(&1u32.to_be_bytes()); // simplicity profile
+    chunk(&mut out, b"MHDR", &mhdr);
+
+    // First frame: a complete embedded PNG datastream.
+    let first_png = png::encode(
+        &anim.frames[0].image,
+        PngOptions {
+            gamma: false,
+            level: Level::Default,
+        },
+    );
+    let mut fram = Vec::with_capacity(2 + first_png.len());
+    fram.extend_from_slice(&anim.frames[0].delay_cs.to_be_bytes());
+    fram.extend_from_slice(&first_png);
+    chunk(&mut out, b"FRAM", &fram);
+
+    // Remaining frames: Delta-PNG-style difference objects.
+    for w in anim.frames.windows(2) {
+        let delta = encode_delta(&w[0].image, &w[1].image);
+        let mut dfrm = Vec::with_capacity(2 + delta.len());
+        dfrm.extend_from_slice(&w[1].delay_cs.to_be_bytes());
+        dfrm.extend_from_slice(&delta);
+        chunk(&mut out, b"DFRM", &dfrm);
+    }
+
+    chunk(&mut out, b"MEND", &[]);
+    out
+}
+
+/// Decode an MNG stream written by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Animation, MngError> {
+    if data.len() < 8 || data[..8] != SIGNATURE {
+        return Err(MngError::BadSignature);
+    }
+    let mut pos = 8;
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut ended = false;
+    while pos + 8 <= data.len() {
+        let len = u32::from_be_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+            as usize;
+        let kind: [u8; 4] = data[pos + 4..pos + 8].try_into().unwrap();
+        if pos + 8 + len + 4 > data.len() {
+            return Err(MngError::Truncated);
+        }
+        let body = &data[pos + 8..pos + 8 + len];
+        let crc_expect = u32::from_be_bytes([
+            data[pos + 8 + len],
+            data[pos + 8 + len + 1],
+            data[pos + 8 + len + 2],
+            data[pos + 8 + len + 3],
+        ]);
+        let mut crc_input = Vec::with_capacity(4 + len);
+        crc_input.extend_from_slice(&kind);
+        crc_input.extend_from_slice(body);
+        if crc32(&crc_input) != crc_expect {
+            return Err(MngError::BadCrc);
+        }
+        match &kind {
+            b"MHDR" => {}
+            b"FRAM" => {
+                if body.len() < 2 {
+                    return Err(MngError::Truncated);
+                }
+                let delay = u16::from_be_bytes([body[0], body[1]]);
+                let dec = png::decode(&body[2..]).map_err(|_| MngError::BadFrame)?;
+                frames.push(Frame {
+                    image: dec.image,
+                    delay_cs: delay,
+                });
+            }
+            b"DFRM" => {
+                if body.len() < 2 {
+                    return Err(MngError::Truncated);
+                }
+                let delay = u16::from_be_bytes([body[0], body[1]]);
+                let prev = &frames.last().ok_or(MngError::BadFrame)?.image;
+                let img = decode_delta(prev, &body[2..])?;
+                frames.push(Frame {
+                    image: img,
+                    delay_cs: delay,
+                });
+            }
+            b"MEND" => {
+                ended = true;
+                break;
+            }
+            _ => return Err(MngError::Unsupported("unknown chunk")),
+        }
+        pos += 8 + len + 4;
+    }
+    if !ended || frames.is_empty() {
+        return Err(MngError::Truncated);
+    }
+    Ok(Animation::new(frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn roundtrip() {
+        let anim = synth::animation(48, 48, 8, 11);
+        let bytes = encode(&anim);
+        let dec = decode(&bytes).unwrap();
+        assert_eq!(dec.frames.len(), anim.frames.len());
+        for (got, want) in dec.frames.iter().zip(&anim.frames) {
+            assert_eq!(got.image.pixels, want.image.pixels);
+            assert_eq!(got.delay_cs, want.delay_cs);
+        }
+    }
+
+    #[test]
+    fn mng_beats_animated_gif() {
+        // The paper: 24,988 bytes of GIF animation -> 16,329 bytes of MNG
+        // (~35% saving) thanks to inter-frame coding.
+        let anim = synth::animation(64, 64, 10, 3);
+        let gif = crate::gif::encode_animation(&anim).len();
+        let mng = encode(&anim).len();
+        assert!(
+            (mng as f64) < gif as f64 * 0.8,
+            "MNG ({mng}) should be well under animated GIF ({gif})"
+        );
+    }
+
+    #[test]
+    fn signature_checked() {
+        assert_eq!(decode(b"XXXXXXXX").unwrap_err(), MngError::BadSignature);
+    }
+
+    #[test]
+    fn crc_checked() {
+        let anim = synth::animation(16, 16, 3, 1);
+        let mut bytes = encode(&anim);
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xFF;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let anim = synth::animation(16, 16, 3, 1);
+        let bytes = encode(&anim);
+        assert!(decode(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn single_frame_animation() {
+        let anim = synth::animation(16, 16, 1, 2);
+        let dec = decode(&encode(&anim)).unwrap();
+        assert_eq!(dec.frames.len(), 1);
+    }
+
+    #[test]
+    fn identical_frames_cost_almost_nothing() {
+        let base = synth::icon(32, 32, 8, 9);
+        let frames: Vec<_> = (0..5)
+            .map(|_| crate::image::Frame {
+                image: base.clone(),
+                delay_cs: 10,
+            })
+            .collect();
+        let anim = Animation::new(frames);
+        let one = encode(&Animation::new(vec![anim.frames[0].clone()])).len();
+        let five = encode(&anim).len();
+        assert!(five < one + 200, "static frames must be cheap: {one} -> {five}");
+    }
+}

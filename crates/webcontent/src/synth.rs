@@ -1,0 +1,364 @@
+//! Deterministic synthetic image generators.
+//!
+//! The paper's Microscape page merges two real 1997 home pages; its images
+//! are text banners, bullets, spacers, navigation icons, photographic
+//! thumbnails and two animations. These generators produce images with the
+//! same *statistical* character (run lengths, palette sizes, noise levels)
+//! so the GIF/PNG/MNG size comparisons behave like the paper's. Everything
+//! is seeded — the same inputs always produce the same bytes.
+
+use crate::image::{small_palette, Animation, Frame, IndexedImage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What an image depicts, which determines both its compressibility and
+/// whether CSS can replace it (see [`crate::css`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageRole {
+    /// A word or phrase rendered in a styled font (Figure 1's
+    /// "solutions" GIF): replaceable by HTML+CSS.
+    TextBanner,
+    /// A list bullet / arrow glyph: replaceable by CSS or Unicode.
+    Bullet,
+    /// An invisible layout spacer: replaceable by CSS padding/margins.
+    Spacer,
+    /// A decorative horizontal rule: replaceable by CSS borders.
+    Rule,
+    /// A navigation icon with real artwork: not replaceable.
+    Icon,
+    /// A photographic image: not replaceable.
+    Photo,
+    /// An animated element.
+    Animation,
+}
+
+impl ImageRole {
+    /// Whether HTML+CSS can reproduce the visual effect without an image.
+    pub fn css_replaceable(self) -> bool {
+        matches!(
+            self,
+            ImageRole::TextBanner | ImageRole::Bullet | ImageRole::Spacer | ImageRole::Rule
+        )
+    }
+}
+
+/// A text banner: fg-colored word-like runs over a solid background, like
+/// anti-aliasing-free mid-90s text GIFs.
+pub fn banner(width: u32, height: u32, seed: u64) -> IndexedImage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let palette = vec![[0xFC, 0xC0, 0x00], [0xFF, 0xFF, 0xFF], [0x80, 0x60, 0x00]];
+    let mut img = IndexedImage::solid(width, height, palette);
+    // Text occupies a vertical band in the middle.
+    let top = height / 4;
+    let bottom = height - height / 4;
+    let mut x = width / 16 + 1;
+    while x + 3 < width - width / 16 {
+        let word_len = rng.gen_range(3..9).min(width - x - 1);
+        for y in top..bottom {
+            for dx in 0..word_len {
+                // Letter strokes: vertical-ish runs with gaps.
+                let lit = (dx + y) % 3 != 0 && rng.gen_bool(0.8);
+                if lit {
+                    img.set(x + dx, y, 1);
+                }
+                if (dx + y) % 5 == 0 && y > top {
+                    img.set(x + dx, y - 1, 2); // shadow
+                }
+            }
+        }
+        x += word_len + rng.gen_range(2..5);
+    }
+    img
+}
+
+/// A round list bullet.
+pub fn bullet(diameter: u32, seed: u64) -> IndexedImage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let palette = vec![[0xFF, 0xFF, 0xFF], [0x00, 0x33, 0x99], [0x66, 0x99, 0xFF]];
+    let mut img = IndexedImage::solid(diameter, diameter, palette);
+    let r = diameter as i32 / 2;
+    let hi = rng.gen_range(0..r.max(1));
+    for y in 0..diameter as i32 {
+        for x in 0..diameter as i32 {
+            let (dx, dy) = (x - r, y - r);
+            if dx * dx + dy * dy <= r * r {
+                let c = if dx + dy < -hi { 2 } else { 1 };
+                img.set(x as u32, y as u32, c);
+            }
+        }
+    }
+    img
+}
+
+/// A single-color spacer (the classic invisible layout GIF).
+pub fn spacer(width: u32, height: u32) -> IndexedImage {
+    IndexedImage::solid(width, height, vec![[0xFF, 0xFF, 0xFF], [0, 0, 0]])
+}
+
+/// A horizontal rule with a bevel.
+pub fn rule(width: u32, height: u32) -> IndexedImage {
+    let palette = vec![[0xC0, 0xC0, 0xC0], [0x80, 0x80, 0x80], [0xFF, 0xFF, 0xFF]];
+    let mut img = IndexedImage::solid(width, height, palette);
+    for x in 0..width {
+        img.set(x, 0, 1);
+        if height > 1 {
+            img.set(x, height - 1, 2);
+        }
+    }
+    img
+}
+
+/// A navigation icon: random rectangles and diagonals over a small
+/// palette — structured but not trivially compressible.
+pub fn icon(width: u32, height: u32, colors: usize, seed: u64) -> IndexedImage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut img = IndexedImage::solid(width, height, small_palette(colors));
+    for _ in 0..(colors * 2) {
+        let x0 = rng.gen_range(0..width);
+        let y0 = rng.gen_range(0..height);
+        let w = rng.gen_range(1..=(width - x0));
+        let h = rng.gen_range(1..=(height - y0));
+        let c = rng.gen_range(0..colors) as u8;
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                img.set(x, y, c);
+            }
+        }
+    }
+    // A diagonal accent.
+    for i in 0..width.min(height) {
+        img.set(i, i, (colors - 1) as u8);
+    }
+    img
+}
+
+/// A photographic thumbnail: low-frequency gradients plus per-pixel noise,
+/// quantized to a medium palette. `detail` in [0,1] scales the noise.
+pub fn photo(width: u32, height: u32, colors: usize, detail: f64, seed: u64) -> IndexedImage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut img = IndexedImage::solid(width, height, small_palette(colors));
+    // Low-frequency field from a handful of random cosine waves.
+    let waves: Vec<(f64, f64, f64)> = (0..4)
+        .map(|_| {
+            (
+                rng.gen_range(0.3..2.5),
+                rng.gen_range(0.3..2.5),
+                rng.gen_range(0.0..6.28),
+            )
+        })
+        .collect();
+    for y in 0..height {
+        for x in 0..width {
+            let (fx, fy) = (
+                x as f64 / width as f64 * 6.28,
+                y as f64 / height as f64 * 6.28,
+            );
+            let mut v = 0.0;
+            for &(a, b, ph) in &waves {
+                v += ((fx * a) + (fy * b) + ph).cos();
+            }
+            let v = (v / 8.0 + 0.5).clamp(0.0, 1.0);
+            let noise = rng.gen_range(-0.5..0.5) * detail;
+            let q = ((v + noise).clamp(0.0, 0.999) * colors as f64) as usize;
+            img.set(x, y, q as u8);
+        }
+    }
+    img
+}
+
+/// Screenshot/artwork-like graphic: flat gradient bands overlaid with
+/// small rectangles and dithered strips — the mix of flat runs and local
+/// detail typical of mid-90s web art. `detail` in [0,1] controls how much
+/// of the area the busy features cover, which makes encoded size close to
+/// monotone in `detail` for *both* LZW and DEFLATE (the property the
+/// GIF-vs-PNG comparison needs).
+pub fn graphic(width: u32, height: u32, colors: usize, detail: f64, seed: u64) -> IndexedImage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut img = IndexedImage::solid(width, height, small_palette(colors));
+    // Base: horizontal gradient bands (long flat runs).
+    let bands = 4 + (colors / 8).min(8) as u32;
+    for y in 0..height {
+        let base = ((y * bands / height) as usize * (colors - 1) / bands as usize) as u8;
+        for x in 0..width {
+            img.set(x, y, base);
+        }
+    }
+    // Busy features: small rectangles with 1-px borders.
+    let area = (width * height) as f64;
+    let rects = (area * detail / 9.0) as usize;
+    for _ in 0..rects {
+        let w = rng.gen_range(2..7).min(width);
+        let h = rng.gen_range(2..6).min(height);
+        let x0 = rng.gen_range(0..=width - w);
+        let y0 = rng.gen_range(0..=height - h);
+        let fill = rng.gen_range(0..colors) as u8;
+        let edge = rng.gen_range(0..colors) as u8;
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                let border = x == x0 || x + 1 == x0 + w || y == y0 || y + 1 == y0 + h;
+                img.set(x, y, if border { edge } else { fill });
+            }
+        }
+    }
+    // Dithered strips: adjacent-level checker dithering over a band of
+    // rows, like quantized photo areas.
+    let strips = (detail * 14.0) as u32;
+    for _ in 0..strips {
+        let y0 = rng.gen_range(0..height);
+        let rows = rng.gen_range(2..8).min(height - y0);
+        let level = rng.gen_range(0..colors.saturating_sub(2).max(1)) as u8;
+        for y in y0..y0 + rows {
+            for x in 0..width {
+                if (x + y) % 2 == 0 && rng.gen_bool(0.7) {
+                    img.set(x, y, level + 1);
+                }
+            }
+        }
+    }
+    img
+}
+
+/// A looping animation: a sprite orbiting a patterned background whose
+/// texture shimmers between frames (as dithered mid-90s animations did).
+/// A substantial fraction of pixels changes each frame, so inter-frame
+/// coding helps but is no free lunch — matching the paper's observed
+/// GIF→MNG ratio rather than a degenerate all-static one.
+pub fn animation(width: u32, height: u32, frames: usize, seed: u64) -> Animation {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let background = icon(width, height, 8, rng.gen());
+    let sprite = rng.gen_range(4..8).min(width / 2).max(2);
+    let mut out = Vec::with_capacity(frames);
+    for f in 0..frames {
+        let mut img = background.clone();
+        // Shimmer: rotate the palette index of a dithered subset of the
+        // background, different subset each frame.
+        for y in 0..height {
+            for x in 0..width {
+                if (x * 31 + y * 17 + f as u32 * 7) % 5 == 0 {
+                    let v = img.get(x, y);
+                    img.set(x, y, (v + 1) % 8);
+                }
+            }
+        }
+        let t = f as f64 / frames as f64 * 6.28318;
+        let cx = (width as f64 / 2.0 + (width as f64 / 3.0) * t.cos()) as u32;
+        let cy = (height as f64 / 2.0 + (height as f64 / 3.0) * t.sin()) as u32;
+        for dy in 0..sprite {
+            for dx in 0..sprite {
+                let x = (cx + dx).min(width - 1);
+                let y = (cy + dy).min(height - 1);
+                img.set(x, y, 7);
+            }
+        }
+        out.push(Frame {
+            image: img,
+            delay_cs: 10,
+        });
+    }
+    Animation::new(out)
+}
+
+/// Search a `detail` knob in [0,1] so that the encoded GIF produced by
+/// `make(detail)` lands within `tolerance` (fractional) of `target_bytes`.
+/// Returns the image and its actual GIF size — the closest found if the
+/// target is unreachable.
+pub fn fit_to_gif_size(
+    target_bytes: usize,
+    tolerance: f64,
+    make: impl Fn(f64) -> IndexedImage,
+) -> (IndexedImage, usize) {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    let mut best: Option<(IndexedImage, usize)> = None;
+    for _ in 0..16 {
+        let mid = (lo + hi) / 2.0;
+        let img = make(mid);
+        let size = crate::gif::encode(&img).len();
+        let better = match &best {
+            None => true,
+            Some((_, s)) => {
+                (size as i64 - target_bytes as i64).abs() < (*s as i64 - target_bytes as i64).abs()
+            }
+        };
+        if better {
+            best = Some((img, size));
+        }
+        if (size as f64 - target_bytes as f64).abs() / target_bytes as f64 <= tolerance {
+            break;
+        }
+        if size < target_bytes {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gif;
+
+    #[test]
+    fn generators_produce_valid_images() {
+        banner(100, 25, 1).validate().unwrap();
+        bullet(12, 2).validate().unwrap();
+        spacer(50, 1).validate().unwrap();
+        rule(400, 3).validate().unwrap();
+        icon(32, 32, 8, 3).validate().unwrap();
+        photo(64, 48, 32, 0.5, 4).validate().unwrap();
+        graphic(90, 60, 32, 0.5, 4).validate().unwrap();
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(banner(80, 20, 42), banner(80, 20, 42));
+        assert_eq!(photo(32, 32, 16, 0.3, 7), photo(32, 32, 16, 0.3, 7));
+        assert_ne!(photo(32, 32, 16, 0.3, 7), photo(32, 32, 16, 0.3, 8));
+    }
+
+    #[test]
+    fn spacer_compresses_to_near_nothing() {
+        let g = gif::encode(&spacer(100, 10)).len();
+        assert!(g < 100, "spacer GIF is {g} bytes");
+    }
+
+    #[test]
+    fn detail_increases_size() {
+        let small = gif::encode(&photo(64, 64, 32, 0.0, 1)).len();
+        let big = gif::encode(&photo(64, 64, 32, 1.0, 1)).len();
+        assert!(big > small * 3 / 2, "noise must inflate GIF size: {small} -> {big}");
+        let small = gif::encode(&graphic(120, 90, 32, 0.0, 1)).len();
+        let big = gif::encode(&graphic(120, 90, 32, 1.0, 1)).len();
+        assert!(big > small * 3, "detail must inflate GIF size: {small} -> {big}");
+    }
+
+    #[test]
+    fn fit_hits_typical_targets() {
+        for (w, h, colors, target) in [
+            (80u32, 60u32, 16usize, 1500usize),
+            (140, 100, 32, 4000),
+            (56, 40, 8, 700),
+        ] {
+            let (_img, size) =
+                fit_to_gif_size(target, 0.05, |d| graphic(w, h, colors, d, 99));
+            let err = (size as f64 - target as f64).abs() / target as f64;
+            assert!(err <= 0.25, "target {target}: got {size} (err {err:.2})");
+        }
+    }
+
+    #[test]
+    fn animation_frames_differ() {
+        let anim = animation(32, 32, 6, 5);
+        assert_eq!(anim.frames.len(), 6);
+        assert_ne!(anim.frames[0].image.pixels, anim.frames[3].image.pixels);
+    }
+
+    #[test]
+    fn roles_classify_replaceability() {
+        assert!(ImageRole::TextBanner.css_replaceable());
+        assert!(ImageRole::Spacer.css_replaceable());
+        assert!(!ImageRole::Photo.css_replaceable());
+        assert!(!ImageRole::Animation.css_replaceable());
+    }
+}
