@@ -2,80 +2,67 @@
 //! PNG encode/decode, MNG delta coding, the GIF→PNG conversion pipeline,
 //! HTML tokenization and the CSS replacement analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use httpipe_bench::{bench_fn, bench_throughput, group};
 use webcontent::{convert, gif, html, mng, png, synth};
 
-fn bench_gif(c: &mut Criterion) {
+fn bench_gif() {
     let img = synth::graphic(160, 120, 64, 0.5, 7);
     let encoded = gif::encode(&img);
-    let mut g = c.benchmark_group("gif");
-    g.throughput(Throughput::Bytes((img.width * img.height) as u64));
-    g.bench_function("encode_160x120", |b| b.iter(|| black_box(gif::encode(&img))));
-    g.bench_function("decode_160x120", |b| {
-        b.iter(|| black_box(gif::decode(&encoded).unwrap()))
+    let pixels = (img.width * img.height) as u64;
+    group("gif");
+    bench_throughput("encode_160x120", pixels, 50, || gif::encode(&img));
+    bench_throughput("decode_160x120", pixels, 50, || {
+        gif::decode(&encoded).unwrap()
     });
-    g.finish();
 }
 
-fn bench_png(c: &mut Criterion) {
+fn bench_png() {
     let img = synth::graphic(160, 120, 64, 0.5, 7);
     let encoded = png::encode(&img, png::PngOptions::default());
-    let mut g = c.benchmark_group("png");
-    g.throughput(Throughput::Bytes((img.width * img.height) as u64));
-    g.bench_function("encode_160x120", |b| {
-        b.iter(|| black_box(png::encode(&img, png::PngOptions::default())))
+    let pixels = (img.width * img.height) as u64;
+    group("png");
+    bench_throughput("encode_160x120", pixels, 50, || {
+        png::encode(&img, png::PngOptions::default())
     });
-    g.bench_function("decode_160x120", |b| {
-        b.iter(|| black_box(png::decode(&encoded).unwrap()))
+    bench_throughput("decode_160x120", pixels, 50, || {
+        png::decode(&encoded).unwrap()
     });
-    g.finish();
 }
 
-fn bench_mng(c: &mut Criterion) {
+fn bench_mng() {
     let anim = synth::animation(96, 72, 8, 21);
-    let mut g = c.benchmark_group("mng");
-    g.bench_function("encode_8_frames", |b| b.iter(|| black_box(mng::encode(&anim))));
+    group("mng");
+    bench_fn("encode_8_frames", 50, || mng::encode(&anim));
     let encoded = mng::encode(&anim);
-    g.bench_function("decode_8_frames", |b| {
-        b.iter(|| black_box(mng::decode(&encoded).unwrap()))
-    });
-    g.finish();
+    bench_fn("decode_8_frames", 50, || mng::decode(&encoded).unwrap());
 }
 
-fn bench_conversion(c: &mut Criterion) {
+fn bench_conversion() {
     let site = webcontent::microscape::site();
-    let mut g = c.benchmark_group("conversion");
-    g.sample_size(10);
-    g.bench_function("whole_site_gif_to_png_mng", |b| {
-        b.iter(|| black_box(convert::convert_site(&site.images)))
+    group("conversion");
+    bench_fn("whole_site_gif_to_png_mng", 10, || {
+        convert::convert_site(&site.images)
     });
-    g.finish();
 }
 
-fn bench_html(c: &mut Criterion) {
+fn bench_html() {
     let site = webcontent::microscape::site();
-    let mut g = c.benchmark_group("html");
-    g.throughput(Throughput::Bytes(site.html.len() as u64));
-    g.bench_function("tokenize_42k", |b| {
-        b.iter(|| black_box(html::tokenize(&site.html)))
+    let bytes = site.html.len() as u64;
+    group("html");
+    bench_throughput("tokenize_42k", bytes, 50, || html::tokenize(&site.html));
+    bench_throughput("image_sources_42k", bytes, 50, || {
+        html::inline_image_sources(&site.html)
     });
-    g.bench_function("image_sources_42k", |b| {
-        b.iter(|| black_box(html::inline_image_sources(&site.html)))
+    bench_throughput("lowercase_rewrite_42k", bytes, 50, || {
+        html::rewrite_tag_case(&site.html, false)
     });
-    g.bench_function("lowercase_rewrite_42k", |b| {
-        b.iter(|| black_box(html::rewrite_tag_case(&site.html, false)))
-    });
-    g.bench_function("css_analysis", |b| b.iter(|| black_box(site.css_analysis())));
-    g.finish();
+    bench_fn("css_analysis", 50, || site.css_analysis());
 }
 
-criterion_group!(
-    benches,
-    bench_gif,
-    bench_png,
-    bench_mng,
-    bench_conversion,
-    bench_html
-);
-criterion_main!(benches);
+fn main() {
+    bench_gif();
+    bench_png();
+    bench_mng();
+    bench_conversion();
+    bench_html();
+}

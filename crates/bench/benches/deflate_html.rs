@@ -2,57 +2,55 @@
 //! HTML corpus: compression at each level, decompression, and the
 //! prefix-decode path used by the streaming client.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use flate::{deflate, inflate, Level};
-use std::hint::black_box;
+use httpipe_bench::{bench_throughput, group};
 
 fn corpus() -> &'static str {
     &webcontent::microscape::site().html
 }
 
-fn bench_deflate(c: &mut Criterion) {
+fn bench_deflate() {
     let html = corpus();
-    let mut g = c.benchmark_group("deflate_html");
-    g.throughput(Throughput::Bytes(html.len() as u64));
+    group("deflate_html");
     for (name, level) in [
         ("store", Level::Store),
         ("fast", Level::Fast),
         ("default", Level::Default),
         ("best", Level::Best),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(deflate(html.as_bytes(), level)))
+        bench_throughput(name, html.len() as u64, 50, || {
+            deflate(html.as_bytes(), level)
         });
     }
-    g.finish();
 }
 
-fn bench_inflate(c: &mut Criterion) {
+fn bench_inflate() {
     let html = corpus();
     let compressed = deflate(html.as_bytes(), Level::Default);
-    let mut g = c.benchmark_group("inflate_html");
-    g.throughput(Throughput::Bytes(html.len() as u64));
-    g.bench_function("full", |b| b.iter(|| black_box(inflate(&compressed).unwrap())));
-    g.bench_function("prefix_half", |b| {
-        let half = &compressed[..compressed.len() / 2];
-        b.iter(|| black_box(flate::inflate::inflate_prefix(half).unwrap()))
+    group("inflate_html");
+    bench_throughput("full", html.len() as u64, 100, || {
+        inflate(&compressed).unwrap()
     });
-    g.finish();
+    let half = &compressed[..compressed.len() / 2];
+    bench_throughput("prefix_half", html.len() as u64, 100, || {
+        flate::inflate::inflate_prefix(half).unwrap()
+    });
 }
 
-fn bench_zlib(c: &mut Criterion) {
+fn bench_zlib() {
     let html = corpus();
-    let mut g = c.benchmark_group("zlib_html");
-    g.throughput(Throughput::Bytes(html.len() as u64));
-    g.bench_function("compress_default", |b| {
-        b.iter(|| black_box(flate::zlib::compress(html.as_bytes(), Level::Default)))
+    group("zlib_html");
+    bench_throughput("compress_default", html.len() as u64, 50, || {
+        flate::zlib::compress(html.as_bytes(), Level::Default)
     });
     let z = flate::zlib::compress(html.as_bytes(), Level::Default);
-    g.bench_function("decompress", |b| {
-        b.iter(|| black_box(flate::zlib::decompress(&z).unwrap()))
+    bench_throughput("decompress", html.len() as u64, 100, || {
+        flate::zlib::decompress(&z).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_deflate, bench_inflate, bench_zlib);
-criterion_main!(benches);
+fn main() {
+    bench_deflate();
+    bench_inflate();
+    bench_zlib();
+}

@@ -1,22 +1,20 @@
-//! Criterion benches over the paper's protocol matrix (Tables 3–11) and
+//! Wall-clock benches over the paper's protocol matrix (Tables 3–11) and
 //! the operational studies (Nagle, connection management). Each bench
 //! runs the full deterministic simulation of one table cell, so the
 //! numbers are "time to simulate", while the *measured* packet/byte/
 //! elapsed outputs are printed by `repro`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use httpipe_bench::{bench_fn, group};
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{browsers, closemgmt, nagle};
 use httpipe_core::harness::{run_matrix_cell, ProtocolSetup, Scenario};
 use httpserver::ServerKind;
-use std::hint::black_box;
 
-fn bench_matrix(c: &mut Criterion) {
+fn bench_matrix() {
     // Force one-time site generation outside the timing loops.
     let _ = webcontent::microscape::site();
 
-    let mut g = c.benchmark_group("matrix");
-    g.sample_size(10);
+    group("matrix");
     for env in [NetEnv::Lan, NetEnv::Wan, NetEnv::Ppp] {
         for setup in [
             ProtocolSetup::Http10,
@@ -37,54 +35,45 @@ fn bench_matrix(c: &mut Criterion) {
                         Scenario::Revalidate => "reval",
                     }
                 );
-                g.bench_function(&id, |b| {
-                    b.iter(|| {
-                        black_box(run_matrix_cell(
-                            env,
-                            ServerKind::Apache,
-                            setup,
-                            scenario,
-                        ))
-                    })
+                bench_fn(&id, 10, || {
+                    run_matrix_cell(env, ServerKind::Apache, setup, scenario)
                 });
             }
         }
     }
-    g.finish();
 }
 
-fn bench_browsers(c: &mut Criterion) {
+fn bench_browsers() {
     let _ = webcontent::microscape::site();
-    let mut g = c.benchmark_group("browsers");
-    g.sample_size(10);
+    group("browsers");
     for b_kind in [browsers::Browser::Navigator, browsers::Browser::Explorer] {
-        g.bench_function(format!("{}/reval", b_kind.label().replace(' ', "_")), |b| {
-            b.iter(|| black_box(browsers::run_browser_cell(b_kind, ServerKind::Apache, false)))
-        });
+        bench_fn(
+            &format!("{}/reval", b_kind.label().replace(' ', "_")),
+            10,
+            || browsers::run_browser_cell(b_kind, ServerKind::Apache, false),
+        );
     }
-    g.finish();
 }
 
-fn bench_operational(c: &mut Criterion) {
+fn bench_operational() {
     let _ = webcontent::microscape::site();
-    let mut g = c.benchmark_group("operational");
-    g.sample_size(10);
-    g.bench_function("nagle/worst_case", |b| {
-        b.iter(|| {
-            black_box(nagle::run_nagle_cell(
-                NetEnv::Lan,
-                nagle::NagleCase {
-                    nodelay: false,
-                    buffered: false,
-                },
-            ))
-        })
+    group("operational");
+    bench_fn("nagle/worst_case", 10, || {
+        nagle::run_nagle_cell(
+            NetEnv::Lan,
+            nagle::NagleCase {
+                nodelay: false,
+                buffered: false,
+            },
+        )
     });
-    g.bench_function("close/naive_rst_recovery", |b| {
-        b.iter(|| black_box(closemgmt::run_close_cell(NetEnv::Lan, 5, true)))
+    bench_fn("close/naive_rst_recovery", 10, || {
+        closemgmt::run_close_cell(NetEnv::Lan, 5, true)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_matrix, bench_browsers, bench_operational);
-criterion_main!(benches);
+fn main() {
+    bench_matrix();
+    bench_browsers();
+    bench_operational();
+}

@@ -1,10 +1,9 @@
 //! Benchmarks of the simulation substrate itself: raw event throughput of
 //! the TCP machine over the three link models, and the modem compressor.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use httpipe_bench::{bench_throughput, group};
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::{LinkConfig, ModemCompressor, Simulator, SockAddr};
-use std::hint::black_box;
 
 /// Minimal bulk-transfer pair used to stress the TCP path.
 struct Sender {
@@ -66,35 +65,28 @@ fn bulk_transfer(link: LinkConfig, bytes: usize) -> u64 {
     sim.run_until_idle()
 }
 
-fn bench_bulk(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcp_bulk_1mb");
-    g.throughput(Throughput::Bytes(1 << 20));
+fn bench_bulk() {
+    group("tcp_bulk_1mb");
     for (name, link) in [
         ("lan", LinkConfig::lan()),
         ("wan", LinkConfig::wan()),
         ("lossy_lan", LinkConfig::lan().with_drop_every(97)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(bulk_transfer(link.clone(), 1 << 20)))
-        });
+        bench_throughput(name, 1 << 20, 20, || bulk_transfer(link.clone(), 1 << 20));
     }
-    g.finish();
 }
 
-fn bench_modem_codec(c: &mut Criterion) {
+fn bench_modem_codec() {
     let html = &webcontent::microscape::site().html;
-    let mut g = c.benchmark_group("modem_lzw");
-    g.throughput(Throughput::Bytes(html.len() as u64));
-    g.bench_function("html_42k", |b| {
-        b.iter(|| {
-            let mut lzw = netsim::modem::LzwSizer::new();
-            let n = lzw.push(html.as_bytes()) + lzw.finish();
-            black_box(n)
-        })
+    group("modem_lzw");
+    bench_throughput("html_42k", html.len() as u64, 50, || {
+        let mut lzw = netsim::modem::LzwSizer::new();
+        lzw.push(html.as_bytes()) + lzw.finish()
     });
     let _ = ModemCompressor::new();
-    g.finish();
 }
 
-criterion_group!(benches, bench_bulk, bench_modem_codec);
-criterion_main!(benches);
+fn main() {
+    bench_bulk();
+    bench_modem_codec();
+}

@@ -1,0 +1,189 @@
+//! `bench_netsim` — wall-clock timing of the full Tables 4–9 protocol
+//! matrix (44 cells), comparing the serial and parallel executors and
+//! the full versus stats-only trace modes.
+//!
+//! ```text
+//! cargo run --release -p httpipe-bench --bin bench_netsim
+//! ```
+//!
+//! Writes machine-readable results to `BENCH_netsim.json` in the
+//! current directory and prints a human summary to stdout. The JSON is
+//! hand-rolled (the workspace carries no serde) — one object per
+//! configuration plus the derived speedups; see DESIGN.md for the
+//! schema.
+
+use httpipe_core::env::NetEnv;
+use httpipe_core::experiments::protocol_matrix::matrix_setups;
+use httpipe_core::harness::{matrix_spec, run_cells_threaded, worker_threads, CellSpec};
+use httpipe_core::result::CellResult;
+use httpserver::ServerKind;
+use netsim::TraceMode;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Every cell of Tables 4–9, in table order.
+fn matrix_specs(mode: TraceMode) -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for env in [NetEnv::Lan, NetEnv::Wan, NetEnv::Ppp] {
+        for server in [ServerKind::Jigsaw, ServerKind::Apache] {
+            for &setup in matrix_setups(env) {
+                for scenario in [
+                    httpipe_core::harness::Scenario::FirstTime,
+                    httpipe_core::harness::Scenario::Revalidate,
+                ] {
+                    let mut spec = matrix_spec(env, server, setup, scenario);
+                    spec.trace_mode = mode;
+                    specs.push(spec);
+                }
+            }
+        }
+    }
+    specs
+}
+
+struct Config {
+    name: &'static str,
+    threads: Option<usize>,
+    mode: TraceMode,
+}
+
+struct Timing {
+    name: &'static str,
+    threads: usize,
+    mode: &'static str,
+    iters: u32,
+    mean_secs: f64,
+    min_secs: f64,
+    cells: Vec<CellResult>,
+}
+
+fn run_config(cfg: &Config, iters: u32) -> Timing {
+    // One untimed warmup also produces the cells used for the
+    // cross-config equality check.
+    let cells = run_cells_threaded(matrix_specs(cfg.mode), cfg.threads);
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let specs = matrix_specs(cfg.mode);
+        let start = Instant::now();
+        let out = run_cells_threaded(specs, cfg.threads);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(out, cells, "{}: nondeterministic matrix run", cfg.name);
+        total += secs;
+        if secs < min {
+            min = secs;
+        }
+    }
+    Timing {
+        name: cfg.name,
+        threads: cfg.threads.unwrap_or_else(|| worker_threads(cells.len())),
+        mode: match cfg.mode {
+            TraceMode::Full => "full",
+            TraceMode::StatsOnly => "stats_only",
+        },
+        iters,
+        mean_secs: total / iters as f64,
+        min_secs: min,
+        cells,
+    }
+}
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+
+    let configs = [
+        Config {
+            name: "serial_full",
+            threads: Some(1),
+            mode: TraceMode::Full,
+        },
+        Config {
+            name: "serial_stats",
+            threads: Some(1),
+            mode: TraceMode::StatsOnly,
+        },
+        Config {
+            name: "parallel_full",
+            threads: None,
+            mode: TraceMode::Full,
+        },
+        Config {
+            name: "parallel_stats",
+            threads: None,
+            mode: TraceMode::StatsOnly,
+        },
+    ];
+
+    let n_cells = matrix_specs(TraceMode::StatsOnly).len();
+    println!("netsim matrix bench: {n_cells} cells (Tables 4-9), {iters} timed iterations each");
+
+    let timings: Vec<Timing> = configs.iter().map(|c| run_config(c, iters)).collect();
+
+    // Trace mode must not change the measurements, and the parallel
+    // executor must agree with the serial one cell-for-cell.
+    for t in &timings[1..] {
+        assert_eq!(
+            t.cells, timings[0].cells,
+            "{} disagrees with serial_full",
+            t.name
+        );
+    }
+
+    for t in &timings {
+        println!(
+            "  {:<16} threads={:<2} trace={:<10} mean {:.3}s  min {:.3}s",
+            t.name, t.threads, t.mode, t.mean_secs, t.min_secs
+        );
+    }
+
+    let by_name = |name: &str| timings.iter().find(|t| t.name == name).unwrap();
+    let serial_full = by_name("serial_full");
+    let serial_stats = by_name("serial_stats");
+    let parallel_stats = by_name("parallel_stats");
+    let speedup_parallel = serial_stats.min_secs / parallel_stats.min_secs;
+    let speedup_stats = serial_full.min_secs / serial_stats.min_secs;
+    let speedup_combined = serial_full.min_secs / parallel_stats.min_secs;
+    println!("  parallel over serial (stats-only): {speedup_parallel:.2}x");
+    println!("  stats-only over full (serial):     {speedup_stats:.2}x");
+    println!("  combined over serial full:         {speedup_combined:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"netsim_matrix\",");
+    let _ = writeln!(json, "  \"cells\": {n_cells},");
+    let _ = writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str("  \"configs\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"trace_mode\": \"{}\", \
+             \"iters\": {}, \"mean_secs\": {:.6}, \"min_secs\": {:.6}}}",
+            t.name, t.threads, t.mode, t.iters, t.mean_secs, t.min_secs
+        );
+        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_parallel_over_serial_stats\": {speedup_parallel:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_stats_over_full_serial\": {speedup_stats:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_combined_over_serial_full\": {speedup_combined:.4}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_netsim.json", &json).expect("write BENCH_netsim.json");
+    println!("wrote BENCH_netsim.json");
+}

@@ -7,10 +7,10 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges,
-    summary, verbosity,
+    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges, summary,
+    verbosity,
 };
-use httpipe_core::harness::{run_matrix_cell, ProtocolSetup, Scenario};
+use httpipe_core::harness::ProtocolSetup;
 use httpipe_core::result::CellResult;
 use httpserver::ServerKind;
 
@@ -24,36 +24,72 @@ fn paper_matrix(env: NetEnv, server: ServerKind) -> Vec<(ProtocolSetup, PaperRow
         (NetEnv::Lan, ServerKind::Jigsaw) => vec![
             (Http10, (510.2, 216_289.0, 0.97, 374.8, 61_117.0, 0.78)),
             (Http11, (281.0, 191_843.0, 1.25, 133.4, 17_694.0, 0.89)),
-            (Http11Pipelined, (181.8, 191_551.0, 0.68, 32.8, 17_694.0, 0.54)),
-            (Http11PipelinedDeflate, (148.8, 159_654.0, 0.71, 32.6, 17_687.0, 0.54)),
+            (
+                Http11Pipelined,
+                (181.8, 191_551.0, 0.68, 32.8, 17_694.0, 0.54),
+            ),
+            (
+                Http11PipelinedDeflate,
+                (148.8, 159_654.0, 0.71, 32.6, 17_687.0, 0.54),
+            ),
         ],
         (NetEnv::Lan, ServerKind::Apache) => vec![
             (Http10, (489.4, 215_536.0, 0.72, 365.4, 60_605.0, 0.41)),
             (Http11, (244.2, 189_023.0, 0.81, 98.4, 14_009.0, 0.40)),
-            (Http11Pipelined, (175.8, 189_607.0, 0.49, 29.2, 14_009.0, 0.23)),
-            (Http11PipelinedDeflate, (139.8, 156_834.0, 0.41, 28.4, 14_002.0, 0.23)),
+            (
+                Http11Pipelined,
+                (175.8, 189_607.0, 0.49, 29.2, 14_009.0, 0.23),
+            ),
+            (
+                Http11PipelinedDeflate,
+                (139.8, 156_834.0, 0.41, 28.4, 14_002.0, 0.23),
+            ),
         ],
         (NetEnv::Wan, ServerKind::Jigsaw) => vec![
             (Http10, (565.8, 251_913.0, 4.17, 389.2, 62_348.0, 2.96)),
             (Http11, (304.0, 193_595.0, 6.64, 137.0, 18_065.6, 4.95)),
-            (Http11Pipelined, (214.2, 193_887.0, 2.33, 34.8, 18_233.2, 1.10)),
-            (Http11PipelinedDeflate, (183.2, 161_698.0, 2.09, 35.4, 19_102.2, 1.15)),
+            (
+                Http11Pipelined,
+                (214.2, 193_887.0, 2.33, 34.8, 18_233.2, 1.10),
+            ),
+            (
+                Http11PipelinedDeflate,
+                (183.2, 161_698.0, 2.09, 35.4, 19_102.2, 1.15),
+            ),
         ],
         (NetEnv::Wan, ServerKind::Apache) => vec![
             (Http10, (559.6, 248_655.2, 4.09, 370.0, 61_887.0, 2.64)),
             (Http11, (309.4, 191_436.0, 6.14, 104.2, 14_255.0, 4.43)),
-            (Http11Pipelined, (221.4, 191_180.6, 2.23, 29.8, 15_352.0, 0.86)),
-            (Http11PipelinedDeflate, (182.0, 159_170.0, 2.11, 29.0, 15_088.0, 0.83)),
+            (
+                Http11Pipelined,
+                (221.4, 191_180.6, 2.23, 29.8, 15_352.0, 0.86),
+            ),
+            (
+                Http11PipelinedDeflate,
+                (182.0, 159_170.0, 2.11, 29.0, 15_088.0, 0.83),
+            ),
         ],
         (NetEnv::Ppp, ServerKind::Jigsaw) => vec![
             (Http11, (309.6, 190_687.0, 63.8, 89.2, 17_528.0, 12.9)),
-            (Http11Pipelined, (284.4, 190_735.0, 53.3, 31.0, 17_598.0, 5.4)),
-            (Http11PipelinedDeflate, (234.2, 159_449.0, 47.4, 31.0, 17_591.0, 5.4)),
+            (
+                Http11Pipelined,
+                (284.4, 190_735.0, 53.3, 31.0, 17_598.0, 5.4),
+            ),
+            (
+                Http11PipelinedDeflate,
+                (234.2, 159_449.0, 47.4, 31.0, 17_591.0, 5.4),
+            ),
         ],
         (NetEnv::Ppp, ServerKind::Apache) => vec![
             (Http11, (308.6, 187_869.0, 65.6, 89.0, 13_843.0, 11.1)),
-            (Http11Pipelined, (281.4, 187_918.0, 53.4, 26.0, 13_912.0, 3.4)),
-            (Http11PipelinedDeflate, (233.0, 157_214.0, 47.2, 26.0, 13_905.0, 3.4)),
+            (
+                Http11Pipelined,
+                (281.4, 187_918.0, 53.4, 26.0, 13_912.0, 3.4),
+            ),
+            (
+                Http11PipelinedDeflate,
+                (233.0, 157_214.0, 47.2, 26.0, 13_905.0, 3.4),
+            ),
         ],
     }
 }
@@ -140,25 +176,29 @@ fn main() {
                 "## Table {n} — {sname}, {} (`repro table{n}`)\n\n",
                 env.channel()
             ));
+            let paper = paper_matrix(env, server);
+            let cells = protocol_matrix::matrix_cells(env, server);
+            assert_eq!(paper.len(), cells.len());
             out.push_str("### First-time retrieval (Pa / Bytes / Sec)\n\n");
             out.push_str("| Protocol | Paper | Measured |\n|---|---|---|\n");
-            let paper = paper_matrix(env, server);
-            for (setup, (fpa, fby, fse, _, _, _)) in &paper {
-                let cell = run_matrix_cell(env, server, *setup, Scenario::FirstTime);
+            for ((setup, (fpa, fby, fse, _, _, _)), (label, first, _)) in
+                paper.iter().zip(cells.iter())
+            {
+                assert_eq!(setup.label(), *label);
                 out.push_str(&row(
                     setup.label(),
                     &fmt_cell_triplet(*fpa, *fby, *fse),
-                    &fmt_measured(&cell),
+                    &fmt_measured(first),
                 ));
             }
             out.push_str("\n### Cache validation (Pa / Bytes / Sec)\n\n");
             out.push_str("| Protocol | Paper | Measured |\n|---|---|---|\n");
-            for (setup, (_, _, _, cpa, cby, cse)) in &paper {
-                let cell = run_matrix_cell(env, server, *setup, Scenario::Revalidate);
+            for ((setup, (_, _, _, cpa, cby, cse)), (_, _, reval)) in paper.iter().zip(cells.iter())
+            {
                 out.push_str(&row(
                     setup.label(),
                     &fmt_cell_triplet(*cpa, *cby, *cse),
-                    &fmt_measured(&cell),
+                    &fmt_measured(reval),
                 ));
             }
             out.push('\n');
@@ -172,16 +212,28 @@ fn main() {
                 10,
                 "Jigsaw",
                 [
-                    ("Netscape Navigator", (339.4, 201_807.0, 58.8, 108.0, 19_282.0, 14.9)),
-                    ("Internet Explorer", (360.3, 199_934.0, 63.0, 301.0, 61_009.0, 17.0)),
+                    (
+                        "Netscape Navigator",
+                        (339.4, 201_807.0, 58.8, 108.0, 19_282.0, 14.9),
+                    ),
+                    (
+                        "Internet Explorer",
+                        (360.3, 199_934.0, 63.0, 301.0, 61_009.0, 17.0),
+                    ),
                 ],
             ),
             ServerKind::Apache => (
                 11,
                 "Apache",
                 [
-                    ("Netscape Navigator", (334.3, 199_243.0, 58.7, 103.3, 23_741.0, 5.9)),
-                    ("Internet Explorer", (381.3, 204_219.0, 60.6, 117.0, 23_056.0, 8.3)),
+                    (
+                        "Netscape Navigator",
+                        (334.3, 199_243.0, 58.7, 103.3, 23_741.0, 5.9),
+                    ),
+                    (
+                        "Internet Explorer",
+                        (381.3, 204_219.0, 60.6, 117.0, 23_056.0, 8.3),
+                    ),
                 ],
             ),
         };
@@ -227,13 +279,19 @@ fn main() {
     out.push_str(&row(
         "Compressed HTML",
         &["21".into(), "4.43".into()],
-        &[deflated.packets().to_string(), format!("{:.2}", deflated.secs)],
+        &[
+            deflated.packets().to_string(),
+            format!("{:.2}", deflated.secs),
+        ],
     ));
     out.push_str(&row(
         "Saved",
         &["68.7%".into(), "64.5%".into()],
         &[
-            format!("{:.1}%", (1.0 - deflated.packets() as f64 / plain.packets() as f64) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - deflated.packets() as f64 / plain.packets() as f64) * 100.0
+            ),
             format!("{:.1}%", (1.0 - deflated.secs / plain.secs) * 100.0),
         ],
     ));
@@ -245,7 +303,12 @@ fn main() {
     out.push_str(&row(
         "HTML compression",
         &["42K -> 11K (>3x)".into()],
-        &[format!("{} -> {} ({:.1}x)", d.html_bytes, d.deflated_bytes, d.html_bytes as f64 / d.deflated_bytes as f64)],
+        &[format!(
+            "{} -> {} ({:.1}x)",
+            d.html_bytes,
+            d.deflated_bytes,
+            d.html_bytes as f64 / d.deflated_bytes as f64
+        )],
     ));
     out.push_str(&row(
         "Share of total payload",
@@ -349,7 +412,9 @@ fn main() {
 
     out.push_str("\n## Connection management (`repro closerst`)\n\n");
     let (unlimited, graceful, naive) = closemgmt::close_study(NetEnv::Ppp, 5);
-    out.push_str("| Server behaviour | Pa | Sec | Conns | Retries | RSTs |\n|---|---|---|---|---|---|\n");
+    out.push_str(
+        "| Server behaviour | Pa | Sec | Conns | Retries | RSTs |\n|---|---|---|---|---|---|\n",
+    );
     for (label, c) in [
         ("No request limit", &unlimited),
         ("Limit 5, independent half-close", &graceful.cell),
@@ -372,7 +437,9 @@ fn main() {
         "The paper's §\"Range Requests and Validation\" idiom, exercised on a\n\
          *revised* site (every validator misses):\n\n",
     );
-    out.push_str("| Idiom (PPP, pipelined) | Pa | Bytes | Sec | Body bytes |\n|---|---|---|---|---|\n");
+    out.push_str(
+        "| Idiom (PPP, pipelined) | Pa | Bytes | Sec | Body bytes |\n|---|---|---|---|---|\n",
+    );
     for idiom in [
         ranges::RevisitIdiom::FullOnChange,
         ranges::RevisitIdiom::RangeMetadata,
@@ -395,7 +462,9 @@ fn main() {
          changes between requests can be as small as 10%\", suggesting 5-10x\n\
          headroom for a compact HTTP encoding.\n\n",
     );
-    out.push_str("| Profile | Total B | Changed | Deflated | Compaction |\n|---|---|---|---|---|\n");
+    out.push_str(
+        "| Profile | Total B | Changed | Deflated | Compaction |\n|---|---|---|---|---|\n",
+    );
     for (label, style) in [
         ("libwww robot", httpclient::RequestStyle::Robot),
         ("Navigator", httpclient::RequestStyle::Navigator),

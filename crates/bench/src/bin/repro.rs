@@ -8,8 +8,8 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges,
-    summary, verbosity,
+    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges, summary,
+    verbosity,
 };
 use httpserver::ServerKind;
 
@@ -34,32 +34,62 @@ fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "table4",
             what: "Jigsaw, LAN: protocol matrix",
-            run: || println!("{}", protocol_matrix::matrix_table(NetEnv::Lan, ServerKind::Jigsaw).render()),
+            run: || {
+                println!(
+                    "{}",
+                    protocol_matrix::matrix_table(NetEnv::Lan, ServerKind::Jigsaw).render()
+                )
+            },
         },
         Experiment {
             id: "table5",
             what: "Apache, LAN: protocol matrix",
-            run: || println!("{}", protocol_matrix::matrix_table(NetEnv::Lan, ServerKind::Apache).render()),
+            run: || {
+                println!(
+                    "{}",
+                    protocol_matrix::matrix_table(NetEnv::Lan, ServerKind::Apache).render()
+                )
+            },
         },
         Experiment {
             id: "table6",
             what: "Jigsaw, WAN: protocol matrix",
-            run: || println!("{}", protocol_matrix::matrix_table(NetEnv::Wan, ServerKind::Jigsaw).render()),
+            run: || {
+                println!(
+                    "{}",
+                    protocol_matrix::matrix_table(NetEnv::Wan, ServerKind::Jigsaw).render()
+                )
+            },
         },
         Experiment {
             id: "table7",
             what: "Apache, WAN: protocol matrix",
-            run: || println!("{}", protocol_matrix::matrix_table(NetEnv::Wan, ServerKind::Apache).render()),
+            run: || {
+                println!(
+                    "{}",
+                    protocol_matrix::matrix_table(NetEnv::Wan, ServerKind::Apache).render()
+                )
+            },
         },
         Experiment {
             id: "table8",
             what: "Jigsaw, PPP: protocol matrix",
-            run: || println!("{}", protocol_matrix::matrix_table(NetEnv::Ppp, ServerKind::Jigsaw).render()),
+            run: || {
+                println!(
+                    "{}",
+                    protocol_matrix::matrix_table(NetEnv::Ppp, ServerKind::Jigsaw).render()
+                )
+            },
         },
         Experiment {
             id: "table9",
             what: "Apache, PPP: protocol matrix",
-            run: || println!("{}", protocol_matrix::matrix_table(NetEnv::Ppp, ServerKind::Apache).render()),
+            run: || {
+                println!(
+                    "{}",
+                    protocol_matrix::matrix_table(NetEnv::Ppp, ServerKind::Apache).render()
+                )
+            },
         },
         Experiment {
             id: "table10",
@@ -158,12 +188,12 @@ fn experiments() -> Vec<Experiment> {
                     ("http10", ProtocolSetup::Http10),
                     ("pipelined", ProtocolSetup::Http11Pipelined),
                 ] {
-                    let out = run_spec(matrix_spec(
-                        NetEnv::Wan,
-                        ServerKind::Apache,
-                        setup,
-                        Scenario::FirstTime,
-                    ));
+                    let mut spec =
+                        matrix_spec(NetEnv::Wan, ServerKind::Apache, setup, Scenario::FirstTime);
+                    // The matrix defaults to stats-only tracing; xplot
+                    // needs the per-packet records.
+                    spec.trace_mode = netsim::TraceMode::Full;
+                    let out = run_spec(spec);
                     let plot = out
                         .sim
                         .trace()

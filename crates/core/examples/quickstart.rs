@@ -14,24 +14,17 @@ fn main() {
     for (name, setup) in [
         ("HTTP/1.0, 4 parallel connections", ProtocolSetup::Http10),
         ("HTTP/1.1, one persistent connection", ProtocolSetup::Http11),
-        ("HTTP/1.1, buffered pipelining", ProtocolSetup::Http11Pipelined),
+        (
+            "HTTP/1.1, buffered pipelining",
+            ProtocolSetup::Http11Pipelined,
+        ),
         (
             "HTTP/1.1, pipelining + deflate",
             ProtocolSetup::Http11PipelinedDeflate,
         ),
     ] {
-        let first = run_matrix_cell(
-            NetEnv::Ppp,
-            ServerKind::Apache,
-            setup,
-            Scenario::FirstTime,
-        );
-        let reval = run_matrix_cell(
-            NetEnv::Ppp,
-            ServerKind::Apache,
-            setup,
-            Scenario::Revalidate,
-        );
+        let first = run_matrix_cell(NetEnv::Ppp, ServerKind::Apache, setup, Scenario::FirstTime);
+        let reval = run_matrix_cell(NetEnv::Ppp, ServerKind::Apache, setup, Scenario::Revalidate);
         println!("{name}:");
         println!(
             "  first visit:  {:>4} packets  {:>7} bytes  {:>6.1}s  ({} connections)",

@@ -1,11 +1,10 @@
 //! The three network environments of Table 1.
 
 use netsim::{LinkConfig, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// A row of Table 1: a bandwidth/latency combination spanning common Web
 /// uses of 1997.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetEnv {
     /// High bandwidth, low latency: 10 Mbit/s Ethernet, RTT < 1 ms.
     Lan,

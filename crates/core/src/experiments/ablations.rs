@@ -9,14 +9,16 @@
 //!   start using one TCP segment whereas others implement it using two").
 
 use crate::env::NetEnv;
-use crate::harness::{matrix_spec, run_spec, ProtocolSetup, Scenario};
+use crate::harness::{matrix_spec, run_cells, run_spec, ProtocolSetup, Scenario};
 use crate::result::{CellResult, Table};
 use httpserver::ServerKind;
 use netsim::{SimDuration, TcpConfig};
 
-/// Sweep the pipeline buffer threshold for the revalidation workload.
+/// Sweep the pipeline buffer threshold for the revalidation workload;
+/// the sweep points run in parallel.
 pub fn buffer_threshold_sweep(env: NetEnv) -> Vec<(usize, CellResult)> {
-    [128usize, 256, 512, 1024, 2048, 4096]
+    let thresholds = [128usize, 256, 512, 1024, 2048, 4096];
+    let specs = thresholds
         .into_iter()
         .map(|threshold| {
             let mut spec = matrix_spec(
@@ -26,15 +28,17 @@ pub fn buffer_threshold_sweep(env: NetEnv) -> Vec<(usize, CellResult)> {
                 Scenario::Revalidate,
             );
             spec.client.pipeline_buffer = threshold;
-            (threshold, run_spec(spec).cell)
+            spec
         })
-        .collect()
+        .collect();
+    thresholds.into_iter().zip(run_cells(specs)).collect()
 }
 
 /// Sweep the flush timer with the application flush disabled (the
-/// untuned client), revalidation workload.
+/// untuned client), revalidation workload; parallel sweep points.
 pub fn flush_timer_sweep(env: NetEnv) -> Vec<(u64, CellResult)> {
-    [10u64, 50, 200, 1000]
+    let timeouts = [10u64, 50, 200, 1000];
+    let specs = timeouts
         .into_iter()
         .map(|ms| {
             let mut spec = matrix_spec(
@@ -47,9 +51,10 @@ pub fn flush_timer_sweep(env: NetEnv) -> Vec<(u64, CellResult)> {
                 .client
                 .with_app_flush(false)
                 .with_flush_timeout(SimDuration::from_millis(ms));
-            (ms, run_spec(spec).cell)
+            spec
         })
-        .collect()
+        .collect();
+    timeouts.into_iter().zip(run_cells(specs)).collect()
 }
 
 /// Application flush on/off, first-time retrieval (where the explicit
@@ -76,9 +81,11 @@ pub fn app_flush_ablation(env: NetEnv) -> (CellResult, CellResult) {
     (with, without)
 }
 
-/// Initial congestion window of 1 vs 2 segments, first-time retrieval.
+/// Initial congestion window of 1 vs 2 segments, first-time retrieval;
+/// parallel sweep points.
 pub fn initial_cwnd_ablation(env: NetEnv) -> Vec<(u32, CellResult)> {
-    [1u32, 2, 4]
+    let cwnds = [1u32, 2, 4];
+    let specs = cwnds
         .into_iter()
         .map(|cwnd| {
             let mut spec = matrix_spec(
@@ -92,9 +99,10 @@ pub fn initial_cwnd_ablation(env: NetEnv) -> Vec<(u32, CellResult)> {
                 ..TcpConfig::default()
             };
             spec.tcp = Some(tcp);
-            (cwnd, run_spec(spec).cell)
+            spec
         })
-        .collect()
+        .collect();
+    cwnds.into_iter().zip(run_cells(specs)).collect()
 }
 
 /// Render every ablation as one report; each sweep runs in the
@@ -105,7 +113,10 @@ pub fn ablation_tables() -> Vec<Table> {
 
     let env = NetEnv::Lan;
     let mut t = Table::new(
-        &format!("Pipeline buffer threshold sweep - revalidation, {}", env.name()),
+        &format!(
+            "Pipeline buffer threshold sweep - revalidation, {}",
+            env.name()
+        ),
         &["Pa", "Bytes", "Sec"],
     );
     for (threshold, c) in buffer_threshold_sweep(env) {
@@ -121,7 +132,10 @@ pub fn ablation_tables() -> Vec<Table> {
     tables.push(t);
 
     let mut t = Table::new(
-        &format!("Flush timer sweep (no app flush) - revalidation, {}", env.name()),
+        &format!(
+            "Flush timer sweep (no app flush) - revalidation, {}",
+            env.name()
+        ),
         &["Pa", "Sec"],
     );
     for (ms, c) in flush_timer_sweep(env) {
@@ -144,12 +158,18 @@ pub fn ablation_tables() -> Vec<Table> {
     );
     t.push_row(
         "timer only (1s)",
-        vec![without.packets().to_string(), format!("{:.2}", without.secs)],
+        vec![
+            without.packets().to_string(),
+            format!("{:.2}", without.secs),
+        ],
     );
     tables.push(t);
 
     let mut t = Table::new(
-        &format!("Initial congestion window - first-time retrieval, {}", env.name()),
+        &format!(
+            "Initial congestion window - first-time retrieval, {}",
+            env.name()
+        ),
         &["Pa", "Sec"],
     );
     for (cwnd, c) in initial_cwnd_ablation(env) {

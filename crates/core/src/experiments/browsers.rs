@@ -11,13 +11,13 @@
 //! behaviour).
 
 use crate::env::NetEnv;
-use crate::harness::{microscape_store, primed_cache, run_spec, CellSpec};
+use crate::harness::{microscape_store, primed_cache, run_cells, run_spec, CellSpec};
 use crate::result::{CellResult, Table};
 use httpclient::{
     ClientCache, ClientConfig, ProtocolMode, RequestStyle, RevalidationStyle, Workload,
 };
 use httpserver::{ServerConfig, ServerKind};
-use netsim::{HostId, SockAddr};
+use netsim::{HostId, SockAddr, TraceMode};
 
 /// The browser under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,11 +64,8 @@ fn browser_spec(browser: Browser, server_kind: ServerKind, first_time: bool) -> 
         ServerKind::Apache => ServerConfig::apache(80),
     };
     let addr = SockAddr::new(HostId(1), 80);
-    let client = ClientConfig::robot(
-        ProtocolMode::Http10Parallel { max_connections: 4 },
-        addr,
-    )
-    .with_style(browser.style());
+    let client = ClientConfig::robot(ProtocolMode::Http10Parallel { max_connections: 4 }, addr)
+        .with_style(browser.style());
 
     let (workload, cache) = if first_time {
         (
@@ -96,6 +93,7 @@ fn browser_spec(browser: Browser, server_kind: ServerKind, first_time: bool) -> 
         cache,
         link_codec: None,
         tcp: None,
+        trace_mode: TraceMode::StatsOnly,
     }
 }
 
@@ -104,15 +102,23 @@ pub fn run_browser_cell(browser: Browser, server: ServerKind, first_time: bool) 
     run_spec(browser_spec(browser, server, first_time)).cell
 }
 
-/// All cells of Table 10 (Jigsaw) or Table 11 (Apache).
+/// All cells of Table 10 (Jigsaw) or Table 11 (Apache), run in parallel.
 pub fn browser_cells(server: ServerKind) -> Vec<(Browser, CellResult, CellResult)> {
-    [Browser::Navigator, Browser::Explorer]
+    let browsers = [Browser::Navigator, Browser::Explorer];
+    let specs = browsers
         .into_iter()
-        .map(|b| {
-            let first = run_browser_cell(b, server, true);
-            let reval = run_browser_cell(b, server, false);
-            (b, first, reval)
+        .flat_map(|b| {
+            [
+                browser_spec(b, server, true),
+                browser_spec(b, server, false),
+            ]
         })
+        .collect();
+    let cells = run_cells(specs);
+    browsers
+        .into_iter()
+        .zip(cells.chunks_exact(2))
+        .map(|(b, pair)| (b, pair[0], pair[1]))
         .collect()
 }
 
@@ -176,7 +182,12 @@ mod tests {
         // Table 10/11: IE's verbose headers cost bytes.
         let nav = run_browser_cell(Browser::Navigator, ServerKind::Apache, true);
         let ie = run_browser_cell(Browser::Explorer, ServerKind::Apache, true);
-        assert!(ie.bytes > nav.bytes, "IE ({}) vs Nav ({})", ie.bytes, nav.bytes);
+        assert!(
+            ie.bytes > nav.bytes,
+            "IE ({}) vs Nav ({})",
+            ie.bytes,
+            nav.bytes
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cannot tell which requests succeeded and must re-fetch defensively.
 
 use crate::env::NetEnv;
-use crate::harness::{matrix_spec, run_spec, ProtocolSetup, Scenario};
+use crate::harness::{matrix_spec, run_cells, run_spec, CellSpec, ProtocolSetup, Scenario};
 use crate::result::{CellResult, Table};
 use httpserver::ServerKind;
 
@@ -27,6 +27,14 @@ pub struct CloseOutcome {
 /// Run the experiment: server closes after `limit` requests, either
 /// naively (both halves at once) or correctly (half-close + drain).
 pub fn run_close_cell(env: NetEnv, limit: u32, naive: bool) -> CloseOutcome {
+    CloseOutcome {
+        cell: run_spec(close_spec(env, limit, naive)).cell,
+        naive,
+        limit,
+    }
+}
+
+fn close_spec(env: NetEnv, limit: u32, naive: bool) -> CellSpec {
     let mut spec = matrix_spec(
         env,
         ServerKind::Apache,
@@ -34,25 +42,34 @@ pub fn run_close_cell(env: NetEnv, limit: u32, naive: bool) -> CloseOutcome {
         Scenario::FirstTime,
     );
     spec.server = spec.server.with_max_requests(limit).with_naive_close(naive);
-    let out = run_spec(spec);
-    CloseOutcome {
-        cell: out.cell,
-        naive,
-        limit,
-    }
+    spec
 }
 
-/// Compare unlimited / graceful-limited / naive-limited servers.
+/// Compare unlimited / graceful-limited / naive-limited servers; the
+/// three variants run in parallel.
 pub fn close_study(env: NetEnv, limit: u32) -> (CellResult, CloseOutcome, CloseOutcome) {
-    let unlimited = run_spec(matrix_spec(
-        env,
-        ServerKind::Apache,
-        ProtocolSetup::Http11Pipelined,
-        Scenario::FirstTime,
-    ))
-    .cell;
-    let graceful = run_close_cell(env, limit, false);
-    let naive = run_close_cell(env, limit, true);
+    let specs = vec![
+        matrix_spec(
+            env,
+            ServerKind::Apache,
+            ProtocolSetup::Http11Pipelined,
+            Scenario::FirstTime,
+        ),
+        close_spec(env, limit, false),
+        close_spec(env, limit, true),
+    ];
+    let mut cells = run_cells(specs).into_iter();
+    let unlimited = cells.next().unwrap();
+    let graceful = CloseOutcome {
+        cell: cells.next().unwrap(),
+        naive: false,
+        limit,
+    };
+    let naive = CloseOutcome {
+        cell: cells.next().unwrap(),
+        naive: true,
+        limit,
+    };
     (unlimited, graceful, naive)
 }
 
@@ -94,10 +111,17 @@ mod tests {
         let (unlimited, graceful, naive) = close_study(NetEnv::Ppp, 5);
         assert_eq!(unlimited.fetched, 43);
         assert_eq!(graceful.cell.fetched, 43);
-        assert_eq!(naive.cell.fetched, 43, "all objects recovered even after RSTs");
+        assert_eq!(
+            naive.cell.fetched, 43,
+            "all objects recovered even after RSTs"
+        );
         assert_eq!(unlimited.sockets_used, 1);
         // 43 requests / 5 per connection => at least 9 connections.
-        assert!(graceful.cell.sockets_used >= 8, "{}", graceful.cell.sockets_used);
+        assert!(
+            graceful.cell.sockets_used >= 8,
+            "{}",
+            graceful.cell.sockets_used
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::result::{CellResult, Table};
 use flate::{deflate, Level};
 use httpclient::{ClientCache, ClientConfig, ProtocolMode, Workload};
 use httpserver::{ServerConfig, ServerKind};
-use netsim::{HostId, ModemCompressor, SockAddr};
+use netsim::{HostId, ModemCompressor, SockAddr, TraceMode};
 
 /// Deflate statistics for the Microscape HTML — the paper's headline
 /// compression claim.
@@ -41,8 +41,7 @@ pub fn html_deflate_study() -> HtmlDeflateStudy {
     let lowercase = site.html_lowercase();
     let deflated_lower = deflate(lowercase.as_bytes(), Level::Default);
 
-    let total_payload = html.len()
-        + site.images.iter().map(|o| o.body.len()).sum::<usize>();
+    let total_payload = html.len() + site.images.iter().map(|o| o.body.len()).sum::<usize>();
     let saving = html.len() - deflated.len();
 
     HtmlDeflateStudy {
@@ -67,8 +66,8 @@ pub fn modem_cells(server_kind: ServerKind) -> (CellResult, CellResult) {
         }
         .with_deflate(deflate_on);
         let addr = SockAddr::new(HostId(1), 80);
-        let client = ClientConfig::robot(ProtocolMode::Http11Pipelined, addr)
-            .with_deflate(deflate_on);
+        let client =
+            ClientConfig::robot(ProtocolMode::Http11Pipelined, addr).with_deflate(deflate_on);
         let spec = CellSpec {
             env: NetEnv::Ppp,
             server,
@@ -81,6 +80,7 @@ pub fn modem_cells(server_kind: ServerKind) -> (CellResult, CellResult) {
             // The modem pair compresses the PPP stream either way.
             link_codec: Some(|| Box::new(ModemCompressor::new())),
             tcp: None,
+            trace_mode: TraceMode::StatsOnly,
         };
         run_spec(spec).cell
     };

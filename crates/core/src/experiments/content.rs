@@ -7,7 +7,7 @@ use crate::harness::{custom_store, microscape_store, run_spec, CellSpec};
 use crate::result::{CellResult, Table};
 use httpclient::{ClientCache, ClientConfig, ProtocolMode, Workload};
 use httpserver::ServerConfig;
-use netsim::{HostId, SockAddr};
+use netsim::{HostId, SockAddr, TraceMode};
 use webcontent::convert::{convert_site, ConversionReport};
 use webcontent::css;
 use webcontent::synth::ImageRole;
@@ -48,7 +48,10 @@ pub fn figure1() -> FigureOne {
 pub fn css_analysis_table() -> Table {
     let site = webcontent::microscape::site();
     let analysis = site.css_analysis();
-    let mut t = Table::new("CSS1 image replacement analysis (40 static images + 2 animations)", &["Value"]);
+    let mut t = Table::new(
+        "CSS1 image replacement analysis (40 static images + 2 animations)",
+        &["Value"],
+    );
     t.push_row(
         "Images replaceable by HTML+CSS",
         vec![analysis.replaced_count().to_string()],
@@ -77,7 +80,10 @@ pub fn conversion_report() -> ConversionReport {
 /// Render the conversion study.
 pub fn conversion_table() -> Table {
     let r = conversion_report();
-    let mut t = Table::new("GIF -> PNG / MNG conversion", &["GIF bytes", "Converted", "Saved"]);
+    let mut t = Table::new(
+        "GIF -> PNG / MNG conversion",
+        &["GIF bytes", "Converted", "Saved"],
+    );
     t.push_row(
         "40 static images (PNG)",
         vec![
@@ -124,6 +130,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             cache: ClientCache::new(),
             link_codec: None,
             tcp: None,
+            trace_mode: TraceMode::StatsOnly,
         };
         run_spec(spec).cell
     };
@@ -149,6 +156,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             cache: ClientCache::new(),
             link_codec: None,
             tcp: None,
+            trace_mode: TraceMode::StatsOnly,
         };
         run_spec(spec).cell
     };

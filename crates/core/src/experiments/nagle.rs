@@ -9,7 +9,7 @@
 //! buffered pipelined implementations should set TCP_NODELAY.
 
 use crate::env::NetEnv;
-use crate::harness::{matrix_spec, run_spec, ProtocolSetup, Scenario};
+use crate::harness::{matrix_spec, run_cells, run_spec, CellSpec, ProtocolSetup, Scenario};
 use crate::result::{CellResult, Table};
 use httpserver::ServerKind;
 
@@ -28,8 +28,16 @@ impl NagleCase {
     pub fn label(self) -> String {
         format!(
             "{} / {}",
-            if self.buffered { "buffered" } else { "per-request writes" },
-            if self.nodelay { "TCP_NODELAY" } else { "Nagle on" },
+            if self.buffered {
+                "buffered"
+            } else {
+                "per-request writes"
+            },
+            if self.nodelay {
+                "TCP_NODELAY"
+            } else {
+                "Nagle on"
+            },
         )
     }
 }
@@ -42,6 +50,10 @@ impl NagleCase {
 /// client's delayed ACK — "the first change to the server" was setting
 /// TCP_NODELAY.
 pub fn run_nagle_cell(env: NetEnv, case: NagleCase) -> CellResult {
+    run_spec(nagle_spec(env, case)).cell
+}
+
+fn nagle_spec(env: NetEnv, case: NagleCase) -> CellSpec {
     let mut spec = matrix_spec(
         env,
         ServerKind::Jigsaw,
@@ -55,25 +67,30 @@ pub fn run_nagle_cell(env: NetEnv, case: NagleCase) -> CellResult {
         // socket on its own.
         spec.client.pipeline_buffer = 1;
     }
-    run_spec(spec).cell
+    spec
 }
 
-/// All four combinations for one environment.
+/// All four combinations for one environment, run in parallel.
 pub fn nagle_cells(env: NetEnv) -> Vec<(NagleCase, CellResult)> {
-    let mut out = Vec::new();
-    for buffered in [true, false] {
-        for nodelay in [true, false] {
-            let case = NagleCase { nodelay, buffered };
-            out.push((case, run_nagle_cell(env, case)));
-        }
-    }
-    out
+    let cases: Vec<NagleCase> = [true, false]
+        .into_iter()
+        .flat_map(|buffered| {
+            [true, false]
+                .into_iter()
+                .map(move |nodelay| NagleCase { nodelay, buffered })
+        })
+        .collect();
+    let specs = cases.iter().map(|&case| nagle_spec(env, case)).collect();
+    cases.into_iter().zip(run_cells(specs)).collect()
 }
 
 /// Render the study.
 pub fn nagle_table(env: NetEnv) -> Table {
     let mut t = Table::new(
-        &format!("Nagle interaction - pipelined revalidation, Jigsaw, {}", env.name()),
+        &format!(
+            "Nagle interaction - pipelined revalidation, Jigsaw, {}",
+            env.name()
+        ),
         &["Pa", "Bytes", "Sec"],
     );
     for (case, cell) in nagle_cells(env) {

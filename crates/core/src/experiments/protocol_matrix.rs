@@ -8,7 +8,7 @@
 //! {first-time, revalidation}.
 
 use crate::env::NetEnv;
-use crate::harness::{matrix_spec, run_matrix_cell, run_spec, ProtocolSetup, Scenario};
+use crate::harness::{matrix_spec, run_cells, ProtocolSetup, Scenario};
 use crate::result::{CellResult, Table};
 use httpserver::ServerKind;
 use netsim::SimDuration;
@@ -52,30 +52,38 @@ pub struct Table3Row {
 /// * the HTTP/1.0 row is the older libwww 4.1D with no persistent cache
 ///   at all (hence its HEAD-based revalidation and small CPU costs).
 pub fn table3_cells() -> Vec<Table3Row> {
-    let mut rows = Vec::new();
-    for setup in [
+    let setups = [
         ProtocolSetup::Http10,
         ProtocolSetup::Http11,
         ProtocolSetup::Http11Pipelined,
-    ] {
-        let mut spec = matrix_spec(NetEnv::Lan, ServerKind::Jigsaw, setup, Scenario::Revalidate);
-        spec.server = httpserver::ServerConfig::jigsaw_initial(80);
-        if setup != ProtocolSetup::Http10 {
-            spec.client = spec.client.with_disk_cache();
-        }
-        if setup == ProtocolSetup::Http11Pipelined {
-            // The untuned configuration of the initial investigation.
-            spec.client = spec
-                .client
-                .with_app_flush(false)
-                .with_flush_timeout(SimDuration::from_millis(1000));
-        }
-        rows.push(Table3Row {
+    ];
+    let specs = setups
+        .iter()
+        .map(|&setup| {
+            let mut spec =
+                matrix_spec(NetEnv::Lan, ServerKind::Jigsaw, setup, Scenario::Revalidate);
+            spec.server = httpserver::ServerConfig::jigsaw_initial(80);
+            if setup != ProtocolSetup::Http10 {
+                spec.client = spec.client.with_disk_cache();
+            }
+            if setup == ProtocolSetup::Http11Pipelined {
+                // The untuned configuration of the initial investigation.
+                spec.client = spec
+                    .client
+                    .with_app_flush(false)
+                    .with_flush_timeout(SimDuration::from_millis(1000));
+            }
+            spec
+        })
+        .collect();
+    setups
+        .iter()
+        .zip(run_cells(specs))
+        .map(|(setup, cell)| Table3Row {
             label: setup.label(),
-            cell: run_spec(spec).cell,
-        });
-    }
-    rows
+            cell,
+        })
+        .collect()
 }
 
 /// Render Table 3 in the paper's layout.
@@ -109,25 +117,37 @@ pub fn table3() -> Table {
 }
 
 /// The cells of one of Tables 4–9: every protocol setup for one
-/// (environment, server) pair, both scenarios. PPP (Tables 8–9) omits
-/// HTTP/1.0, exactly as the paper does.
+/// (environment, server) pair, both scenarios, run in parallel. PPP
+/// (Tables 8–9) omits HTTP/1.0, exactly as the paper does.
 pub fn matrix_cells(
     env: NetEnv,
     server: ServerKind,
 ) -> Vec<(&'static str, CellResult, CellResult)> {
-    let setups: &[ProtocolSetup] = if env == NetEnv::Ppp {
+    let setups = matrix_setups(env);
+    let specs = setups
+        .iter()
+        .flat_map(|&setup| {
+            [
+                matrix_spec(env, server, setup, Scenario::FirstTime),
+                matrix_spec(env, server, setup, Scenario::Revalidate),
+            ]
+        })
+        .collect();
+    let cells = run_cells(specs);
+    setups
+        .iter()
+        .zip(cells.chunks_exact(2))
+        .map(|(&setup, pair)| (setup.label(), pair[0], pair[1]))
+        .collect()
+}
+
+/// The protocol setups one of Tables 4–9 includes for `env`.
+pub fn matrix_setups(env: NetEnv) -> &'static [ProtocolSetup] {
+    if env == NetEnv::Ppp {
         &ProtocolSetup::ALL[1..]
     } else {
         &ProtocolSetup::ALL
-    };
-    setups
-        .iter()
-        .map(|&setup| {
-            let first = run_matrix_cell(env, server, setup, Scenario::FirstTime);
-            let reval = run_matrix_cell(env, server, setup, Scenario::Revalidate);
-            (setup.label(), first, reval)
-        })
-        .collect()
+    }
 }
 
 /// The paper's table number for a (env, server) pair.

@@ -100,10 +100,7 @@ pub fn run_revisit_cell(env: NetEnv, idiom: RevisitIdiom) -> CellResult {
         // leading bytes. (Adding If-Range with the *stale* validator
         // would correctly force full transfers — the opposite of the
         // idiom — so the range is sent unconditionally.)
-        client.set_extra_conditionals(vec![(
-            "Range".to_string(),
-            "bytes=0-255".to_string(),
-        )]);
+        client.set_extra_conditionals(vec![("Range".to_string(), "bytes=0-255".to_string())]);
     }
     sim.install_app(ch, Box::new(client));
     sim.run_until_idle();

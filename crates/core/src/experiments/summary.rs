@@ -9,7 +9,7 @@ use crate::harness::{custom_store, microscape_store, run_spec, CellSpec};
 use crate::result::{CellResult, Table};
 use httpclient::{ClientCache, ClientConfig, ProtocolMode, Workload};
 use httpserver::ServerConfig;
-use netsim::{HostId, SockAddr};
+use netsim::{HostId, SockAddr, TraceMode};
 use webcontent::convert::{gif_to_mng, gif_to_png};
 use webcontent::synth::ImageRole;
 
@@ -31,6 +31,7 @@ pub fn baseline_cell() -> CellResult {
         cache: ClientCache::new(),
         link_codec: None,
         tcp: None,
+        trace_mode: TraceMode::StatsOnly,
     };
     run_spec(spec).cell
 }
@@ -50,19 +51,21 @@ pub fn all_techniques_cell() -> CellResult {
         "text/html",
     )];
     for obj in &variant.kept {
-        let (body, ct): (Vec<u8>, &'static str) =
-            if obj.role == Some(ImageRole::Animation) {
-                (gif_to_mng(&obj.body).expect("animation converts"), "video/x-mng")
+        let (body, ct): (Vec<u8>, &'static str) = if obj.role == Some(ImageRole::Animation) {
+            (
+                gif_to_mng(&obj.body).expect("animation converts"),
+                "video/x-mng",
+            )
+        } else {
+            let png = gif_to_png(&obj.body).expect("image converts");
+            // The paper notes PNG *loses* on tiny images; a sensible
+            // deployment keeps whichever is smaller.
+            if png.len() < obj.body.len() {
+                (png, "image/png")
             } else {
-                let png = gif_to_png(&obj.body).expect("image converts");
-                // The paper notes PNG *loses* on tiny images; a sensible
-                // deployment keeps whichever is smaller.
-                if png.len() < obj.body.len() {
-                    (png, "image/png")
-                } else {
-                    (obj.body.clone(), "image/gif")
-                }
-            };
+                (obj.body.clone(), "image/gif")
+            }
+        };
         objects.push((obj.path.clone(), body, ct));
     }
 
@@ -70,17 +73,15 @@ pub fn all_techniques_cell() -> CellResult {
         env: NetEnv::Ppp,
         server: ServerConfig::apache(80).with_deflate(true),
         store: custom_store(&objects),
-        client: ClientConfig::robot(
-            ProtocolMode::Http11Pipelined,
-            SockAddr::new(HostId(1), 80),
-        )
-        .with_deflate(true),
+        client: ClientConfig::robot(ProtocolMode::Http11Pipelined, SockAddr::new(HostId(1), 80))
+            .with_deflate(true),
         workload: Workload::Browse {
             start: "/index.html".into(),
         },
         cache: ClientCache::new(),
         link_codec: None,
         tcp: None,
+        trace_mode: TraceMode::StatsOnly,
     };
     run_spec(spec).cell
 }

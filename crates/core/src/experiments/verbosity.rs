@@ -100,7 +100,13 @@ pub fn revalidation_request_study(style: RequestStyle) -> VerbosityStudy {
 pub fn verbosity_table() -> Table {
     let mut t = Table::new(
         "HTTP request verbosity - 43 pipelined revalidation requests",
-        &["Total B", "Changed B", "Change %", "Deflated B", "Compaction"],
+        &[
+            "Total B",
+            "Changed B",
+            "Change %",
+            "Deflated B",
+            "Compaction",
+        ],
     );
     for (label, style) in [
         ("libwww robot", RequestStyle::Robot),

@@ -1,15 +1,21 @@
 //! The cell runner: wires a client, a server and a network together and
-//! extracts the paper's metrics from one deterministic run.
+//! extracts the paper's metrics from one deterministic run — plus
+//! [`run_cells`], which fans independent cells across a thread pool.
+//!
+//! Every [`Simulator`] is fully self-contained (own event queue, clock,
+//! hosts, trace), so independent cells parallelize trivially: the pool
+//! claims cells off a shared counter and results come back in input
+//! order, bit-identical to a serial loop.
 
 use crate::env::NetEnv;
 use crate::result::CellResult;
 use httpclient::{
-    ClientCache, ClientConfig, HttpClient, ProtocolMode, RequestStyle, RevalidationStyle,
-    Workload,
+    ClientCache, ClientConfig, HttpClient, ProtocolMode, RequestStyle, RevalidationStyle, Workload,
 };
 use httpserver::{Entity, HttpServer, ServerConfig, ServerKind, SiteStore};
-use netsim::{LinkCodec, Simulator, SockAddr};
-use std::sync::Arc;
+use netsim::{LinkCodec, Simulator, SockAddr, TraceMode};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use webcontent::microscape::{Microscape, SITE_MTIME};
 
 /// The protocol column of Tables 3–9.
@@ -81,7 +87,19 @@ impl Scenario {
 
 /// Build the server-side store for the Microscape site (HTML gets a
 /// pre-deflated variant).
+///
+/// The store for the canonical [`webcontent::microscape::site`] is built
+/// once and memoized: deflating the 42 KB HTML dominates cell setup, and
+/// the experiment matrix would otherwise recompress it for every cell.
 pub fn microscape_store(site: &Microscape) -> Arc<SiteStore> {
+    static CANONICAL: OnceLock<Arc<SiteStore>> = OnceLock::new();
+    if std::ptr::eq(site, webcontent::microscape::site()) {
+        return Arc::clone(CANONICAL.get_or_init(|| build_microscape_store(site)));
+    }
+    build_microscape_store(site)
+}
+
+fn build_microscape_store(site: &Microscape) -> Arc<SiteStore> {
     let mut store = SiteStore::new();
     store.insert(
         site.html_path(),
@@ -101,7 +119,11 @@ pub fn custom_store(objects: &[(String, Vec<u8>, &'static str)]) -> Arc<SiteStor
     let mut store = SiteStore::new();
     for (path, body, ct) in objects {
         let e = Entity::new(body.clone(), ct, SITE_MTIME);
-        let e = if *ct == "text/html" { e.with_deflate() } else { e };
+        let e = if *ct == "text/html" {
+            e.with_deflate()
+        } else {
+            e
+        };
         store.insert(path, e);
     }
     store.into_shared()
@@ -142,6 +164,11 @@ pub struct CellSpec {
     pub link_codec: Option<fn() -> Box<dyn LinkCodec>>,
     /// Override the TCP parameters on both hosts (ablations).
     pub tcp: Option<netsim::TcpConfig>,
+    /// How much of each packet the trace retains. Batch experiment runs
+    /// use [`TraceMode::StatsOnly`]; switch to [`TraceMode::Full`] when
+    /// the per-packet records are needed (`dump`, `xplot`,
+    /// `time_sequence`).
+    pub trace_mode: TraceMode,
 }
 
 /// Outcome of one run: the cell metrics plus full app access if needed.
@@ -163,6 +190,7 @@ pub struct RunOutput {
 /// Execute one cell.
 pub fn run_spec(spec: CellSpec) -> RunOutput {
     let mut sim = Simulator::new();
+    sim.set_trace_mode(spec.trace_mode);
     let client_host = sim.add_host("client");
     let server_host = sim.add_host("server");
     sim.add_link(client_host, server_host, spec.env.link());
@@ -180,7 +208,11 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
     );
     sim.install_app(
         client_host,
-        Box::new(HttpClient::with_cache(spec.client, spec.workload, spec.cache)),
+        Box::new(HttpClient::with_cache(
+            spec.client,
+            spec.workload,
+            spec.cache,
+        )),
     );
     sim.run_until_idle();
 
@@ -276,6 +308,7 @@ pub fn matrix_spec(
         cache,
         link_codec: None,
         tcp: None,
+        trace_mode: TraceMode::StatsOnly,
     }
 }
 
@@ -287,6 +320,83 @@ pub fn run_matrix_cell(
     scenario: Scenario,
 ) -> CellResult {
     run_spec(matrix_spec(env, server_kind, setup, scenario)).cell
+}
+
+/// Worker-thread count for [`run_cells`]: the `HTTPIPE_THREADS`
+/// environment variable when set, otherwise the machine's available
+/// parallelism, never more than the number of cells.
+pub fn worker_threads(cells: usize) -> usize {
+    let hw = std::env::var("HTTPIPE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    hw.min(cells).max(1)
+}
+
+/// Execute independent cells across a thread pool, returning their
+/// [`CellResult`]s in input order.
+///
+/// Each [`Simulator`] is self-contained, so cells share nothing but the
+/// read-only `Arc<SiteStore>`; results are bit-identical to running the
+/// same specs in a serial loop. The pool size comes from
+/// [`worker_threads`] (override with `HTTPIPE_THREADS=1` to force
+/// serial execution).
+pub fn run_cells(specs: Vec<CellSpec>) -> Vec<CellResult> {
+    run_cells_threaded(specs, None)
+}
+
+/// [`run_cells`] with an explicit thread count (`None` = automatic).
+pub fn run_cells_threaded(specs: Vec<CellSpec>, threads: Option<usize>) -> Vec<CellResult> {
+    let n = specs.len();
+    let threads = threads
+        .unwrap_or_else(|| worker_threads(n))
+        .clamp(1, n.max(1));
+    if threads <= 1 {
+        return specs.into_iter().map(|s| run_spec(s).cell).collect();
+    }
+
+    // Work-stealing by index: each worker claims the next unstarted cell,
+    // so long cells (PPP) don't serialize behind a static partition.
+    let jobs: Vec<Mutex<Option<CellSpec>>> =
+        specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let spec = jobs[i]
+                            .lock()
+                            .expect("cell spec lock")
+                            .take()
+                            .expect("cell claimed twice");
+                        out.push((i, run_spec(spec).cell));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, cell) in h.join().expect("cell worker panicked") {
+                results[i] = Some(cell);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell produced a result"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,10 +1,8 @@
 //! Result records for experiment cells and simple text-table rendering.
 
-use serde::{Deserialize, Serialize};
-
 /// The measurements the paper reports for one run: the columns of
 /// Tables 3–11.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CellResult {
     /// Packets client → server.
     pub packets_c2s: u64,
@@ -42,7 +40,7 @@ impl CellResult {
 }
 
 /// A labelled table of cells, renderable as text.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     /// The title.
     pub title: String,
@@ -162,10 +160,7 @@ mod tests {
             overhead_pct: 8.55,
             ..Default::default()
         };
-        assert_eq!(
-            Table::cell_columns(&c),
-            vec!["30", "12345", "1.23", "8.6"]
-        );
+        assert_eq!(Table::cell_columns(&c), vec!["30", "12345", "1.23", "8.6"]);
     }
 
     #[test]

@@ -37,7 +37,11 @@ fn observation_revalidation_under_one_tenth_of_http10_packets() {
     // than 1/10 of the total number of packets that HTTP/1.0 does" for
     // revisiting a cached page.
     let p10 = cell(NetEnv::Wan, ProtocolSetup::Http10, Scenario::Revalidate);
-    let pipe = cell(NetEnv::Wan, ProtocolSetup::Http11Pipelined, Scenario::Revalidate);
+    let pipe = cell(
+        NetEnv::Wan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::Revalidate,
+    );
     assert!(
         pipe.packets() * 10 <= p10.packets(),
         "pipelined {} vs 1.0 {}",
@@ -90,7 +94,11 @@ fn observation_first_time_bandwidth_saving_is_only_a_few_percent() {
     // pipelining and persistent connections of HTTP/1.1 is only a few
     // percent" — the payload dominates.
     let p10 = cell(NetEnv::Lan, ProtocolSetup::Http10, Scenario::FirstTime);
-    let pipe = cell(NetEnv::Lan, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
+    let pipe = cell(
+        NetEnv::Lan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
     let saving = 1.0 - pipe.bytes as f64 / p10.bytes as f64;
     assert!(
         (0.0..0.15).contains(&saving),
@@ -103,7 +111,11 @@ fn observation_first_time_bandwidth_saving_is_only_a_few_percent() {
 fn observation_mean_packet_size_roughly_doubles() {
     // "The mean size of a packet in our traffic roughly doubled."
     let p10 = cell(NetEnv::Lan, ProtocolSetup::Http10, Scenario::FirstTime);
-    let pipe = cell(NetEnv::Lan, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
+    let pipe = cell(
+        NetEnv::Lan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
     let mean10 = p10.bytes as f64 / p10.packets() as f64;
     let mean11 = pipe.bytes as f64 / pipe.packets() as f64;
     assert!(
@@ -117,7 +129,11 @@ fn conclusion_compression_gives_largest_first_time_bandwidth_saving() {
     // "The addition of transport compression in HTTP/1.1 provided the
     // largest bandwidth savings" among the studied techniques for the
     // first-time fetch.
-    let pipe = cell(NetEnv::Ppp, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
+    let pipe = cell(
+        NetEnv::Ppp,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
     let defl = cell(
         NetEnv::Ppp,
         ProtocolSetup::Http11PipelinedDeflate,
@@ -139,7 +155,11 @@ fn compression_saves_packets_and_time_on_first_fetch() {
     // Paper summary of the first-time test: "about 16% of the packets
     // and 12% of the elapsed time" saved by compression (PPP numbers are
     // larger). Check direction and rough scale on the LAN.
-    let pipe = cell(NetEnv::Lan, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
+    let pipe = cell(
+        NetEnv::Lan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
     let defl = cell(
         NetEnv::Lan,
         ProtocolSetup::Http11PipelinedDeflate,
@@ -159,9 +179,17 @@ fn wan_latency_amplifies_http11_wins() {
     // HTTP/1.1 performed": the elapsed-time ratio (1.0 / pipelined) must
     // be larger on the WAN than on the LAN for revalidation.
     let lan10 = cell(NetEnv::Lan, ProtocolSetup::Http10, Scenario::Revalidate);
-    let lanp = cell(NetEnv::Lan, ProtocolSetup::Http11Pipelined, Scenario::Revalidate);
+    let lanp = cell(
+        NetEnv::Lan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::Revalidate,
+    );
     let wan10 = cell(NetEnv::Wan, ProtocolSetup::Http10, Scenario::Revalidate);
-    let wanp = cell(NetEnv::Wan, ProtocolSetup::Http11Pipelined, Scenario::Revalidate);
+    let wanp = cell(
+        NetEnv::Wan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::Revalidate,
+    );
     let lan_ratio = lan10.secs / lanp.secs;
     let wan_ratio = wan10.secs / wanp.secs;
     assert!(
@@ -197,13 +225,21 @@ fn overhead_percentages_match_paper_bands() {
         "1.0 CV %ov {:.1}",
         p10r.overhead_pct
     );
-    let pipef = cell(NetEnv::Lan, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
+    let pipef = cell(
+        NetEnv::Lan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
     assert!(
         (2.0..7.0).contains(&pipef.overhead_pct),
         "pipelined FT %ov {:.1}",
         pipef.overhead_pct
     );
-    let piper = cell(NetEnv::Lan, ProtocolSetup::Http11Pipelined, Scenario::Revalidate);
+    let piper = cell(
+        NetEnv::Lan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::Revalidate,
+    );
     assert!(
         (4.0..12.0).contains(&piper.overhead_pct),
         "pipelined CV %ov {:.1}",
@@ -216,15 +252,31 @@ fn ppp_first_time_is_bandwidth_bound() {
     // ~190-200KB over 28.8kbps ≈ 53-62s for every 1.1 variant; deflate
     // cuts it into the 40s (paper: 65.6 / 53.4 / 47.2 for Apache).
     let pers = cell(NetEnv::Ppp, ProtocolSetup::Http11, Scenario::FirstTime);
-    let pipe = cell(NetEnv::Ppp, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
+    let pipe = cell(
+        NetEnv::Ppp,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
     let defl = cell(
         NetEnv::Ppp,
         ProtocolSetup::Http11PipelinedDeflate,
         Scenario::FirstTime,
     );
-    assert!((50.0..75.0).contains(&pers.secs), "persistent {:.1}", pers.secs);
-    assert!((45.0..60.0).contains(&pipe.secs), "pipelined {:.1}", pipe.secs);
-    assert!((35.0..48.0).contains(&defl.secs), "deflate {:.1}", defl.secs);
+    assert!(
+        (50.0..75.0).contains(&pers.secs),
+        "persistent {:.1}",
+        pers.secs
+    );
+    assert!(
+        (45.0..60.0).contains(&pipe.secs),
+        "pipelined {:.1}",
+        pipe.secs
+    );
+    assert!(
+        (35.0..48.0).contains(&defl.secs),
+        "deflate {:.1}",
+        defl.secs
+    );
     assert!(defl.secs < pipe.secs && pipe.secs < pers.secs);
 }
 
@@ -232,15 +284,35 @@ fn ppp_first_time_is_bandwidth_bound() {
 fn ppp_revalidation_times_match_paper_band() {
     // Paper Apache: 11.1s persistent, 3.4s pipelined.
     let pers = cell(NetEnv::Ppp, ProtocolSetup::Http11, Scenario::Revalidate);
-    let pipe = cell(NetEnv::Ppp, ProtocolSetup::Http11Pipelined, Scenario::Revalidate);
-    assert!((8.0..16.0).contains(&pers.secs), "persistent {:.1}", pers.secs);
-    assert!((2.0..6.0).contains(&pipe.secs), "pipelined {:.1}", pipe.secs);
+    let pipe = cell(
+        NetEnv::Ppp,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::Revalidate,
+    );
+    assert!(
+        (8.0..16.0).contains(&pers.secs),
+        "persistent {:.1}",
+        pers.secs
+    );
+    assert!(
+        (2.0..6.0).contains(&pipe.secs),
+        "pipelined {:.1}",
+        pipe.secs
+    );
 }
 
 #[test]
 fn deterministic_experiments() {
     // Same cell, byte-identical results (the basis of every other test).
-    let a = cell(NetEnv::Wan, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
-    let b = cell(NetEnv::Wan, ProtocolSetup::Http11Pipelined, Scenario::FirstTime);
+    let a = cell(
+        NetEnv::Wan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
+    let b = cell(
+        NetEnv::Wan,
+        ProtocolSetup::Http11Pipelined,
+        Scenario::FirstTime,
+    );
     assert_eq!(a, b);
 }

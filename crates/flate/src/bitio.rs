@@ -108,7 +108,7 @@ impl<'a> BitReader<'a> {
         if self.bit_count < count {
             return Err(UnexpectedEof);
         }
-        let v = (self.bit_buf & ((1u64 << count) - 1).max(0)) as u32;
+        let v = (self.bit_buf & ((1u64 << count) - 1)) as u32;
         let v = if count == 0 { 0 } else { v };
         self.bit_buf >>= count;
         self.bit_count -= count;

@@ -147,7 +147,10 @@ fn emit_body(w: &mut BitWriter, tokens: &[Token], lit_len: &[u32], dist_len: &[u
             }
         }
     }
-    w.write_code(lit_codes[END_OF_BLOCK as usize], lit_len[END_OF_BLOCK as usize]);
+    w.write_code(
+        lit_codes[END_OF_BLOCK as usize],
+        lit_len[END_OF_BLOCK as usize],
+    );
 }
 
 /// The dynamic block header: HLIT/HDIST/HCLEN plus the RLE-coded code
@@ -167,8 +170,8 @@ impl DynamicHeader {
         w.write_bits(self.hlit - 257, 5);
         w.write_bits(self.hdist - 1, 5);
         w.write_bits(self.hclen - 4, 4);
-        for i in 0..self.hclen as usize {
-            w.write_bits(self.clc_lengths[CLC_ORDER[i]], 3);
+        for &ord in &CLC_ORDER[..self.hclen as usize] {
+            w.write_bits(self.clc_lengths[ord], 3);
         }
         let clc_codes = assign_codes(&self.clc_lengths);
         for &(sym, extra, val) in &self.rle {

@@ -84,10 +84,7 @@ pub fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
     // Restore the Kraft sum if the depth clamp overflowed it.
     // Kraft sum in units of 2^-max_len.
     let full = 1u64 << max_len;
-    let mut kraft: u64 = active
-        .iter()
-        .map(|&i| full >> lengths[i])
-        .sum();
+    let mut kraft: u64 = active.iter().map(|&i| full >> lengths[i]).sum();
     while kraft > full {
         // Take a code at the deepest level that has room to grow... in the
         // clamped case we must *lengthen* some code to reduce its weight:
@@ -194,9 +191,9 @@ impl Decoder {
         }
         // Kraft check.
         let mut left = 1i64;
-        for bits in 1..=15 {
+        for &c in &count[1..=15] {
             left <<= 1;
-            left -= count[bits] as i64;
+            left -= c as i64;
             if left < 0 {
                 return Err(HuffError::Oversubscribed);
             }
@@ -266,7 +263,10 @@ mod tests {
         // -> codes 010,011,100,101,110,00,1110,1111.
         let lengths = [3, 3, 3, 3, 3, 2, 4, 4];
         let codes = assign_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]

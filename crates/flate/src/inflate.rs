@@ -144,15 +144,11 @@ fn dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateEr
             }
             17 => {
                 let rep = r.read_bits(3)? + 3;
-                for _ in 0..rep {
-                    lengths.push(0);
-                }
+                lengths.resize(lengths.len() + rep as usize, 0);
             }
             18 => {
                 let rep = r.read_bits(7)? + 11;
-                for _ in 0..rep {
-                    lengths.push(0);
-                }
+                lengths.resize(lengths.len() + rep as usize, 0);
             }
             _ => return Err(InflateError::BadSymbol),
         }

@@ -11,31 +11,69 @@ pub const END_OF_BLOCK: u16 = 256;
 
 /// `(extra_bits, base_length)` for length codes 257..=285.
 pub const LENGTH_TABLE: [(u32, u16); 29] = [
-    (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10),
-    (1, 11), (1, 13), (1, 15), (1, 17),
-    (2, 19), (2, 23), (2, 27), (2, 31),
-    (3, 35), (3, 43), (3, 51), (3, 59),
-    (4, 67), (4, 83), (4, 99), (4, 115),
-    (5, 131), (5, 163), (5, 195), (5, 227),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 9),
+    (0, 10),
+    (1, 11),
+    (1, 13),
+    (1, 15),
+    (1, 17),
+    (2, 19),
+    (2, 23),
+    (2, 27),
+    (2, 31),
+    (3, 35),
+    (3, 43),
+    (3, 51),
+    (3, 59),
+    (4, 67),
+    (4, 83),
+    (4, 99),
+    (4, 115),
+    (5, 131),
+    (5, 163),
+    (5, 195),
+    (5, 227),
     (0, 258),
 ];
 
 /// `(extra_bits, base_distance)` for distance codes 0..=29.
 pub const DIST_TABLE: [(u32, u16); 30] = [
-    (0, 1), (0, 2), (0, 3), (0, 4),
-    (1, 5), (1, 7),
-    (2, 9), (2, 13),
-    (3, 17), (3, 25),
-    (4, 33), (4, 49),
-    (5, 65), (5, 97),
-    (6, 129), (6, 193),
-    (7, 257), (7, 385),
-    (8, 513), (8, 769),
-    (9, 1025), (9, 1537),
-    (10, 2049), (10, 3073),
-    (11, 4097), (11, 6145),
-    (12, 8193), (12, 12289),
-    (13, 16385), (13, 24577),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 5),
+    (1, 7),
+    (2, 9),
+    (2, 13),
+    (3, 17),
+    (3, 25),
+    (4, 33),
+    (4, 49),
+    (5, 65),
+    (5, 97),
+    (6, 129),
+    (6, 193),
+    (7, 257),
+    (7, 385),
+    (8, 513),
+    (8, 769),
+    (9, 1025),
+    (9, 1537),
+    (10, 2049),
+    (10, 3073),
+    (11, 4097),
+    (11, 6145),
+    (12, 8193),
+    (12, 12289),
+    (13, 16385),
+    (13, 24577),
 ];
 
 /// The order in which code-length-code lengths are stored in a dynamic

@@ -153,7 +153,10 @@ mod tests {
         assert_eq!(&data[..partial.len()], &partial[..]);
         assert_eq!(decompress_prefix(&z).unwrap(), data);
         assert_eq!(decompress_prefix(&[]).unwrap(), Vec::<u8>::new());
-        assert_eq!(decompress_prefix(&[0x79, 0x9C, 1]).unwrap_err(), ZlibError::BadHeader);
+        assert_eq!(
+            decompress_prefix(&[0x79, 0x9C, 1]).unwrap_err(),
+            ZlibError::BadHeader
+        );
     }
 
     #[test]

@@ -1,101 +1,138 @@
-//! Property tests for the DEFLATE implementation: every input must
-//! survive a compress/decompress roundtrip at every level, in both the
-//! raw and zlib framings, and compressed output must respect the format's
+//! Property-style tests for the DEFLATE implementation, driven by a
+//! deterministic seeded PRNG (the build environment has no crates.io
+//! access, so `proptest` is unavailable): every input must survive a
+//! compress/decompress roundtrip at every level, in both the raw and
+//! zlib framings, and compressed output must respect the format's
 //! worst-case bounds.
 
 use flate::{deflate, inflate, Level};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn levels() -> impl Strategy<Value = Level> {
-    prop_oneof![
-        Just(Level::Store),
-        Just(Level::Fast),
-        Just(Level::Default),
-        Just(Level::Best),
-    ]
+const LEVELS: [Level; 4] = [Level::Store, Level::Fast, Level::Default, Level::Best];
+
+fn random_bytes(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn raw_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192), level in levels()) {
+#[test]
+fn raw_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E01);
+    for case in 0..64 {
+        let data = random_bytes(&mut rng, 8192);
+        let level = LEVELS[case % LEVELS.len()];
         let compressed = deflate(&data, level);
         let restored = inflate(&compressed).expect("inflate");
-        prop_assert_eq!(restored, data);
+        assert_eq!(restored, data, "case {case} level {level:?}");
     }
+}
 
-    #[test]
-    fn zlib_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096), level in levels()) {
+#[test]
+fn zlib_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E02);
+    for case in 0..64 {
+        let data = random_bytes(&mut rng, 4096);
+        let level = LEVELS[case % LEVELS.len()];
         let z = flate::zlib::compress(&data, level);
         let restored = flate::zlib::decompress(&z).expect("zlib decompress");
-        prop_assert_eq!(restored, data);
+        assert_eq!(restored, data, "case {case} level {level:?}");
     }
+}
 
-    #[test]
-    fn structured_text_roundtrip(
-        words in proptest::collection::vec("[a-z<>/=\" ]{1,12}", 0..400),
-        level in levels(),
-    ) {
-        let text = words.concat();
+#[test]
+fn structured_text_roundtrip() {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz<>/=\" ";
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E03);
+    for case in 0..64 {
+        let words = rng.gen_range(0..400usize);
+        let mut text = String::new();
+        for _ in 0..words {
+            let word_len = rng.gen_range(1..=12usize);
+            for _ in 0..word_len {
+                text.push(ALPHABET[rng.gen_range(0..ALPHABET.len())] as char);
+            }
+        }
+        let level = LEVELS[case % LEVELS.len()];
         let compressed = deflate(text.as_bytes(), level);
-        prop_assert_eq!(inflate(&compressed).unwrap(), text.as_bytes());
+        assert_eq!(inflate(&compressed).unwrap(), text.as_bytes());
         // Repetitive tag-like text must actually compress once it is big
         // enough to amortize headers.
         if text.len() > 2048 && level != Level::Store {
-            prop_assert!(compressed.len() < text.len());
+            assert!(compressed.len() < text.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn expansion_is_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096), level in levels()) {
+#[test]
+fn expansion_is_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E04);
+    for case in 0..64 {
+        let data = random_bytes(&mut rng, 4096);
+        let level = LEVELS[case % LEVELS.len()];
         // DEFLATE's stored fallback bounds expansion: 5 bytes per 64K
         // block plus a few bits of framing.
         let compressed = deflate(&data, level);
-        prop_assert!(
+        assert!(
             compressed.len() <= data.len() + 64,
             "expanded {} -> {}",
             data.len(),
             compressed.len()
         );
     }
+}
 
-    #[test]
-    fn truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048), cut in 0usize..2048) {
+#[test]
+fn truncation_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E05);
+    for _ in 0..64 {
+        let data = random_bytes(&mut rng, 2048);
         let compressed = deflate(&data, Level::Default);
-        let cut = cut.min(compressed.len());
+        let cut = rng.gen_range(0..2048usize).min(compressed.len());
         // Must return (Ok or Err), never panic.
         let _ = inflate(&compressed[..cut]);
         let _ = flate::inflate::inflate_prefix(&compressed[..cut]);
     }
+}
 
-    #[test]
-    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn garbage_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E06);
+    for _ in 0..64 {
+        let data = random_bytes(&mut rng, 512);
         let _ = inflate(&data);
         let _ = flate::zlib::decompress(&data);
         let _ = flate::zlib::decompress_prefix(&data);
     }
+}
 
-    #[test]
-    fn prefix_decode_is_a_prefix(data in proptest::collection::vec(any::<u8>(), 1..4096), cut_pct in 10usize..100) {
+#[test]
+fn prefix_decode_is_a_prefix() {
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E07);
+    for _ in 0..64 {
+        let len = rng.gen_range(1..4096usize);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
         let compressed = deflate(&data, Level::Default);
+        let cut_pct = rng.gen_range(10..100usize);
         let cut = compressed.len() * cut_pct / 100;
         if let Ok(partial) = flate::inflate::inflate_prefix(&compressed[..cut]) {
-            prop_assert!(partial.len() <= data.len());
-            prop_assert_eq!(&data[..partial.len()], &partial[..]);
+            assert!(partial.len() <= data.len());
+            assert_eq!(&data[..partial.len()], &partial[..]);
         }
     }
+}
 
-    #[test]
-    fn checksums_detect_single_bit_flips(
-        data in proptest::collection::vec(any::<u8>(), 1..512),
-        byte_idx in any::<usize>(),
-        bit in 0u8..8,
-    ) {
+#[test]
+fn checksums_detect_single_bit_flips() {
+    let mut rng = SmallRng::seed_from_u64(0x0F1A_7E08);
+    for _ in 0..64 {
+        let len = rng.gen_range(1..512usize);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
         let mut copy = data.clone();
-        let idx = byte_idx % copy.len();
+        let idx = rng.gen_range(0..copy.len());
+        let bit = rng.gen_range(0..8u8);
         copy[idx] ^= 1 << bit;
-        prop_assert_ne!(flate::adler32(&data), flate::adler32(&copy));
-        prop_assert_ne!(flate::crc32(&data), flate::crc32(&copy));
+        assert_ne!(flate::adler32(&data), flate::adler32(&copy));
+        assert_ne!(flate::crc32(&data), flate::crc32(&copy));
     }
 }

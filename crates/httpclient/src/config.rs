@@ -49,13 +49,7 @@ pub enum RequestStyle {
 
 impl RequestStyle {
     /// Construct a request for `path` in this product's style.
-    pub fn request(
-        self,
-        method: Method,
-        path: &str,
-        version: Version,
-        host: &str,
-    ) -> Request {
+    pub fn request(self, method: Method, path: &str, version: Version, host: &str) -> Request {
         let mut req = Request::new(method, path, version);
         match self {
             RequestStyle::Robot => {
@@ -81,8 +75,10 @@ impl RequestStyle {
             RequestStyle::Explorer => {
                 req.headers.append("Accept", "image/gif, image/x-xbitmap, image/jpeg, image/pjpeg, application/vnd.ms-excel, application/msword, application/vnd.ms-powerpoint, */*");
                 req.headers.append("Accept-Language", "en-us");
-                req.headers
-                    .append("User-Agent", "Mozilla/4.0 (compatible; MSIE 4.0b1; Windows NT)");
+                req.headers.append(
+                    "User-Agent",
+                    "Mozilla/4.0 (compatible; MSIE 4.0b1; Windows NT)",
+                );
                 req.headers.append("Host", host);
                 if version == Version::Http10 {
                     req.headers.append("Connection", "Keep-Alive");
@@ -246,7 +242,10 @@ mod tests {
             "www.microscape.example",
         );
         let n = req.wire_len();
-        assert!((100..=250).contains(&n), "robot request is compact, got {n}");
+        assert!(
+            (100..=250).contains(&n),
+            "robot request is compact, got {n}"
+        );
         // With revalidation headers it reaches the paper's ~190 B average.
         let conditional = req
             .with_header("If-None-Match", "\"2ca3-1a7b-33a1c7f2\"")
@@ -282,13 +281,10 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let c = ClientConfig::robot(
-            ProtocolMode::Http11Pipelined,
-            SockAddr::new(HostId(1), 80),
-        )
-        .with_deflate(true)
-        .with_app_flush(false)
-        .with_nodelay(false);
+        let c = ClientConfig::robot(ProtocolMode::Http11Pipelined, SockAddr::new(HostId(1), 80))
+            .with_deflate(true)
+            .with_app_flush(false)
+            .with_nodelay(false);
         assert!(c.accept_deflate);
         assert!(!c.app_flush);
         assert!(!c.nodelay);

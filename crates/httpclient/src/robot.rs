@@ -184,11 +184,7 @@ impl HttpClient {
     }
 
     /// Create with a primed cache (revalidation experiments).
-    pub fn with_cache(
-        config: ClientConfig,
-        workload: Workload,
-        cache: ClientCache,
-    ) -> HttpClient {
+    pub fn with_cache(config: ClientConfig, workload: Workload, cache: ClientCache) -> HttpClient {
         HttpClient {
             config,
             workload,
@@ -788,11 +784,9 @@ impl App for HttpClient {
             AppEvent::Readable(s) => {
                 self.on_readable(ctx, s);
             }
-            AppEvent::Timer(FLUSH_TOKEN) => {
-                if self.flush_armed {
-                    self.flush_armed = false;
-                    self.flush_all(ctx);
-                }
+            AppEvent::Timer(FLUSH_TOKEN) if self.flush_armed => {
+                self.flush_armed = false;
+                self.flush_all(ctx);
             }
             AppEvent::Timer(token) => match self.cpu_ops.remove(&token) {
                 Some(CpuOp::Gen(job)) => {
@@ -808,12 +802,13 @@ impl App for HttpClient {
             AppEvent::SendSpace(s) => self.push_out(ctx, s),
             AppEvent::PeerFin(s) => {
                 // Flush any close-delimited response.
-                let flushed = self.conns.get_mut(&s).and_then(|conn| {
-                    match conn.parser.finish() {
+                let flushed = self
+                    .conns
+                    .get_mut(&s)
+                    .and_then(|conn| match conn.parser.finish() {
                         Ok(Some(resp)) => conn.sent.pop_front().map(|job| (job, resp)),
                         _ => None,
-                    }
-                });
+                    });
                 if let Some((job, resp)) = flushed {
                     self.schedule_cpu(
                         ctx,

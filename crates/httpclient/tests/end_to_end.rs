@@ -16,9 +16,18 @@ fn small_store() -> Arc<SiteStore> {
         "filler text ".repeat(200)
     );
     let mut s = SiteStore::new();
-    s.insert("/index.html", Entity::new(html.into_bytes(), "text/html", 1000).with_deflate());
-    s.insert("/images/a.gif", Entity::new(vec![1u8; 3000], "image/gif", 1000));
-    s.insert("/images/b.gif", Entity::new(vec![2u8; 500], "image/gif", 1000));
+    s.insert(
+        "/index.html",
+        Entity::new(html.into_bytes(), "text/html", 1000).with_deflate(),
+    );
+    s.insert(
+        "/images/a.gif",
+        Entity::new(vec![1u8; 3000], "image/gif", 1000),
+    );
+    s.insert(
+        "/images/b.gif",
+        Entity::new(vec![2u8; 500], "image/gif", 1000),
+    );
     s.into_shared()
 }
 
@@ -103,7 +112,10 @@ fn http10_opens_one_connection_per_request() {
 
 #[test]
 fn http11_modes_use_one_connection() {
-    for mode in [ProtocolMode::Http11Persistent, ProtocolMode::Http11Pipelined] {
+    for mode in [
+        ProtocolMode::Http11Persistent,
+        ProtocolMode::Http11Pipelined,
+    ] {
         let mut r = browse(mode);
         assert_eq!(r.client().stats.connections_opened, 1, "{mode:?}");
         let s = r.stats();
@@ -120,7 +132,10 @@ fn wide_store(n: usize) -> Arc<SiteStore> {
     }
     html.push_str("</body></html>");
     let mut s = SiteStore::new();
-    s.insert("/index.html", Entity::new(html.into_bytes(), "text/html", 1000).with_deflate());
+    s.insert(
+        "/index.html",
+        Entity::new(html.into_bytes(), "text/html", 1000).with_deflate(),
+    );
     for i in 0..n {
         s.insert(
             &format!("/img/{i}.gif"),
@@ -133,12 +148,19 @@ fn wide_store(n: usize) -> Arc<SiteStore> {
 #[test]
 fn pipelining_reduces_packets() {
     let fetch = |mode| {
-        run(LinkConfig::lan(), ServerConfig::apache(80), wide_store(16), |addr| {
-            HttpClient::new(
-                ClientConfig::robot(mode, addr),
-                Workload::Browse { start: "/index.html".into() },
-            )
-        })
+        run(
+            LinkConfig::lan(),
+            ServerConfig::apache(80),
+            wide_store(16),
+            |addr| {
+                HttpClient::new(
+                    ClientConfig::robot(mode, addr),
+                    Workload::Browse {
+                        start: "/index.html".into(),
+                    },
+                )
+            },
+        )
         .stats()
         .total_packets()
     };
@@ -165,7 +187,9 @@ fn deflate_reduces_html_bytes_on_the_wire() {
         |addr| {
             HttpClient::new(
                 ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
-                Workload::Browse { start: "/index.html".into() },
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
             )
         },
     );
@@ -176,7 +200,9 @@ fn deflate_reduces_html_bytes_on_the_wire() {
         |addr| {
             HttpClient::new(
                 ClientConfig::robot(ProtocolMode::Http11Pipelined, addr).with_deflate(true),
-                Workload::Browse { start: "/index.html".into() },
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
             )
         },
     );
@@ -256,10 +282,7 @@ fn head_revalidation_transfers_html_but_not_images() {
         store,
         move |addr| {
             HttpClient::with_cache(
-                ClientConfig::robot(
-                    ProtocolMode::Http10Parallel { max_connections: 4 },
-                    addr,
-                ),
+                ClientConfig::robot(ProtocolMode::Http10Parallel { max_connections: 4 }, addr),
                 Workload::Revalidate {
                     start: "/index.html".into(),
                     style: RevalidationStyle::HeadRequests,
@@ -271,7 +294,11 @@ fn head_revalidation_transfers_html_but_not_images() {
     let stats = r.client().stats.clone();
     assert!(stats.done);
     assert_eq!(stats.fetched.len(), 3);
-    let html = stats.fetched.iter().find(|f| f.path == "/index.html").unwrap();
+    let html = stats
+        .fetched
+        .iter()
+        .find(|f| f.path == "/index.html")
+        .unwrap();
     assert_eq!(html.status, 200);
     assert!(html.body_len > 0, "1.0 profile re-fetches the HTML");
     for img in stats.fetched.iter().filter(|f| f.path != "/index.html") {
@@ -291,7 +318,9 @@ fn server_request_limit_with_graceful_close_recovers() {
         |addr| {
             HttpClient::new(
                 ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
-                Workload::Browse { start: "/index.html".into() },
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
             )
         },
     );
@@ -344,16 +373,25 @@ fn persistent_serializes_requests() {
     // With serialization, elapsed time on a high-latency link must be
     // at least requests x RTT; pipelining collapses that.
     let store = small_store();
-    let pers = run(LinkConfig::wan(), ServerConfig::apache(80), store.clone(), |addr| {
-        HttpClient::new(
-            ClientConfig::robot(ProtocolMode::Http11Persistent, addr),
-            Workload::Browse { start: "/index.html".into() },
-        )
-    });
+    let pers = run(
+        LinkConfig::wan(),
+        ServerConfig::apache(80),
+        store.clone(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Http11Persistent, addr),
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
+            )
+        },
+    );
     let pipe = run(LinkConfig::wan(), ServerConfig::apache(80), store, |addr| {
         HttpClient::new(
             ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
-            Workload::Browse { start: "/index.html".into() },
+            Workload::Browse {
+                start: "/index.html".into(),
+            },
         )
     });
     let t_pers = pers.stats().elapsed_secs();
@@ -377,7 +415,9 @@ fn flush_timer_saves_unflushed_requests() {
                 ClientConfig::robot(ProtocolMode::Http11Pipelined, addr)
                     .with_app_flush(false)
                     .with_flush_timeout(SimDuration::from_millis(1000)),
-                Workload::Browse { start: "/index.html".into() },
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
             )
         },
     );
@@ -415,7 +455,9 @@ fn missing_object_reported_as_404() {
         |addr| {
             HttpClient::new(
                 ClientConfig::robot(ProtocolMode::Http11Pipelined, addr),
-                Workload::FetchList { paths: vec!["/missing.gif".into()] },
+                Workload::FetchList {
+                    paths: vec!["/missing.gif".into()],
+                },
             )
         },
     );

@@ -167,7 +167,8 @@ impl HttpServer {
                 if let Some(lm) = entity.validators.last_modified {
                     resp.headers.set("Last-Modified", format_http_date(lm));
                 }
-                resp.headers.set("Content-Type", entity.content_type.clone());
+                resp.headers
+                    .set("Content-Type", entity.content_type.clone());
             }
             return resp;
         }
@@ -196,11 +197,8 @@ impl HttpServer {
                         match ranges[0].resolve(body.len() as u64) {
                             Some((off, len)) => {
                                 status = StatusCode::PARTIAL_CONTENT;
-                                content_range = Some(range::content_range(
-                                    off,
-                                    len,
-                                    body.len() as u64,
-                                ));
+                                content_range =
+                                    Some(range::content_range(off, len, body.len() as u64));
                                 body = body.slice(off as usize..(off + len) as usize);
                             }
                             None => {
@@ -222,7 +220,8 @@ impl HttpServer {
         if self.config.kind == ServerKind::Jigsaw {
             resp.headers.set("MIME-Version", "1.0");
         }
-        resp.headers.set("Content-Type", entity.content_type.clone());
+        resp.headers
+            .set("Content-Type", entity.content_type.clone());
         resp.headers.set("Content-Length", body.len().to_string());
         if let Some(enc) = content_encoding {
             resp.headers.set("Content-Encoding", enc);
@@ -255,7 +254,7 @@ impl HttpServer {
         if self
             .conns
             .get(&sock)
-            .is_none_or(|c| c.closing || c.draining)
+            .map_or(true, |c| c.closing || c.draining)
         {
             if let Some(conn) = self.conns.get_mut(&sock) {
                 conn.in_service = conn.in_service.saturating_sub(1);
@@ -415,7 +414,9 @@ mod tests {
         s.insert(
             "/index.html",
             Entity::new(
-                "<html>hello world hello world</html>".repeat(10).into_bytes(),
+                "<html>hello world hello world</html>"
+                    .repeat(10)
+                    .into_bytes(),
                 "text/html",
                 1000,
             )
@@ -504,8 +505,8 @@ mod tests {
     #[test]
     fn range_request_served() {
         let mut srv = server();
-        let req = Request::new(Method::Get, "/a.gif", Version::Http11)
-            .with_header("Range", "bytes=0-99");
+        let req =
+            Request::new(Method::Get, "/a.gif", Version::Http11).with_header("Range", "bytes=0-99");
         let resp = srv.respond(&req, SimTime::ZERO);
         assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
         assert_eq!(resp.body.len(), 100);

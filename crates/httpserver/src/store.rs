@@ -109,8 +109,7 @@ mod tests {
         let d = e.deflated.as_ref().unwrap();
         assert!(d.len() < html.len() / 3);
         // And it round-trips.
-        let back =
-            httpwire::coding::decode(httpwire::ContentCoding::Deflate, d).unwrap();
+        let back = httpwire::coding::decode(httpwire::ContentCoding::Deflate, d).unwrap();
         assert_eq!(back, html.as_bytes());
     }
 

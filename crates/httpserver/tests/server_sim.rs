@@ -72,7 +72,9 @@ fn store() -> Arc<SiteStore> {
     s.insert(
         "/index.html",
         Entity::new(
-            "<html><body>test page body</body></html>".repeat(20).into_bytes(),
+            "<html><body>test page body</body></html>"
+                .repeat(20)
+                .into_bytes(),
             "text/html",
             865_000_000,
         )
@@ -164,8 +166,7 @@ fn request_limit_marks_last_response_close() {
 
 #[test]
 fn deflate_served_when_negotiated() {
-    let wire = b"GET /index.html HTTP/1.1\r\nHost: x\r\nAccept-Encoding: deflate\r\n\r\n"
-        .to_vec();
+    let wire = b"GET /index.html HTTP/1.1\r\nHost: x\r\nAccept-Encoding: deflate\r\n\r\n".to_vec();
     let resps = run_raw(
         ServerConfig::apache(80).with_deflate(true),
         wire,
@@ -182,12 +183,14 @@ fn conditional_get_roundtrip_over_network() {
     // First fetch to learn the ETag, second conditional fetch gets 304.
     let wire = b"GET /big.gif HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
     let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Get]);
-    let etag = resps[0].headers.get("ETag").expect("etag present").to_string();
+    let etag = resps[0]
+        .headers
+        .get("ETag")
+        .expect("etag present")
+        .to_string();
 
-    let wire2 = format!(
-        "GET /big.gif HTTP/1.1\r\nHost: x\r\nIf-None-Match: {etag}\r\n\r\n"
-    )
-    .into_bytes();
+    let wire2 =
+        format!("GET /big.gif HTTP/1.1\r\nHost: x\r\nIf-None-Match: {etag}\r\n\r\n").into_bytes();
     let resps2 = run_raw(ServerConfig::apache(80), wire2, vec![Method::Get]);
     assert_eq!(resps2[0].status.0, 304);
     assert!(resps2[0].body.is_empty());
@@ -195,8 +198,7 @@ fn conditional_get_roundtrip_over_network() {
 
 #[test]
 fn range_request_over_network() {
-    let wire =
-        b"GET /big.gif HTTP/1.1\r\nHost: x\r\nRange: bytes=100-199\r\n\r\n".to_vec();
+    let wire = b"GET /big.gif HTTP/1.1\r\nHost: x\r\nRange: bytes=100-199\r\n\r\n".to_vec();
     let resps = run_raw(ServerConfig::apache(80), wire, vec![Method::Get]);
     assert_eq!(resps[0].status.0, 206);
     assert_eq!(resps[0].body, Bytes::from(vec![7u8; 100]));

@@ -93,8 +93,14 @@ mod tests {
     #[test]
     fn rfc_example() {
         // The canonical example from RFC 2068.
-        assert_eq!(format_http_date(784_111_777), "Sun, 06 Nov 1994 08:49:37 GMT");
-        assert_eq!(parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT"), Some(784_111_777));
+        assert_eq!(
+            format_http_date(784_111_777),
+            "Sun, 06 Nov 1994 08:49:37 GMT"
+        );
+        assert_eq!(
+            parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT"),
+            Some(784_111_777)
+        );
     }
 
     #[test]
@@ -111,7 +117,15 @@ mod tests {
 
     #[test]
     fn roundtrip_many() {
-        for &t in &[0u64, 1, 86_399, 86_400, 784_111_777, 867_715_200, 4_102_444_800] {
+        for &t in &[
+            0u64,
+            1,
+            86_399,
+            86_400,
+            784_111_777,
+            867_715_200,
+            4_102_444_800,
+        ] {
             assert_eq!(parse_http_date(&format_http_date(t)), Some(t), "t={t}");
         }
     }

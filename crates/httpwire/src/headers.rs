@@ -179,9 +179,6 @@ mod tests {
         let mut out = Vec::new();
         h.write_to(&mut out);
         assert_eq!(out.len(), h.wire_len());
-        assert_eq!(
-            out,
-            b"Host: www.example.com\r\nAccept: */*\r\n".to_vec()
-        );
+        assert_eq!(out, b"Host: www.example.com\r\nAccept: */*\r\n".to_vec());
     }
 }

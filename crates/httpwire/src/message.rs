@@ -184,8 +184,8 @@ mod tests {
     fn keep_alive_semantics() {
         let r10 = Request::new(Method::Get, "/", Version::Http10);
         assert!(!r10.wants_keep_alive());
-        let r10ka = Request::new(Method::Get, "/", Version::Http10)
-            .with_header("Connection", "Keep-Alive");
+        let r10ka =
+            Request::new(Method::Get, "/", Version::Http10).with_header("Connection", "Keep-Alive");
         assert!(r10ka.wants_keep_alive());
         let r11 = Request::new(Method::Get, "/", Version::Http11);
         assert!(r11.wants_keep_alive());
@@ -195,8 +195,8 @@ mod tests {
 
         let resp = Response::new(Version::Http11, StatusCode::OK);
         assert!(resp.keeps_alive());
-        let resp_close = Response::new(Version::Http11, StatusCode::OK)
-            .with_header("Connection", "close");
+        let resp_close =
+            Response::new(Version::Http11, StatusCode::OK).with_header("Connection", "close");
         assert!(!resp_close.keeps_alive());
     }
 
@@ -210,6 +210,9 @@ mod tests {
             .with_header("If-None-Match", "\"2ca3-1a7b-33a1c7f2\"")
             .with_header("Accept-Encoding", "deflate");
         let n = req.wire_len();
-        assert!((150..=250).contains(&n), "compact request is ~190B, got {n}");
+        assert!(
+            (150..=250).contains(&n),
+            "compact request is ~190B, got {n}"
+        );
     }
 }

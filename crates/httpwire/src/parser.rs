@@ -114,6 +114,7 @@ impl RequestParser {
     }
 
     /// Try to parse the next complete request.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Request>, ParseError> {
         let Some(head_end) = find_head_end(&self.buf) else {
             return Ok(None);
@@ -255,6 +256,7 @@ impl ResponseParser {
 
     /// Try to parse the next complete response. Close-delimited responses
     /// are only returned by [`ResponseParser::finish`].
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Response>, ParseError> {
         self.parse(false)
     }
@@ -449,7 +451,9 @@ mod tests {
         let mut p = ResponseParser::new();
         p.expect(Method::Get);
         p.expect(Method::Get);
-        p.feed(b"HTTP/1.1 304 Not Modified\r\nETag: \"x\"\r\n\r\nHTTP/1.1 304 Not Modified\r\n\r\n");
+        p.feed(
+            b"HTTP/1.1 304 Not Modified\r\nETag: \"x\"\r\n\r\nHTTP/1.1 304 Not Modified\r\n\r\n",
+        );
         assert_eq!(p.next().unwrap().unwrap().status, StatusCode::NOT_MODIFIED);
         assert_eq!(p.next().unwrap().unwrap().status, StatusCode::NOT_MODIFIED);
     }
@@ -534,7 +538,10 @@ mod tests {
         let mut p = RequestParser::new();
         p.feed(b"GET / HTTP/1.1\r\nX-Multi: a\r\nX-Multi: b\r\nX-Spacey:    v   \r\n\r\n");
         let req = p.next().unwrap().unwrap();
-        assert_eq!(req.headers.get_all("x-multi").collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(
+            req.headers.get_all("x-multi").collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
         assert_eq!(req.headers.get("x-spacey"), Some("v"));
     }
 }

@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn resolve_ranges() {
-        assert_eq!(ByteRange::FromTo(0, Some(255)).resolve(1000), Some((0, 256)));
+        assert_eq!(
+            ByteRange::FromTo(0, Some(255)).resolve(1000),
+            Some((0, 256))
+        );
         assert_eq!(ByteRange::FromTo(0, Some(255)).resolve(100), Some((0, 100)));
         assert_eq!(ByteRange::FromTo(990, None).resolve(1000), Some((990, 10)));
         assert_eq!(ByteRange::FromTo(1000, None).resolve(1000), None);

@@ -184,7 +184,10 @@ mod tests {
         assert_eq!(Method::Head.to_string(), "HEAD");
         assert!(!Method::Head.response_has_body());
         assert!(Method::Get.response_has_body());
-        assert!("get".parse::<Method>().is_err(), "methods are case-sensitive");
+        assert!(
+            "get".parse::<Method>().is_err(),
+            "methods are case-sensitive"
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl ETag {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        ETag::strong(format!("{:x}-{:x}-{:x}", h & 0xFFFF_FFFF, body.len(), mtime))
+        ETag::strong(format!(
+            "{:x}-{:x}-{:x}",
+            h & 0xFFFF_FFFF,
+            body.len(),
+            mtime
+        ))
     }
 
     /// Serialize with quotes (and `W/` prefix when weak).
@@ -159,10 +164,7 @@ pub fn if_range_matches(request_headers: &HeaderMap, entity: &Validators) -> boo
         return true; // no If-Range: the Range header stands on its own
     };
     if let Some(tag) = ETag::parse(val) {
-        return entity
-            .etag
-            .as_ref()
-            .is_some_and(|e| e.strong_eq(&tag));
+        return entity.etag.as_ref().is_some_and(|e| e.strong_eq(&tag));
     }
     if let (Some(date), Some(lm)) = (parse_http_date(val), entity.last_modified) {
         return lm <= date;
@@ -244,7 +246,7 @@ mod tests {
         };
         let mut req = HeaderMap::new();
         req.set("If-None-Match", "\"v1\"");
-        req.set("If-Modified-Since", &format_http_date(2000));
+        req.set("If-Modified-Since", format_http_date(2000));
         // ETag mismatch: serve even though the date would say 304.
         assert_eq!(evaluate_conditional(&req, &entity), CondResult::Serve);
     }
@@ -285,6 +287,9 @@ mod tests {
         let mut h = HeaderMap::new();
         v.write_headers(&mut h);
         assert_eq!(h.get("ETag"), Some("\"x\""));
-        assert_eq!(h.get("Last-Modified"), Some("Thu, 01 Jan 1970 00:00:00 GMT"));
+        assert_eq!(
+            h.get("Last-Modified"),
+            Some("Thu, 01 Jan 1970 00:00:00 GMT")
+        );
     }
 }

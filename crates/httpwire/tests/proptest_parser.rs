@@ -1,46 +1,72 @@
-//! Property tests for the HTTP message layer: serialization/parse
-//! roundtrips under arbitrary network fragmentation, chunked-coding
-//! roundtrips, and robustness against arbitrary bytes.
+//! Property-style tests for the HTTP message layer, driven by a
+//! deterministic seeded PRNG (the build environment has no crates.io
+//! access, so `proptest` is unavailable): serialization/parse roundtrips
+//! under arbitrary network fragmentation, chunked-coding roundtrips, and
+//! robustness against arbitrary bytes.
 
 use bytes::Bytes;
-use httpwire::{
-    Method, Request, RequestParser, Response, ResponseParser, StatusCode, Version,
-};
-use proptest::prelude::*;
+use httpwire::{Method, Request, RequestParser, Response, ResponseParser, StatusCode, Version};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn methods() -> impl Strategy<Value = Method> {
-    prop_oneof![
-        Just(Method::Get),
-        Just(Method::Head),
-        Just(Method::Post),
-        Just(Method::Put),
-    ]
+const METHODS: [Method; 4] = [Method::Get, Method::Head, Method::Post, Method::Put];
+
+fn pick_char(rng: &mut SmallRng, alphabet: &[u8]) -> char {
+    alphabet[rng.gen_range(0..alphabet.len())] as char
 }
 
-fn token() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9-]{0,15}"
+fn token(rng: &mut SmallRng) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-";
+    let mut s = String::new();
+    s.push(pick_char(rng, FIRST));
+    for _ in 0..rng.gen_range(0..16usize) {
+        s.push(pick_char(rng, REST));
+    }
+    s
 }
 
-fn header_value() -> impl Strategy<Value = String> {
-    "[ -~&&[^\r\n]]{0,40}".prop_map(|s| s.trim().to_string())
+fn header_value(rng: &mut SmallRng) -> String {
+    // Printable ASCII (no CR/LF), then trimmed like the proptest strategy.
+    let mut s = String::new();
+    for _ in 0..rng.gen_range(0..41usize) {
+        s.push(rng.gen_range(b' '..=b'~') as char);
+    }
+    s.trim().to_string()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn path(rng: &mut SmallRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/._-";
+    let mut s = String::from("/");
+    for _ in 0..rng.gen_range(0..31usize) {
+        s.push(pick_char(rng, CHARS));
+    }
+    s
+}
 
-    #[test]
-    fn request_roundtrip_under_fragmentation(
-        method in methods(),
-        path in "/[a-z0-9/._-]{0,30}",
-        headers in proptest::collection::vec((token(), header_value()), 0..8),
-        body in proptest::collection::vec(any::<u8>(), 0..256),
-        frag in 1usize..64,
-    ) {
-        let mut req = Request::new(method, path.clone(), Version::Http11);
+fn random_bytes(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn request_roundtrip_under_fragmentation() {
+    let mut rng = SmallRng::seed_from_u64(0x0047_7401);
+    for case in 0..64 {
+        let method = METHODS[rng.gen_range(0..METHODS.len())];
+        let target = path(&mut rng);
+        let headers: Vec<(String, String)> = (0..rng.gen_range(0..8usize))
+            .map(|_| (token(&mut rng), header_value(&mut rng)))
+            .collect();
+        let body = random_bytes(&mut rng, 256);
+        let frag = rng.gen_range(1..64usize);
+
+        let mut req = Request::new(method, target.clone(), Version::Http11);
         for (name, value) in &headers {
             // Skip names that collide with framing headers.
             if name.eq_ignore_ascii_case("content-length")
-                || name.eq_ignore_ascii_case("transfer-encoding") {
+                || name.eq_ignore_ascii_case("transfer-encoding")
+            {
                 continue;
             }
             req.headers.append(name, value.clone());
@@ -63,19 +89,24 @@ proptest! {
             parsed = parser.next().unwrap();
         }
         let parsed = parsed.expect("complete request parses");
-        prop_assert_eq!(parsed.method, method);
-        prop_assert_eq!(parsed.target, path);
+        assert_eq!(parsed.method, method, "case {case}");
+        assert_eq!(parsed.target, target, "case {case}");
         if method == Method::Post || method == Method::Put {
-            prop_assert_eq!(&parsed.body[..], &body[..]);
+            assert_eq!(&parsed.body[..], &body[..], "case {case}");
         }
-        prop_assert_eq!(parser.buffered(), 0);
+        assert_eq!(parser.buffered(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn pipelined_responses_roundtrip(
-        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..6),
-        frag in 1usize..48,
-    ) {
+#[test]
+fn pipelined_responses_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x0047_7402);
+    for case in 0..64 {
+        let bodies: Vec<Vec<u8>> = (0..rng.gen_range(1..6usize))
+            .map(|_| random_bytes(&mut rng, 200))
+            .collect();
+        let frag = rng.gen_range(1..48usize);
+
         let mut wire = Vec::new();
         let mut parser = ResponseParser::new();
         for body in &bodies {
@@ -93,18 +124,21 @@ proptest! {
                 got.push(r);
             }
         }
-        prop_assert_eq!(got.len(), bodies.len());
+        assert_eq!(got.len(), bodies.len(), "case {case}");
         for (resp, body) in got.iter().zip(&bodies) {
-            prop_assert_eq!(&resp.body[..], &body[..]);
+            assert_eq!(&resp.body[..], &body[..], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn chunked_roundtrip_any_chunk_size(
-        body in proptest::collection::vec(any::<u8>(), 0..600),
-        chunk_size in 1usize..128,
-        frag in 1usize..32,
-    ) {
+#[test]
+fn chunked_roundtrip_any_chunk_size() {
+    let mut rng = SmallRng::seed_from_u64(0x0047_7403);
+    for case in 0..64 {
+        let body = random_bytes(&mut rng, 600);
+        let chunk_size = rng.gen_range(1..128usize);
+        let frag = rng.gen_range(1..32usize);
+
         let enc = httpwire::chunked::encode(&body, chunk_size);
         let mut resp_wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
         resp_wire.extend_from_slice(&enc);
@@ -118,11 +152,15 @@ proptest! {
             }
         }
         let got = got.expect("chunked response completes");
-        prop_assert_eq!(&got.body[..], &body[..]);
+        assert_eq!(&got.body[..], &body[..], "case {case}");
     }
+}
 
-    #[test]
-    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn arbitrary_bytes_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0x0047_7404);
+    for _ in 0..64 {
+        let data = random_bytes(&mut rng, 512);
         let mut rp = RequestParser::new();
         rp.feed(&data);
         let _ = rp.next();
@@ -132,22 +170,31 @@ proptest! {
         let _ = sp.next();
         let _ = sp.finish();
     }
+}
 
-    #[test]
-    fn http_dates_roundtrip(secs in 0u64..4_000_000_000) {
+#[test]
+fn http_dates_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x0047_7405);
+    for _ in 0..64 {
+        let secs = rng.gen_range(0u64..4_000_000_000);
         let s = httpwire::format_http_date(secs);
-        prop_assert_eq!(httpwire::parse_http_date(&s), Some(secs));
+        assert_eq!(httpwire::parse_http_date(&s), Some(secs));
     }
+}
 
-    #[test]
-    fn range_headers_roundtrip(first in 0u64..100_000, len in 1u64..100_000) {
+#[test]
+fn range_headers_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x0047_7406);
+    for _ in 0..64 {
+        let first = rng.gen_range(0u64..100_000);
+        let len = rng.gen_range(1u64..100_000);
         let hdr = httpwire::range::format_range_header(&[httpwire::ByteRange::FromTo(
             first,
             Some(first + len - 1),
         )]);
         let parsed = httpwire::parse_range_header(&hdr).expect("parses");
-        prop_assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.len(), 1);
         let resolved = parsed[0].resolve(first + len).expect("satisfiable");
-        prop_assert_eq!(resolved, (first, len));
+        assert_eq!(resolved, (first, len));
     }
 }

@@ -86,4 +86,4 @@ pub use packet::{HostId, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
 pub use sim::{App, AppEvent, Ctx, Simulator, SocketId, SocketStats};
 pub use tcp::TcpConfig;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceRecord, TraceStats};
+pub use trace::{Trace, TraceMode, TraceRecord, TraceStats};

@@ -236,7 +236,10 @@ mod tests {
         let mut link = Link::new(HostId(0), HostId(1), LinkConfig::ppp());
         let (a, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(512));
         let (b, _) = link.transmit(SimTime::ZERO, HostId(1), &seg(512));
-        assert_eq!(a, b, "full duplex: reverse direction does not queue behind forward");
+        assert_eq!(
+            a, b,
+            "full duplex: reverse direction does not queue behind forward"
+        );
     }
 
     #[test]
@@ -255,11 +258,7 @@ mod tests {
 
     #[test]
     fn deterministic_drop_model() {
-        let mut link = Link::new(
-            HostId(0),
-            HostId(1),
-            LinkConfig::lan().with_drop_every(3),
-        );
+        let mut link = Link::new(HostId(0), HostId(1), LinkConfig::lan().with_drop_every(3));
         let mut outcomes = Vec::new();
         for _ in 0..6 {
             let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(100));
@@ -270,11 +269,7 @@ mod tests {
 
     #[test]
     fn pure_acks_never_dropped() {
-        let mut link = Link::new(
-            HostId(0),
-            HostId(1),
-            LinkConfig::lan().with_drop_every(1),
-        );
+        let mut link = Link::new(HostId(0), HostId(1), LinkConfig::lan().with_drop_every(1));
         let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(0));
         assert!(matches!(o, Transmit::Arrives(_)));
     }
@@ -296,8 +291,12 @@ mod tests {
         compressed.set_codec(|| Box::new(HalfCodec));
         let (outcome_p, raw) = plain.transmit(SimTime::ZERO, HostId(0), &seg(1000));
         let (outcome_c, small) = compressed.transmit(SimTime::ZERO, HostId(0), &seg(1000));
-        let Transmit::Arrives(tp) = outcome_p else { panic!() };
-        let Transmit::Arrives(tc) = outcome_c else { panic!() };
+        let Transmit::Arrives(tp) = outcome_p else {
+            panic!()
+        };
+        let Transmit::Arrives(tc) = outcome_c else {
+            panic!()
+        };
         assert!(tc < tp);
         assert_eq!(raw, 1040);
         assert_eq!(small, 540);

@@ -74,9 +74,7 @@ impl LzwSizer {
                         if self.next_code < MAX_CODES as u32 {
                             self.dict.insert((prefix, byte), self.next_code);
                             self.next_code += 1;
-                            if self.next_code.is_power_of_two()
-                                && self.code_bits < MAX_CODE_BITS
-                            {
+                            if self.next_code.is_power_of_two() && self.code_bits < MAX_CODE_BITS {
                                 self.code_bits += 1;
                             }
                         } else {

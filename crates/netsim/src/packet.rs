@@ -51,15 +51,45 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// A bare SYN (active open).
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// SYN+ACK (passive-open reply).
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// A plain acknowledgement.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// FIN piggybacked on an acknowledgement.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
     /// A bare reset.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
 }
 
 impl fmt::Display for TcpFlags {
@@ -119,9 +149,7 @@ impl Segment {
     /// The amount of sequence space this segment consumes
     /// (payload bytes, plus one for SYN and one for FIN).
     pub fn seq_space(&self) -> u64 {
-        self.payload.len() as u64
-            + u64::from(self.flags.syn)
-            + u64::from(self.flags.fin)
+        self.payload.len() as u64 + u64::from(self.flags.syn) + u64::from(self.flags.fin)
     }
 
     /// The sequence number of the octet just past this segment.

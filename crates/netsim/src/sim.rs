@@ -11,7 +11,7 @@ use crate::link::{Link, LinkConfig, Transmit};
 use crate::packet::{HostId, Segment, SockAddr};
 use crate::tcp::{Effects, SockNotify, State, Tcb, TcpConfig, TimerKind};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceRecord, TraceStats};
+use crate::trace::{Trace, TraceMode, TraceStats};
 use bytes::Bytes;
 use std::any::Any;
 use std::cmp::Reverse;
@@ -75,8 +75,14 @@ pub struct SocketStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum QueuedKind {
     Arrival,
-    TcpTimer { slot: u32, kind: TimerKind, epoch: u64 },
-    AppTimer { token: u64 },
+    TcpTimer {
+        slot: u32,
+        kind: TimerKind,
+        epoch: u64,
+    },
+    AppTimer {
+        token: u64,
+    },
 }
 
 struct QueuedEvent {
@@ -271,12 +277,9 @@ impl Kernel {
     }
 
     fn handle_arrival(&mut self, host: HostId, seg: Segment, sent: SimTime, physical: usize) {
-        self.trace.record(TraceRecord {
-            sent,
-            received: self.now,
-            segment: seg.clone(),
-            physical_bytes: physical,
-        });
+        // Borrow-only capture: in stats-only mode this is a pure
+        // accumulation, with no per-packet clone or allocation.
+        self.trace.observe(sent, self.now, &seg, physical);
 
         let key = (seg.dst.port, seg.src);
         let h = &self.hosts[host.0 as usize];
@@ -300,7 +303,13 @@ impl Kernel {
             let h = self.host(host);
             let slot = h.sockets.len() as u32;
             h.sockets.push(tcb);
-            h.demux.insert((local.port, remote), slot);
+            let prev = h.demux.insert((local.port, remote), slot);
+            debug_assert!(
+                prev.is_none(),
+                "passive open clobbered live demux entry ({}, {:?})",
+                local.port,
+                remote
+            );
             h.stats.sockets_used += 1;
             self.apply_effects(host, slot, &mut fx);
             self.update_peak(host);
@@ -324,15 +333,33 @@ impl Kernel {
 
     // --- socket syscalls used by Ctx -----------------------------------
 
-    fn sock<'a>(&'a mut self, id: SocketId) -> &'a mut Tcb {
+    fn sock(&mut self, id: SocketId) -> &mut Tcb {
         &mut self.hosts[id.host.0 as usize].sockets[id.slot as usize]
+    }
+
+    /// Ephemeral ports count up from 40000, wrapping back there after
+    /// 65535.
+    fn next_ephemeral_after(port: u16) -> u16 {
+        port.wrapping_add(1).max(40_000)
     }
 
     fn connect(&mut self, host: HostId, remote: SockAddr) -> SocketId {
         let cfg = self.host(host).tcp_config.clone();
         let h = self.host(host);
-        let port = h.next_ephemeral;
-        h.next_ephemeral = h.next_ephemeral.wrapping_add(1).max(40_000);
+        // Skip ports whose (port, remote) 4-tuple is still claimed by a
+        // live socket — a previous connection to the same peer may linger
+        // in TIME_WAIT long after the application closed it.
+        let mut port = h.next_ephemeral;
+        let mut scanned: u32 = 0;
+        while h.demux.contains_key(&(port, remote)) {
+            port = Self::next_ephemeral_after(port);
+            scanned += 1;
+            assert!(
+                scanned <= u16::MAX as u32,
+                "ephemeral ports to {remote:?} exhausted"
+            );
+        }
+        h.next_ephemeral = Self::next_ephemeral_after(port);
         let local = SockAddr::new(host, port);
         let mut fx = Effects::default();
         let now = self.now;
@@ -340,7 +367,11 @@ impl Kernel {
         let h = self.host(host);
         let slot = h.sockets.len() as u32;
         h.sockets.push(tcb);
-        h.demux.insert((port, remote), slot);
+        let prev = h.demux.insert((port, remote), slot);
+        debug_assert!(
+            prev.is_none(),
+            "active open clobbered live demux entry ({port}, {remote:?})"
+        );
         h.stats.sockets_used += 1;
         self.apply_effects(host, slot, &mut fx);
         self.update_peak(host);
@@ -533,6 +564,18 @@ impl Simulator {
         &self.kernel.trace
     }
 
+    /// Select how much of each packet the trace retains. Set this before
+    /// traffic flows: packets already observed stay in whatever form the
+    /// previous mode kept.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.kernel.trace.set_mode(mode);
+    }
+
+    /// The current trace capture mode.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.kernel.trace.mode()
+    }
+
     /// Statistics over all packets between `client` and `server`.
     pub fn stats(&self, client: HostId, server: HostId) -> TraceStats {
         self.kernel.trace.stats(client, server)
@@ -581,10 +624,7 @@ impl Simulator {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
         let mut processed = 0;
-        loop {
-            let Some(Reverse(head)) = self.kernel.queue.peek() else {
-                break;
-            };
+        while let Some(Reverse(head)) = self.kernel.queue.peek() {
             if head.at > deadline {
                 break;
             }
@@ -600,7 +640,8 @@ impl Simulator {
             match ev.kind {
                 QueuedKind::Arrival => {
                     let seg = ev.segment.expect("arrival carries a segment");
-                    self.kernel.handle_arrival(ev.host, seg, ev.sent, ev.physical);
+                    self.kernel
+                        .handle_arrival(ev.host, seg, ev.sent, ev.physical);
                 }
                 QueuedKind::TcpTimer { slot, kind, epoch } => {
                     self.kernel.handle_tcp_timer(ev.host, slot, kind, epoch);
@@ -701,7 +742,16 @@ mod tests {
     }
 
     fn echo_roundtrip(cfg: LinkConfig, payload_len: usize) -> (Simulator, HostId, HostId) {
+        echo_roundtrip_mode(cfg, payload_len, TraceMode::Full)
+    }
+
+    fn echo_roundtrip_mode(
+        cfg: LinkConfig,
+        payload_len: usize,
+        mode: TraceMode,
+    ) -> (Simulator, HostId, HostId) {
         let mut sim = Simulator::new();
+        sim.set_trace_mode(mode);
         let client = sim.add_host("client");
         let server = sim.add_host("server");
         sim.add_link(client, server, cfg);
@@ -834,5 +884,54 @@ mod tests {
         let (sim, _c, _s) = echo_roundtrip(LinkConfig::lan(), 10);
         let dump = sim.trace().dump();
         assert!(dump.contains("[S]"), "dump:\n{dump}");
+    }
+
+    /// The same simulation observed in both trace modes must report
+    /// identical statistics, while the stats-only run retains no records.
+    #[test]
+    fn stats_only_simulation_matches_full() {
+        for cfg in [
+            LinkConfig::lan(),
+            LinkConfig::wan(),
+            LinkConfig::lan().with_drop_every(7),
+        ] {
+            let (full, c1, s1) = echo_roundtrip_mode(cfg.clone(), 30_000, TraceMode::Full);
+            let (lean, c2, s2) = echo_roundtrip_mode(cfg, 30_000, TraceMode::StatsOnly);
+            assert_eq!(full.stats(c1, s1), lean.stats(c2, s2));
+            assert_eq!(full.trace().len(), lean.trace().len());
+            assert!(!full.trace().records().is_empty());
+            assert!(lean.trace().records().is_empty());
+            assert_eq!(lean.trace_mode(), TraceMode::StatsOnly);
+        }
+    }
+
+    /// Ephemeral allocation must skip (port, remote) 4-tuples still
+    /// claimed by live sockets instead of silently clobbering their demux
+    /// entries.
+    #[test]
+    fn ephemeral_port_allocation_skips_live_tuples() {
+        let mut sim = Simulator::new();
+        let client = sim.add_host("client");
+        let server = sim.add_host("server");
+        sim.add_link(client, server, LinkConfig::lan());
+        let remote = SockAddr::new(server, 80);
+        // Claim the first two candidate ports, as lingering TIME_WAIT
+        // connections to the same peer would.
+        sim.kernel.host(client).demux.insert((40_000, remote), 1000);
+        sim.kernel.host(client).demux.insert((40_001, remote), 1001);
+        let sock = sim.kernel.connect(client, remote);
+        let local = sim.kernel.sock(sock).local;
+        assert_eq!(local.port, 40_002, "first free port is chosen");
+        // A connection to a different peer is unaffected by those claims.
+        let other = SockAddr::new(server, 8080);
+        let sock2 = sim.kernel.connect(client, other);
+        assert_eq!(sim.kernel.sock(sock2).local.port, 40_003);
+    }
+
+    #[test]
+    fn ephemeral_ports_wrap_back_to_forty_thousand() {
+        assert_eq!(Kernel::next_ephemeral_after(40_000), 40_001);
+        assert_eq!(Kernel::next_ephemeral_after(u16::MAX), 40_000);
+        assert_eq!(Kernel::next_ephemeral_after(39_999), 40_000);
     }
 }

@@ -390,8 +390,10 @@ impl Tcb {
     /// Queue application data for transmission. Returns how many bytes were
     /// accepted (bounded by the send-buffer cap).
     pub fn app_send(&mut self, now: SimTime, data: &[u8], fx: &mut Effects) -> usize {
-        if !matches!(self.state, State::SynSent | State::SynRcvd | State::Established | State::CloseWait)
-            || self.fin_queued
+        if !matches!(
+            self.state,
+            State::SynSent | State::SynRcvd | State::Established | State::CloseWait
+        ) || self.fin_queued
         {
             return 0;
         }
@@ -541,7 +543,8 @@ impl Tcb {
 
     fn reset(&mut self, fx: &mut Effects, notify_peer: bool) {
         if notify_peer {
-            fx.segments.push(Segment::rst(self.local, self.remote, self.snd_nxt));
+            fx.segments
+                .push(Segment::rst(self.local, self.remote, self.snd_nxt));
             self.segments_sent += 1;
         }
         self.recv_buf.clear();
@@ -573,9 +576,7 @@ impl Tcb {
                 let _ = self.send_buf.split_to(drop);
                 self.buf_base = data_acked;
             }
-            if self.send_blocked
-                && self.unacked_bytes() < self.cfg.send_buffer
-            {
+            if self.send_blocked && self.unacked_bytes() < self.cfg.send_buffer {
                 self.send_blocked = false;
                 fx.notifications.push(SockNotify::SendSpace);
             }
@@ -673,8 +674,7 @@ impl Tcb {
         }
 
         // Drain the reassembly queue.
-        loop {
-            let Some((&s, _)) = self.reassembly.first_key_value() else { break };
+        while let Some((&s, _)) = self.reassembly.first_key_value() {
             if s > self.rcv_nxt {
                 break;
             }
@@ -835,8 +835,7 @@ impl Tcb {
                         self.cc.srtt_ns = Some((7 * srtt + sample) / 8);
                     }
                 }
-                let rto_ns =
-                    self.cc.srtt_ns.unwrap() + (4 * self.cc.rttvar_ns).max(10_000_000);
+                let rto_ns = self.cc.srtt_ns.unwrap() + (4 * self.cc.rttvar_ns).max(10_000_000);
                 self.cc.rto = SimDuration::from_nanos(rto_ns).max(self.cfg.min_rto);
                 self.cc.rtt_sample = None;
             }
@@ -900,7 +899,11 @@ impl Tcb {
     fn try_send(&mut self, now: SimTime, fx: &mut Effects) {
         if !matches!(
             self.state,
-            State::Established | State::CloseWait | State::FinWait1 | State::Closing | State::LastAck
+            State::Established
+                | State::CloseWait
+                | State::FinWait1
+                | State::Closing
+                | State::LastAck
         ) {
             return;
         }
@@ -992,8 +995,7 @@ impl Tcb {
                     let off = (data_start - self.buf_base) as usize;
                     let len = ((data_end - data_start) as usize).min(self.cfg.mss);
                     let payload = Bytes::copy_from_slice(&self.send_buf[off..off + len]);
-                    let fin = self.fin_sent
-                        && self.fin_seq == Some(data_start + len as u64);
+                    let fin = self.fin_sent && self.fin_seq == Some(data_start + len as u64);
                     self.emit_data_segment(data_start, payload, fin, fx);
                 } else if self.fin_sent && self.fin_seq == Some(self.snd_una) {
                     // Retransmit a bare FIN.
@@ -1059,13 +1061,13 @@ mod tests {
                 count += 1;
                 b.on_segment(now, &seg, &mut e);
             }
-            from_b.extend(e.segments.drain(..));
+            from_b.append(&mut e.segments);
             let mut e = fx();
             for seg in from_b.drain(..) {
                 count += 1;
                 a.on_segment(now, &seg, &mut e);
             }
-            from_a.extend(e.segments.drain(..));
+            from_a.append(&mut e.segments);
             if !from_a.is_empty() || !from_b.is_empty() {
                 progressed = true;
             }
@@ -1131,7 +1133,11 @@ mod tests {
         // than before; after one full-window ack, 2 * 1460 acked, cwnd
         // grows by min(acked, mss) = 1460 -> 3 segments, plus the window
         // slid by 2: 4 new segments may depart... at minimum more than 2.
-        assert!(e.segments.len() >= 3, "window opened: got {}", e.segments.len());
+        assert!(
+            e.segments.len() >= 3,
+            "window opened: got {}",
+            e.segments.len()
+        );
     }
 
     #[test]
@@ -1301,7 +1307,12 @@ mod tests {
             sfx.segments.iter().any(|seg| seg.flags.rst),
             "server must reset on data after close"
         );
-        let rst = sfx.segments.iter().find(|seg| seg.flags.rst).unwrap().clone();
+        let rst = sfx
+            .segments
+            .iter()
+            .find(|seg| seg.flags.rst)
+            .unwrap()
+            .clone();
 
         // The RST destroys the client's buffered response.
         let mut cfx = fx();
@@ -1385,8 +1396,10 @@ mod tests {
 
     #[test]
     fn send_buffer_cap_and_sendspace_notify() {
-        let mut cfg = TcpConfig::default();
-        cfg.send_buffer = 1000;
+        let cfg = TcpConfig {
+            send_buffer: 1000,
+            ..TcpConfig::default()
+        };
         let now = SimTime::ZERO;
         let mut cfx = fx();
         let mut c = Tcb::open_active(CLIENT, SERVER, cfg.clone(), now, &mut cfx);

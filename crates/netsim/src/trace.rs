@@ -5,10 +5,30 @@
 //! packets client→server, packets server→client, total packets, total bytes
 //! on the wire, elapsed seconds, and the percentage of bytes that are TCP/IP
 //! header overhead — [`TraceStats`] computes all of these.
+//!
+//! Capture runs in one of two [`TraceMode`]s. [`TraceMode::Full`] keeps every
+//! packet as a [`TraceRecord`] (required for [`Trace::dump`],
+//! [`Trace::xplot`] and [`Trace::time_sequence`]). [`TraceMode::StatsOnly`]
+//! folds each packet into per-host-pair [`TraceStats`] at arrival time and
+//! stores nothing else: no `Segment` clone, no unbounded record vector —
+//! the memory cost is O(host pairs) instead of O(packets), which is what the
+//! batch experiment matrix wants.
 
 use crate::packet::{HostId, Segment, TCP_IP_HEADER_BYTES};
 use crate::time::SimTime;
+use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
+
+/// How much of each captured packet the trace retains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TraceMode {
+    /// Keep every packet as a [`TraceRecord`] (tcpdump-style capture).
+    #[default]
+    Full,
+    /// Keep only per-host-pair aggregate [`TraceStats`], updated online.
+    StatsOnly,
+}
 
 /// One captured packet.
 #[derive(Debug, Clone)]
@@ -27,31 +47,114 @@ pub struct TraceRecord {
 /// A full capture of a simulation run.
 #[derive(Debug, Default)]
 pub struct Trace {
+    mode: TraceMode,
     records: Vec<TraceRecord>,
+    /// Online per-pair aggregates, keyed by the (low, high) host pair;
+    /// `packets_c2s` counts the low→high direction. Only populated in
+    /// [`TraceMode::StatsOnly`].
+    pair_stats: HashMap<(HostId, HostId), TraceStats>,
+    /// Packets observed regardless of mode.
+    observed: u64,
 }
 
 impl Trace {
-    /// Create a new, empty instance.
+    /// Create a new, empty instance in [`TraceMode::Full`].
     pub fn new() -> Self {
         Trace::default()
     }
 
-    /// Append a captured packet.
+    /// Create a new, empty instance in the given mode.
+    pub fn with_mode(mode: TraceMode) -> Self {
+        Trace {
+            mode,
+            ..Trace::default()
+        }
+    }
+
+    /// The capture mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Switch capture mode. Affects packets observed from now on; anything
+    /// already captured is kept as-is.
+    pub fn set_mode(&mut self, mode: TraceMode) {
+        self.mode = mode;
+    }
+
+    /// Observe one packet without taking ownership of it. In
+    /// [`TraceMode::Full`] this clones the segment into a stored
+    /// [`TraceRecord`]; in [`TraceMode::StatsOnly`] it only folds the packet
+    /// into the per-pair aggregates — the hot path the simulator uses.
+    pub fn observe(
+        &mut self,
+        sent: SimTime,
+        received: SimTime,
+        segment: &Segment,
+        physical_bytes: usize,
+    ) {
+        self.observed += 1;
+        match self.mode {
+            TraceMode::Full => self.records.push(TraceRecord {
+                sent,
+                received,
+                segment: segment.clone(),
+                physical_bytes,
+            }),
+            TraceMode::StatsOnly => self.accumulate(sent, received, segment, physical_bytes),
+        }
+    }
+
+    /// Append a captured packet (ownership-taking variant of [`observe`],
+    /// kept for tests and external captures).
+    ///
+    /// [`observe`]: Trace::observe
     pub fn record(&mut self, rec: TraceRecord) {
-        self.records.push(rec);
+        match self.mode {
+            TraceMode::Full => {
+                self.observed += 1;
+                self.records.push(rec);
+            }
+            TraceMode::StatsOnly => {
+                self.observe(rec.sent, rec.received, &rec.segment, rec.physical_bytes)
+            }
+        }
     }
 
-    /// True when nothing is contained.
+    fn accumulate(
+        &mut self,
+        sent: SimTime,
+        received: SimTime,
+        seg: &Segment,
+        physical_bytes: usize,
+    ) {
+        let (from, to) = (seg.src.host, seg.dst.host);
+        let (key, forward) = if from <= to {
+            ((from, to), true)
+        } else {
+            ((to, from), false)
+        };
+        self.pair_stats.entry(key).or_default().fold_packet(
+            seg,
+            forward,
+            sent,
+            received,
+            physical_bytes,
+        );
+    }
+
+    /// True when nothing has been observed.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.observed == 0
     }
 
-    /// Number of contained elements.
+    /// Number of packets observed (in either mode).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.observed as usize
     }
 
-    /// All captured packets in arrival order.
+    /// All captured packets in arrival order. Empty in
+    /// [`TraceMode::StatsOnly`], which does not retain records.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
     }
@@ -59,50 +162,53 @@ impl Trace {
     /// Drop all accumulated contents.
     pub fn clear(&mut self) {
         self.records.clear();
+        self.pair_stats.clear();
+        self.observed = 0;
     }
 
     /// Statistics over all packets flowing in either direction between the
     /// two hosts, with `client` defining the "client → server" direction.
+    /// Works in both modes and produces identical results.
     pub fn stats(&self, client: HostId, server: HostId) -> TraceStats {
-        let mut s = TraceStats::default();
-        for rec in &self.records {
-            let seg = &rec.segment;
-            let (from, to) = (seg.src.host, seg.dst.host);
-            if (from, to) == (client, server) {
-                s.packets_c2s += 1;
-            } else if (from, to) == (server, client) {
-                s.packets_s2c += 1;
-            } else {
-                continue;
+        match self.mode {
+            TraceMode::Full => {
+                let mut s = TraceStats::default();
+                for rec in &self.records {
+                    let seg = &rec.segment;
+                    let (from, to) = (seg.src.host, seg.dst.host);
+                    let c2s = if (from, to) == (client, server) {
+                        true
+                    } else if (from, to) == (server, client) {
+                        false
+                    } else {
+                        continue;
+                    };
+                    s.fold_packet(seg, c2s, rec.sent, rec.received, rec.physical_bytes);
+                }
+                s
             }
-            s.bytes += seg.wire_len() as u64;
-            s.physical_bytes += rec.physical_bytes as u64;
-            s.header_bytes += TCP_IP_HEADER_BYTES as u64;
-            s.payload_bytes += seg.payload.len() as u64;
-            if seg.flags.syn {
-                s.syns += 1;
+            TraceMode::StatsOnly => {
+                let (key, forward) = if client <= server {
+                    ((client, server), true)
+                } else {
+                    ((server, client), false)
+                };
+                let mut s = self.pair_stats.get(&key).copied().unwrap_or_default();
+                if !forward {
+                    std::mem::swap(&mut s.packets_c2s, &mut s.packets_s2c);
+                }
+                s
             }
-            if seg.flags.fin {
-                s.fins += 1;
-            }
-            if seg.flags.rst {
-                s.rsts += 1;
-            }
-            if seg.payload.is_empty() && !seg.flags.syn && !seg.flags.fin && !seg.flags.rst {
-                s.pure_acks += 1;
-            }
-            s.first = Some(s.first.map_or(rec.sent, |f: SimTime| f.min(rec.sent)));
-            s.last = Some(s.last.map_or(rec.received, |l: SimTime| l.max(rec.received)));
         }
-        s
     }
 
     /// Renders the capture in a compact tcpdump-like text form (useful when
-    /// debugging protocol behaviour in tests).
+    /// debugging protocol behaviour in tests). Requires [`TraceMode::Full`];
+    /// empty otherwise.
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for rec in &self.records {
-            out.push_str(&format!("{} {}\n", rec.sent, rec.segment));
+            let _ = writeln!(out, "{} {}", rec.sent, rec.segment);
         }
         out
     }
@@ -110,7 +216,7 @@ impl Trace {
     /// Time-sequence points for data flowing out of `from`: one
     /// `(seconds, sequence-end)` pair per data-bearing segment, in
     /// departure order — the series Shepard's `xplot` draws and the paper
-    /// used to find its implementation bugs.
+    /// used to find its implementation bugs. Requires [`TraceMode::Full`].
     pub fn time_sequence(&self, from: HostId) -> Vec<(f64, u64)> {
         self.records
             .iter()
@@ -121,12 +227,12 @@ impl Trace {
 
     /// Serialize the capture in xplot(1) format: data segments from
     /// `from` as green lines (retransmissions in red) and the returning
-    /// ACK series as yellow ticks.
+    /// ACK series as yellow ticks. Requires [`TraceMode::Full`].
     pub fn xplot(&self, from: HostId, title: &str) -> String {
         use std::collections::HashSet;
         let mut out = String::new();
         out.push_str("timeval unsigned\n");
-        out.push_str(&format!("title\n{title}\n"));
+        let _ = writeln!(out, "title\n{title}");
         out.push_str("xlabel\ntime\nylabel\nsequence number\n");
         let mut seen: HashSet<(u64, u64)> = HashSet::new();
         for rec in &self.records {
@@ -134,19 +240,21 @@ impl Trace {
             if seg.src.host == from && seg.has_payload() {
                 let fresh = seen.insert((seg.seq, seg.seq_end()));
                 let color = if fresh { "green" } else { "red" };
-                out.push_str(&format!(
-                    "{color}\nline {:.6} {} {:.6} {}\n",
+                let _ = writeln!(
+                    out,
+                    "{color}\nline {:.6} {} {:.6} {}",
                     rec.sent.as_secs_f64(),
                     seg.seq,
                     rec.sent.as_secs_f64(),
                     seg.seq_end(),
-                ));
+                );
             } else if seg.dst.host == from && seg.flags.ack {
-                out.push_str(&format!(
-                    "yellow\ntick {:.6} {}\n",
+                let _ = writeln!(
+                    out,
+                    "yellow\ntick {:.6} {}",
                     rec.received.as_secs_f64(),
                     seg.ack
-                ));
+                );
             }
         }
         out.push_str("go\n");
@@ -184,6 +292,42 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Fold one packet into the aggregates. `c2s` says whether it travels
+    /// in the client→server direction. Both trace modes funnel through
+    /// this, so their statistics agree by construction.
+    fn fold_packet(
+        &mut self,
+        seg: &Segment,
+        c2s: bool,
+        sent: SimTime,
+        received: SimTime,
+        physical_bytes: usize,
+    ) {
+        if c2s {
+            self.packets_c2s += 1;
+        } else {
+            self.packets_s2c += 1;
+        }
+        self.bytes += seg.wire_len() as u64;
+        self.physical_bytes += physical_bytes as u64;
+        self.header_bytes += TCP_IP_HEADER_BYTES as u64;
+        self.payload_bytes += seg.payload.len() as u64;
+        if seg.flags.syn {
+            self.syns += 1;
+        }
+        if seg.flags.fin {
+            self.fins += 1;
+        }
+        if seg.flags.rst {
+            self.rsts += 1;
+        }
+        if seg.payload.is_empty() && !seg.flags.syn && !seg.flags.fin && !seg.flags.rst {
+            self.pure_acks += 1;
+        }
+        self.first = Some(self.first.map_or(sent, |f: SimTime| f.min(sent)));
+        self.last = Some(self.last.map_or(received, |l: SimTime| l.max(received)));
+    }
+
     /// Packets in both directions.
     pub fn total_packets(&self) -> u64 {
         self.packets_c2s + self.packets_s2c
@@ -309,14 +453,10 @@ mod tests {
         seg.sent = SimTime::from_nanos(5_000_000);
         t.record(seg); // identical sequence range: a retransmission
         let plot = t.xplot(HostId(0), "demo");
-        assert!(plot.contains("green
-"));
-        assert!(plot.contains("red
-"), "{plot}");
-        assert!(plot.starts_with("timeval unsigned
-"));
-        assert!(plot.ends_with("go
-"));
+        assert!(plot.contains("green\n"));
+        assert!(plot.contains("red\n"), "{plot}");
+        assert!(plot.starts_with("timeval unsigned\n"));
+        assert!(plot.ends_with("go\n"));
     }
 
     #[test]
@@ -328,5 +468,56 @@ mod tests {
         let s = t.stats(HostId(0), HostId(1));
         assert_eq!(s.pure_acks, 1);
         assert_eq!(s.fins, 1);
+    }
+
+    /// Every packet pattern must produce identical statistics in both
+    /// modes; StatsOnly just computes them online.
+    #[test]
+    fn stats_only_matches_full() {
+        let traffic = [
+            rec(0, 1, TcpFlags::SYN, 0, 0),
+            rec(1, 0, TcpFlags::SYN_ACK, 0, 10),
+            rec(0, 1, TcpFlags::ACK, 100, 20),
+            rec(1, 0, TcpFlags::ACK, 1460, 30),
+            rec(1, 0, TcpFlags::ACK, 0, 40),
+            rec(2, 1, TcpFlags::ACK, 7, 50), // unrelated pair
+            rec(1, 0, TcpFlags::FIN_ACK, 0, 60),
+            rec(0, 1, TcpFlags::RST, 0, 70),
+        ];
+        let mut full = Trace::with_mode(TraceMode::Full);
+        let mut lean = Trace::with_mode(TraceMode::StatsOnly);
+        for r in &traffic {
+            full.record(r.clone());
+            lean.observe(r.sent, r.received, &r.segment, r.physical_bytes);
+        }
+        assert_eq!(
+            full.stats(HostId(0), HostId(1)),
+            lean.stats(HostId(0), HostId(1))
+        );
+        assert_eq!(
+            full.stats(HostId(2), HostId(1)),
+            lean.stats(HostId(2), HostId(1))
+        );
+        // Swapped direction also agrees.
+        assert_eq!(
+            full.stats(HostId(1), HostId(0)),
+            lean.stats(HostId(1), HostId(0))
+        );
+        assert_eq!(lean.len(), traffic.len());
+        assert!(lean.records().is_empty(), "StatsOnly retains no records");
+    }
+
+    #[test]
+    fn stats_only_retains_nothing_per_packet() {
+        let mut t = Trace::with_mode(TraceMode::StatsOnly);
+        for i in 0..10_000 {
+            t.record(rec(0, 1, TcpFlags::ACK, 100, i * 10));
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.records().is_empty());
+        assert_eq!(t.stats(HostId(0), HostId(1)).packets_c2s, 10_000);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats(HostId(0), HostId(1)), TraceStats::default());
     }
 }

@@ -1,10 +1,13 @@
-//! Property tests for the TCP simulator: reliable in-order delivery must
-//! hold for arbitrary payloads, arbitrary link parameters, deterministic
-//! loss patterns, and arbitrary application write chunkings.
+//! Property-style tests for the TCP simulator, driven by a deterministic
+//! seeded PRNG (the build environment has no crates.io access, so
+//! `proptest` is unavailable): reliable in-order delivery must hold for
+//! arbitrary payloads, arbitrary link parameters, deterministic loss
+//! patterns, and arbitrary application write chunkings.
 
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::{LinkConfig, SimDuration, Simulator, SockAddr, TcpConfig};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Sends `payload` in the given chunk sizes, then half-closes.
 struct ChunkSender {
@@ -108,67 +111,95 @@ fn run_transfer(
     (collector.received.clone(), collector.peer_closed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_bytes(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| rng.gen()).collect()
+}
 
-    #[test]
-    fn reliable_delivery_arbitrary_payload(
-        payload in proptest::collection::vec(any::<u8>(), 0..40_000),
-        chunks in proptest::collection::vec(1usize..4096, 0..40),
-        nodelay in any::<bool>(),
-    ) {
-        let mut tcp = TcpConfig::default();
-        tcp.nodelay = nodelay;
+#[test]
+fn reliable_delivery_arbitrary_payload() {
+    let mut rng = SmallRng::seed_from_u64(0x0007_C901);
+    for case in 0..48 {
+        let payload = random_bytes(&mut rng, 0, 40_000);
+        let chunks: Vec<usize> = (0..rng.gen_range(0..40usize))
+            .map(|_| rng.gen_range(1..4096usize))
+            .collect();
+        let tcp = TcpConfig {
+            nodelay: rng.gen(),
+            ..TcpConfig::default()
+        };
         let (received, closed) = run_transfer(payload.clone(), chunks, LinkConfig::lan(), tcp);
-        prop_assert_eq!(received, payload);
-        prop_assert!(closed);
+        assert_eq!(received, payload, "case {case}");
+        assert!(closed, "case {case}");
     }
+}
 
-    #[test]
-    fn reliable_delivery_under_loss(
-        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
-        drop_every in 2u64..40,
-    ) {
+#[test]
+fn reliable_delivery_under_loss() {
+    let mut rng = SmallRng::seed_from_u64(0x0007_C902);
+    for case in 0..48 {
+        let payload = random_bytes(&mut rng, 1, 20_000);
+        let drop_every = rng.gen_range(2u64..40);
         let link = LinkConfig::lan().with_drop_every(drop_every);
-        let (received, closed) =
-            run_transfer(payload.clone(), vec![], link, TcpConfig::default());
-        prop_assert_eq!(received, payload);
-        prop_assert!(closed);
+        let (received, closed) = run_transfer(payload.clone(), vec![], link, TcpConfig::default());
+        assert_eq!(received, payload, "case {case} drop_every {drop_every}");
+        assert!(closed, "case {case}");
     }
+}
 
-    #[test]
-    fn reliable_delivery_any_link_speed(
-        payload in proptest::collection::vec(any::<u8>(), 1..8_000),
-        kbps in 16u64..10_000,
-        delay_ms in 0u64..300,
-    ) {
+#[test]
+fn reliable_delivery_any_link_speed() {
+    let mut rng = SmallRng::seed_from_u64(0x0007_C903);
+    for case in 0..48 {
+        let payload = random_bytes(&mut rng, 1, 8_000);
+        let kbps = rng.gen_range(16u64..10_000);
+        let delay_ms = rng.gen_range(0u64..300);
         let link = LinkConfig {
             bits_per_sec: Some(kbps * 1000),
             propagation: SimDuration::from_millis(delay_ms),
             drop_every: None,
         };
         let (received, _) = run_transfer(payload.clone(), vec![], link, TcpConfig::default());
-        prop_assert_eq!(received, payload);
+        assert_eq!(
+            received, payload,
+            "case {case} kbps {kbps} delay {delay_ms}"
+        );
     }
+}
 
-    #[test]
-    fn reliable_delivery_small_windows(
-        payload in proptest::collection::vec(any::<u8>(), 1..10_000),
-        window_kb in 2usize..32,
-        mss in prop_oneof![Just(536usize), Just(1460usize)],
-    ) {
-        let mut tcp = TcpConfig::default();
-        tcp.recv_window = window_kb * 1024;
-        tcp.send_buffer = window_kb * 1024;
-        tcp.mss = mss;
+#[test]
+fn reliable_delivery_small_windows() {
+    let mut rng = SmallRng::seed_from_u64(0x0007_C904);
+    for case in 0..48 {
+        let payload = random_bytes(&mut rng, 1, 10_000);
+        let window_kb = rng.gen_range(2usize..32);
+        let mss = if rng.gen() { 536usize } else { 1460 };
+        let tcp = TcpConfig {
+            recv_window: window_kb * 1024,
+            send_buffer: window_kb * 1024,
+            mss,
+            ..TcpConfig::default()
+        };
         let (received, _) = run_transfer(payload.clone(), vec![], LinkConfig::lan(), tcp);
-        prop_assert_eq!(received, payload);
+        assert_eq!(
+            received, payload,
+            "case {case} window {window_kb}K mss {mss}"
+        );
     }
+}
 
-    #[test]
-    fn determinism(payload in proptest::collection::vec(any::<u8>(), 0..5_000)) {
-        let a = run_transfer(payload.clone(), vec![], LinkConfig::wan(), TcpConfig::default());
+#[test]
+fn determinism() {
+    let mut rng = SmallRng::seed_from_u64(0x0007_C905);
+    for case in 0..48 {
+        let payload = random_bytes(&mut rng, 0, 5_000);
+        let a = run_transfer(
+            payload.clone(),
+            vec![],
+            LinkConfig::wan(),
+            TcpConfig::default(),
+        );
         let b = run_transfer(payload, vec![], LinkConfig::wan(), TcpConfig::default());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

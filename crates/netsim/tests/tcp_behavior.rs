@@ -167,8 +167,10 @@ fn chatty_data_elapsed(nodelay: bool) -> f64 {
     let mut sim = Simulator::new();
     let c = sim.add_host("c");
     let s = sim.add_host("s");
-    let mut cfg = TcpConfig::default();
-    cfg.nodelay = nodelay;
+    let cfg = TcpConfig {
+        nodelay,
+        ..TcpConfig::default()
+    };
     sim.set_tcp_config(c, cfg);
     sim.add_link(c, s, LinkConfig::lan());
     sim.install_app(s, Box::new(Sink { got: 0 }));
@@ -218,9 +220,7 @@ fn retransmission_recovers_within_backoff() {
 #[test]
 fn mss_is_respected() {
     let (stats, _) = transfer(LinkConfig::lan(), 50 * 1024);
-    for rec in [stats] {
-        let _ = rec;
-    }
+    let _ = stats;
     // Re-run capturing the trace to check per-packet sizes.
     let mut sim = Simulator::new();
     let c = sim.add_host("c");

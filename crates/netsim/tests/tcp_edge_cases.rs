@@ -5,7 +5,9 @@
 use bytes::Bytes;
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::tcp::{Effects, SockNotify, State, Tcb, TcpConfig, TimerKind};
-use netsim::{HostId, LinkConfig, Segment, SimDuration, SimTime, Simulator, SockAddr, SocketId, TcpFlags};
+use netsim::{
+    HostId, LinkConfig, Segment, SimDuration, SimTime, Simulator, SockAddr, SocketId, TcpFlags,
+};
 
 const CLIENT: SockAddr = SockAddr::new(HostId(0), 40_000);
 const SERVER: SockAddr = SockAddr::new(HostId(1), 80);
@@ -36,8 +38,10 @@ fn handshake(client_cfg: TcpConfig, server_cfg: TcpConfig) -> (Tcb, Tcb) {
 fn zero_window_stalls_then_persist_probe_resumes() {
     // A receiver that never reads: its advertised window shrinks to zero
     // and the sender must stop, then probe.
-    let mut recv_cfg = TcpConfig::default();
-    recv_cfg.recv_window = 4096; // tiny receive buffer
+    let recv_cfg = TcpConfig {
+        recv_window: 4096, // tiny receive buffer
+        ..TcpConfig::default()
+    };
     let (mut c, mut s) = handshake(TcpConfig::default(), recv_cfg);
     let now = SimTime::ZERO;
 
@@ -51,12 +55,12 @@ fn zero_window_stalls_then_persist_probe_resumes() {
         for seg in outgoing.drain(..) {
             s.on_segment(now, &seg, &mut sfx);
         }
-        acks.extend(sfx.segments.drain(..));
+        acks.append(&mut sfx.segments);
         let mut cfx = fx();
         for ack in acks.drain(..) {
             c.on_segment(now, &ack, &mut cfx);
         }
-        outgoing.extend(cfx.segments.drain(..));
+        outgoing.append(&mut cfx.segments);
         if outgoing.is_empty() {
             break;
         }
@@ -245,8 +249,10 @@ fn socket_accounting_over_connection_burst() {
     let c = sim.add_host("client");
     let s = sim.add_host("server");
     // Short TIME_WAIT so sockets actually close during the run.
-    let mut cfg = TcpConfig::default();
-    cfg.time_wait = SimDuration::from_millis(50);
+    let cfg = TcpConfig {
+        time_wait: SimDuration::from_millis(50),
+        ..TcpConfig::default()
+    };
     sim.set_tcp_config(c, cfg.clone());
     sim.set_tcp_config(s, cfg);
     sim.add_link(c, s, LinkConfig::lan());
@@ -267,8 +273,5 @@ fn socket_accounting_over_connection_burst() {
         "at most 4 active plus closing stragglers, got {}",
         stats.max_simultaneous
     );
-    let _ = SocketId {
-        host: c,
-        slot: 0,
-    };
+    let _ = SocketId { host: c, slot: 0 };
 }

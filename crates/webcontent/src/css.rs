@@ -340,8 +340,14 @@ mod tests {
 
     #[test]
     fn errors_reported() {
-        assert_eq!(parse("P { color: red").unwrap_err(), CssError::UnterminatedBlock);
-        assert_eq!(parse("{ color: red }").unwrap_err(), CssError::MissingSelector);
+        assert_eq!(
+            parse("P { color: red").unwrap_err(),
+            CssError::UnterminatedBlock
+        );
+        assert_eq!(
+            parse("{ color: red }").unwrap_err(),
+            CssError::MissingSelector
+        );
         assert!(matches!(
             parse("P { colorred }").unwrap_err(),
             CssError::BadDeclaration(_)
@@ -380,7 +386,13 @@ mod tests {
                 60,
                 String::new(),
             ),
-            ("dot.gif".to_string(), ImageRole::Bullet, 120, 50, String::new()),
+            (
+                "dot.gif".to_string(),
+                ImageRole::Bullet,
+                120,
+                50,
+                String::new(),
+            ),
         ];
         let a = ReplacementAnalysis::analyze(&images);
         assert_eq!(a.replaced_count(), 2);

@@ -122,10 +122,7 @@ pub fn lzw_decompress(data: &[u8], min_code_size: u32) -> Result<Vec<u8>, GifErr
                 dict[code as usize].clone()
             }
             Some(p) => {
-                let prev_str = dict
-                    .get(p as usize)
-                    .cloned()
-                    .ok_or(GifError::BadLzwCode)?;
+                let prev_str = dict.get(p as usize).cloned().ok_or(GifError::BadLzwCode)?;
                 let entry = if (code as usize) < dict.len() {
                     dict[code as usize].clone()
                 } else if code as usize == dict.len() {

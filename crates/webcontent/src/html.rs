@@ -151,7 +151,11 @@ pub fn inline_image_sources(html: &str) -> Vec<String> {
     tokenize(html)
         .iter()
         .filter_map(|t| match t {
-            HtmlToken::Tag { name, attrs, closing } if !closing && name.eq_ignore_ascii_case("img") => {
+            HtmlToken::Tag {
+                name,
+                attrs,
+                closing,
+            } if !closing && name.eq_ignore_ascii_case("img") => {
                 attr_value(attrs, "src").map(|s| s.to_string())
             }
             _ => None,

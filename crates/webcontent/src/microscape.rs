@@ -61,49 +61,249 @@ struct ImageSpec {
 /// 8 larger with a 40 KB maximum.
 const STATIC_SPECS: [ImageSpec; 40] = [
     // 19 small images (< 1 KB): banners, bullets, spacers, rules, tiny icons.
-    ImageSpec { name: "dot_clear.gif", label: "", role: ImageRole::Spacer, target: 70 },
-    ImageSpec { name: "bullet1.gif", label: "", role: ImageRole::Bullet, target: 120 },
-    ImageSpec { name: "bullet2.gif", label: "", role: ImageRole::Bullet, target: 160 },
-    ImageSpec { name: "rule_gold.gif", label: "", role: ImageRole::Rule, target: 200 },
-    ImageSpec { name: "arrow_r.gif", label: "", role: ImageRole::Bullet, target: 240 },
-    ImageSpec { name: "spacer2.gif", label: "", role: ImageRole::Spacer, target: 280 },
-    ImageSpec { name: "new_flash.gif", label: "new!", role: ImageRole::TextBanner, target: 320 },
-    ImageSpec { name: "go.gif", label: "go", role: ImageRole::TextBanner, target: 360 },
-    ImageSpec { name: "search.gif", label: "search", role: ImageRole::TextBanner, target: 400 },
-    ImageSpec { name: "help.gif", label: "help", role: ImageRole::TextBanner, target: 440 },
-    ImageSpec { name: "news.gif", label: "news", role: ImageRole::TextBanner, target: 480 },
-    ImageSpec { name: "products.gif", label: "products", role: ImageRole::TextBanner, target: 520 },
-    ImageSpec { name: "download.gif", label: "download", role: ImageRole::TextBanner, target: 560 },
-    ImageSpec { name: "support.gif", label: "support", role: ImageRole::TextBanner, target: 620 },
-    ImageSpec { name: "solutions.gif", label: "solutions", role: ImageRole::TextBanner, target: 682 },
-    ImageSpec { name: "partners.gif", label: "partners", role: ImageRole::TextBanner, target: 740 },
-    ImageSpec { name: "icon_doc.gif", label: "", role: ImageRole::Icon, target: 800 },
-    ImageSpec { name: "icon_folder.gif", label: "", role: ImageRole::Icon, target: 860 },
-    ImageSpec { name: "icon_mail.gif", label: "", role: ImageRole::Icon, target: 918 },
+    ImageSpec {
+        name: "dot_clear.gif",
+        label: "",
+        role: ImageRole::Spacer,
+        target: 70,
+    },
+    ImageSpec {
+        name: "bullet1.gif",
+        label: "",
+        role: ImageRole::Bullet,
+        target: 120,
+    },
+    ImageSpec {
+        name: "bullet2.gif",
+        label: "",
+        role: ImageRole::Bullet,
+        target: 160,
+    },
+    ImageSpec {
+        name: "rule_gold.gif",
+        label: "",
+        role: ImageRole::Rule,
+        target: 200,
+    },
+    ImageSpec {
+        name: "arrow_r.gif",
+        label: "",
+        role: ImageRole::Bullet,
+        target: 240,
+    },
+    ImageSpec {
+        name: "spacer2.gif",
+        label: "",
+        role: ImageRole::Spacer,
+        target: 280,
+    },
+    ImageSpec {
+        name: "new_flash.gif",
+        label: "new!",
+        role: ImageRole::TextBanner,
+        target: 320,
+    },
+    ImageSpec {
+        name: "go.gif",
+        label: "go",
+        role: ImageRole::TextBanner,
+        target: 360,
+    },
+    ImageSpec {
+        name: "search.gif",
+        label: "search",
+        role: ImageRole::TextBanner,
+        target: 400,
+    },
+    ImageSpec {
+        name: "help.gif",
+        label: "help",
+        role: ImageRole::TextBanner,
+        target: 440,
+    },
+    ImageSpec {
+        name: "news.gif",
+        label: "news",
+        role: ImageRole::TextBanner,
+        target: 480,
+    },
+    ImageSpec {
+        name: "products.gif",
+        label: "products",
+        role: ImageRole::TextBanner,
+        target: 520,
+    },
+    ImageSpec {
+        name: "download.gif",
+        label: "download",
+        role: ImageRole::TextBanner,
+        target: 560,
+    },
+    ImageSpec {
+        name: "support.gif",
+        label: "support",
+        role: ImageRole::TextBanner,
+        target: 620,
+    },
+    ImageSpec {
+        name: "solutions.gif",
+        label: "solutions",
+        role: ImageRole::TextBanner,
+        target: 682,
+    },
+    ImageSpec {
+        name: "partners.gif",
+        label: "partners",
+        role: ImageRole::TextBanner,
+        target: 740,
+    },
+    ImageSpec {
+        name: "icon_doc.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 800,
+    },
+    ImageSpec {
+        name: "icon_folder.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 860,
+    },
+    ImageSpec {
+        name: "icon_mail.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 918,
+    },
     // 7 images of 1–2 KB: navigation art.
-    ImageSpec { name: "nav_home.gif", label: "", role: ImageRole::Icon, target: 1_100 },
-    ImageSpec { name: "nav_dev.gif", label: "", role: ImageRole::Icon, target: 1_250 },
-    ImageSpec { name: "nav_store.gif", label: "", role: ImageRole::Icon, target: 1_400 },
-    ImageSpec { name: "nav_intl.gif", label: "", role: ImageRole::Icon, target: 1_550 },
-    ImageSpec { name: "logo_corner.gif", label: "", role: ImageRole::Icon, target: 1_700 },
-    ImageSpec { name: "toolbar_l.gif", label: "", role: ImageRole::Icon, target: 1_850 },
-    ImageSpec { name: "toolbar_r.gif", label: "", role: ImageRole::Icon, target: 1_950 },
+    ImageSpec {
+        name: "nav_home.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 1_100,
+    },
+    ImageSpec {
+        name: "nav_dev.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 1_250,
+    },
+    ImageSpec {
+        name: "nav_store.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 1_400,
+    },
+    ImageSpec {
+        name: "nav_intl.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 1_550,
+    },
+    ImageSpec {
+        name: "logo_corner.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 1_700,
+    },
+    ImageSpec {
+        name: "toolbar_l.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 1_850,
+    },
+    ImageSpec {
+        name: "toolbar_r.gif",
+        label: "",
+        role: ImageRole::Icon,
+        target: 1_950,
+    },
     // 6 images of 2–3 KB: larger artwork.
-    ImageSpec { name: "masthead_l.gif", label: "", role: ImageRole::Photo, target: 2_100 },
-    ImageSpec { name: "masthead_r.gif", label: "", role: ImageRole::Photo, target: 2_300 },
-    ImageSpec { name: "promo_box1.gif", label: "", role: ImageRole::Photo, target: 2_500 },
-    ImageSpec { name: "promo_box2.gif", label: "", role: ImageRole::Photo, target: 2_600 },
-    ImageSpec { name: "promo_box3.gif", label: "", role: ImageRole::Photo, target: 2_800 },
-    ImageSpec { name: "sidebar_art.gif", label: "", role: ImageRole::Photo, target: 2_880 },
+    ImageSpec {
+        name: "masthead_l.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 2_100,
+    },
+    ImageSpec {
+        name: "masthead_r.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 2_300,
+    },
+    ImageSpec {
+        name: "promo_box1.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 2_500,
+    },
+    ImageSpec {
+        name: "promo_box2.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 2_600,
+    },
+    ImageSpec {
+        name: "promo_box3.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 2_800,
+    },
+    ImageSpec {
+        name: "sidebar_art.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 2_880,
+    },
     // 8 larger images; the 40 KB splash dominates.
-    ImageSpec { name: "feature1.gif", label: "", role: ImageRole::Photo, target: 3_100 },
-    ImageSpec { name: "feature2.gif", label: "", role: ImageRole::Photo, target: 3_300 },
-    ImageSpec { name: "feature3.gif", label: "", role: ImageRole::Photo, target: 3_600 },
-    ImageSpec { name: "banner_ad1.gif", label: "", role: ImageRole::Photo, target: 3_900 },
-    ImageSpec { name: "banner_ad2.gif", label: "", role: ImageRole::Photo, target: 4_200 },
-    ImageSpec { name: "screenshot.gif", label: "", role: ImageRole::Photo, target: 4_500 },
-    ImageSpec { name: "product_shot.gif", label: "", role: ImageRole::Photo, target: 5_969 },
-    ImageSpec { name: "splash_main.gif", label: "", role: ImageRole::Photo, target: 40_000 },
+    ImageSpec {
+        name: "feature1.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 3_100,
+    },
+    ImageSpec {
+        name: "feature2.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 3_300,
+    },
+    ImageSpec {
+        name: "feature3.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 3_600,
+    },
+    ImageSpec {
+        name: "banner_ad1.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 3_900,
+    },
+    ImageSpec {
+        name: "banner_ad2.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 4_200,
+    },
+    ImageSpec {
+        name: "screenshot.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 4_500,
+    },
+    ImageSpec {
+        name: "product_shot.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 5_969,
+    },
+    ImageSpec {
+        name: "splash_main.gif",
+        label: "",
+        role: ImageRole::Photo,
+        target: 40_000,
+    },
 ];
 
 /// The paper's published totals, used by calibration checks.
@@ -170,16 +370,14 @@ fn synthesize_static(spec: &ImageSpec, seed: u64) -> Vec<u8> {
             // Icon art: structured graphic sized so the target falls
             // inside the detail knob's range, then calibrated.
             let (w, h) = dims_for_target(spec.target, 1.6);
-            let (img, _) = synth::fit_to_gif_size(spec.target, 0.02, |d| {
-                synth::graphic(w, h, 16, d, seed)
-            });
+            let (img, _) =
+                synth::fit_to_gif_size(spec.target, 0.02, |d| synth::graphic(w, h, 16, d, seed));
             img
         }
         ImageRole::Photo => {
             let (w, h) = dims_for_target(spec.target, 1.5);
-            let (img, _) = synth::fit_to_gif_size(spec.target, 0.02, |d| {
-                synth::graphic(w, h, 64, d, seed)
-            });
+            let (img, _) =
+                synth::fit_to_gif_size(spec.target, 0.02, |d| synth::graphic(w, h, 64, d, seed));
             img
         }
         ImageRole::Animation => unreachable!("animations handled separately"),
@@ -199,7 +397,10 @@ fn dims_for_target(target: usize, aspect: f64) -> (u32, u32) {
 
 fn synthesize_animations() -> Vec<SiteObject> {
     // Two animations totalling ~24,988 bytes; the larger dominates.
-    let specs = [("anim_globe.gif", 140u32, 105u32, 13usize, 21u64), ("anim_new.gif", 112, 84, 8, 22)];
+    let specs = [
+        ("anim_globe.gif", 140u32, 105u32, 13usize, 21u64),
+        ("anim_new.gif", 112, 84, 8, 22),
+    ];
     specs
         .iter()
         .map(|&(name, w, h, frames, seed)| {
@@ -244,16 +445,38 @@ fn build_html(images: &[SiteObject]) -> String {
     // deterministically so the page deflates like real 1997 HTML
     // (roughly 3:1), not like pathological repetition.
     let subjects = [
-        "The network", "Our platform", "The new release", "Every intranet",
-        "The developer kit", "This quarter's update", "The component model",
-        "Our partner program", "The enterprise suite", "The browser",
-        "The style sheet engine", "Our server family", "The protocol stack",
-        "The graphics library", "Every workgroup", "The road map",
+        "The network",
+        "Our platform",
+        "The new release",
+        "Every intranet",
+        "The developer kit",
+        "This quarter's update",
+        "The component model",
+        "Our partner program",
+        "The enterprise suite",
+        "The browser",
+        "The style sheet engine",
+        "Our server family",
+        "The protocol stack",
+        "The graphics library",
+        "Every workgroup",
+        "The road map",
     ];
     let verbs = [
-        "delivers", "accelerates", "simplifies", "transforms", "extends",
-        "integrates", "streamlines", "redefines", "empowers", "connects",
-        "consolidates", "automates", "secures", "scales",
+        "delivers",
+        "accelerates",
+        "simplifies",
+        "transforms",
+        "extends",
+        "integrates",
+        "streamlines",
+        "redefines",
+        "empowers",
+        "connects",
+        "consolidates",
+        "automates",
+        "secures",
+        "scales",
     ];
     let objects = [
         "mission-critical publishing for distributed teams",
@@ -326,7 +549,9 @@ fn build_html(images: &[SiteObject]) -> String {
     let mut k = 0u64;
     while page.len() + 16 < PAPER_HTML_BYTES {
         // Deterministic mixed tokens, not a run of one character.
-        k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        k = k
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         page.push_str(&format!("{:04x}", (k >> 48) as u16));
         page.push(if k % 3 == 0 { '-' } else { ' ' });
     }
@@ -447,7 +672,7 @@ impl Microscape {
     /// browser would still fetch.
     pub fn css_variant(&self) -> CssVariant {
         use crate::css;
-        use crate::html::{tokenize, serialize, attr_value, HtmlToken};
+        use crate::html::{attr_value, serialize, tokenize, HtmlToken};
 
         let analysis = self.css_analysis();
         let mut rules = Vec::new();
@@ -476,7 +701,12 @@ impl Microscape {
 
         let mut tokens = tokenize(&self.html);
         for t in &mut tokens {
-            if let HtmlToken::Tag { name, attrs, closing } = t {
+            if let HtmlToken::Tag {
+                name,
+                attrs,
+                closing,
+            } = t
+            {
                 if !*closing && name.eq_ignore_ascii_case("head") {
                     continue;
                 }
@@ -520,7 +750,13 @@ impl Microscape {
                     "<IMG SRC=\"{}\" WIDTH=100 HEIGHT=30 BORDER=0 ALT=\"{}\">",
                     o.path, o.label
                 );
-                (o.path.clone(), role, o.body.len(), tag.len(), o.label.clone())
+                (
+                    o.path.clone(),
+                    role,
+                    o.body.len(),
+                    tag.len(),
+                    o.label.clone(),
+                )
             })
             .collect();
         ReplacementAnalysis::analyze(&items)
@@ -553,14 +789,14 @@ mod tests {
         let statics = s.static_image_bytes();
         let anims = s.animation_bytes();
         // Within 10% of the published totals.
-        let static_err = (statics as f64 - PAPER_STATIC_GIF_BYTES as f64).abs()
-            / PAPER_STATIC_GIF_BYTES as f64;
+        let static_err =
+            (statics as f64 - PAPER_STATIC_GIF_BYTES as f64).abs() / PAPER_STATIC_GIF_BYTES as f64;
         assert!(
             static_err < 0.10,
             "static bytes {statics} vs paper {PAPER_STATIC_GIF_BYTES} (err {static_err:.3})"
         );
-        let anim_err =
-            (anims as f64 - PAPER_ANIMATION_GIF_BYTES as f64).abs() / PAPER_ANIMATION_GIF_BYTES as f64;
+        let anim_err = (anims as f64 - PAPER_ANIMATION_GIF_BYTES as f64).abs()
+            / PAPER_ANIMATION_GIF_BYTES as f64;
         assert!(
             anim_err < 0.45,
             "animation bytes {anims} vs paper {PAPER_ANIMATION_GIF_BYTES} (err {anim_err:.3})"

@@ -98,8 +98,7 @@ fn decode_delta(prev: &IndexedImage, data: &[u8]) -> Result<IndexedImage, MngErr
     let mut i = 0usize; // position in runs
     while i + 8 <= runs.len() {
         let skip = u32::from_be_bytes([runs[i], runs[i + 1], runs[i + 2], runs[i + 3]]) as usize;
-        let len =
-            u32::from_be_bytes([runs[i + 4], runs[i + 5], runs[i + 6], runs[i + 7]]) as usize;
+        let len = u32::from_be_bytes([runs[i + 4], runs[i + 5], runs[i + 6], runs[i + 7]]) as usize;
         i += 8;
         pos += skip;
         if i + len > runs.len() || pos + len > img.pixels.len() {
@@ -164,8 +163,8 @@ pub fn decode(data: &[u8]) -> Result<Animation, MngError> {
     let mut frames: Vec<Frame> = Vec::new();
     let mut ended = false;
     while pos + 8 <= data.len() {
-        let len = u32::from_be_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
-            as usize;
+        let len =
+            u32::from_be_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]) as usize;
         let kind: [u8; 4] = data[pos + 4..pos + 8].try_into().unwrap();
         if pos + 8 + len + 4 > data.len() {
             return Err(MngError::Truncated);
@@ -292,6 +291,9 @@ mod tests {
         let anim = Animation::new(frames);
         let one = encode(&Animation::new(vec![anim.frames[0].clone()])).len();
         let five = encode(&anim).len();
-        assert!(five < one + 200, "static frames must be cheap: {one} -> {five}");
+        assert!(
+            five < one + 200,
+            "static frames must be cheap: {one} -> {five}"
+        );
     }
 }

@@ -218,7 +218,7 @@ pub fn encode(img: &IndexedImage, opts: PngOptions) -> Vec<u8> {
         for ft in 0..=4u8 {
             let cand = filter_line(ft, &line, &prev_line);
             let score: u64 = cand.iter().map(|&b| (b as i8).unsigned_abs() as u64).sum();
-            if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
+            if best.as_ref().map_or(true, |(_, _, s)| score < *s) {
                 best = Some((ft, cand, score));
             }
         }
@@ -258,8 +258,8 @@ pub fn decode(data: &[u8]) -> Result<DecodedPng, PngError> {
     let mut seen_iend = false;
 
     while pos + 8 <= data.len() {
-        let len = u32::from_be_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
-            as usize;
+        let len =
+            u32::from_be_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]) as usize;
         let kind = &data[pos + 4..pos + 8];
         if pos + 8 + len + 4 > data.len() {
             return Err(PngError::Truncated);
@@ -305,10 +305,8 @@ pub fn decode(data: &[u8]) -> Result<DecodedPng, PngError> {
                 }
                 idat.extend_from_slice(body);
             }
-            b"gAMA" => {
-                if body.len() == 4 {
-                    gamma = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
-                }
+            b"gAMA" if body.len() == 4 => {
+                gamma = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
             }
             b"IEND" => {
                 seen_iend = true;
@@ -323,7 +321,7 @@ pub fn decode(data: &[u8]) -> Result<DecodedPng, PngError> {
     }
 
     let raw = flate::zlib::decompress(&idat).map_err(|_| PngError::BadIdat)?;
-    let line_bytes = ((width as usize * depth as usize) + 7) / 8;
+    let line_bytes = (width as usize * depth as usize).div_ceil(8);
     if raw.len() != (line_bytes + 1) * height as usize {
         return Err(PngError::BadIdat);
     }
@@ -358,7 +356,11 @@ mod tests {
         let mut img = IndexedImage::solid(w, h, small_palette(colors));
         for y in 0..h {
             for x in 0..w {
-                img.set(x, y, (((x + y) * colors as u32 / (w + h)) % colors as u32) as u8);
+                img.set(
+                    x,
+                    y,
+                    (((x + y) * colors as u32 / (w + h)) % colors as u32) as u8,
+                );
             }
         }
         img
@@ -379,9 +381,25 @@ mod tests {
     #[test]
     fn gamma_chunk_is_exactly_16_bytes() {
         let img = gradient(10, 10, 4);
-        let with = encode(&img, PngOptions { gamma: true, level: Level::Default });
-        let without = encode(&img, PngOptions { gamma: false, level: Level::Default });
-        assert_eq!(with.len() - without.len(), 16, "the paper: gamma adds 16 bytes");
+        let with = encode(
+            &img,
+            PngOptions {
+                gamma: true,
+                level: Level::Default,
+            },
+        );
+        let without = encode(
+            &img,
+            PngOptions {
+                gamma: false,
+                level: Level::Default,
+            },
+        );
+        assert_eq!(
+            with.len() - without.len(),
+            16,
+            "the paper: gamma adds 16 bytes"
+        );
         let dec = decode(&with).unwrap();
         assert_eq!(dec.gamma, Some(45_455));
         assert_eq!(decode(&without).unwrap().gamma, None);
@@ -450,10 +468,7 @@ mod tests {
         let img = IndexedImage::solid(12, 12, small_palette(2));
         let png = encode(&img, PngOptions::default()).len();
         let gif = crate::gif::encode(&img).len();
-        assert!(
-            png > gif,
-            "tiny PNG ({png}) should exceed tiny GIF ({gif})"
-        );
+        assert!(png > gif, "tiny PNG ({png}) should exceed tiny GIF ({gif})");
     }
 
     #[test]

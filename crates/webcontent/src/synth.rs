@@ -134,6 +134,9 @@ pub fn icon(width: u32, height: u32, colors: usize, seed: u64) -> IndexedImage {
 
 /// A photographic thumbnail: low-frequency gradients plus per-pixel noise,
 /// quantized to a medium palette. `detail` in [0,1] scales the noise.
+// 6.28 is frozen: substituting `f64::consts::TAU` would change every
+// generated byte and invalidate the calibrated content sizes.
+#[allow(clippy::approx_constant)]
 pub fn photo(width: u32, height: u32, colors: usize, detail: f64, seed: u64) -> IndexedImage {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut img = IndexedImage::solid(width, height, small_palette(colors));
@@ -223,6 +226,9 @@ pub fn graphic(width: u32, height: u32, colors: usize, detail: f64, seed: u64) -
 /// A substantial fraction of pixels changes each frame, so inter-frame
 /// coding helps but is no free lunch — matching the paper's observed
 /// GIF→MNG ratio rather than a degenerate all-static one.
+// 6.28318 is frozen: substituting `f64::consts::TAU` would change every
+// generated byte and invalidate the calibrated content sizes.
+#[allow(clippy::approx_constant)]
 pub fn animation(width: u32, height: u32, frames: usize, seed: u64) -> Animation {
     let mut rng = SmallRng::seed_from_u64(seed);
     let background = icon(width, height, 8, rng.gen());
@@ -327,10 +333,16 @@ mod tests {
     fn detail_increases_size() {
         let small = gif::encode(&photo(64, 64, 32, 0.0, 1)).len();
         let big = gif::encode(&photo(64, 64, 32, 1.0, 1)).len();
-        assert!(big > small * 3 / 2, "noise must inflate GIF size: {small} -> {big}");
+        assert!(
+            big > small * 3 / 2,
+            "noise must inflate GIF size: {small} -> {big}"
+        );
         let small = gif::encode(&graphic(120, 90, 32, 0.0, 1)).len();
         let big = gif::encode(&graphic(120, 90, 32, 1.0, 1)).len();
-        assert!(big > small * 3, "detail must inflate GIF size: {small} -> {big}");
+        assert!(
+            big > small * 3,
+            "detail must inflate GIF size: {small} -> {big}"
+        );
     }
 
     #[test]
@@ -340,8 +352,7 @@ mod tests {
             (140, 100, 32, 4000),
             (56, 40, 8, 700),
         ] {
-            let (_img, size) =
-                fit_to_gif_size(target, 0.05, |d| graphic(w, h, colors, d, 99));
+            let (_img, size) = fit_to_gif_size(target, 0.05, |d| graphic(w, h, colors, d, 99));
             let err = (size as f64 - target as f64).abs() / target as f64;
             assert!(err <= 0.25, "target {target}: got {size} (err {err:.2})");
         }
