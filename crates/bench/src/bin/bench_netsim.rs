@@ -14,6 +14,7 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::protocol_matrix::matrix_setups;
+use httpipe_core::experiments::robustness;
 use httpipe_core::harness::{matrix_spec, run_cells_threaded, worker_threads, CellSpec};
 use httpipe_core::result::CellResult;
 use httpserver::ServerKind;
@@ -150,6 +151,34 @@ fn main() {
     println!("  stats-only over full (serial):     {speedup_stats:.2}x");
     println!("  combined over serial full:         {speedup_combined:.2}x");
 
+    // ---- Robustness grid: impaired-link cells through both executors ----
+    let rob_points = robustness::full_grid();
+    let rob_specs = || rob_points.iter().map(|p| p.spec()).collect::<Vec<_>>();
+    let mk_cells = |cells: Vec<CellResult>| {
+        rob_points
+            .iter()
+            .zip(cells)
+            .map(|(&point, cell)| robustness::RobustnessCell { point, cell })
+            .collect::<Vec<_>>()
+    };
+    let start = Instant::now();
+    let rob_serial = run_cells_threaded(rob_specs(), Some(1));
+    let rob_serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let rob_parallel = run_cells_threaded(rob_specs(), None);
+    let rob_parallel_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        rob_serial, rob_parallel,
+        "robustness grid: parallel disagrees with serial"
+    );
+    let rob_digest = robustness::report_digest(&mk_cells(rob_serial));
+    let rob_speedup = rob_serial_secs / rob_parallel_secs;
+    println!(
+        "  robustness grid ({} impaired cells): serial {rob_serial_secs:.3}s, \
+         parallel {rob_parallel_secs:.3}s ({rob_speedup:.2}x), digest {rob_digest:#018x}",
+        rob_points.len()
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"netsim_matrix\",");
@@ -180,8 +209,15 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"speedup_combined_over_serial_full\": {speedup_combined:.4}"
+        "  \"speedup_combined_over_serial_full\": {speedup_combined:.4},"
     );
+    let _ = writeln!(json, "  \"robustness_cells\": {},", rob_points.len());
+    let _ = writeln!(json, "  \"robustness_serial_secs\": {rob_serial_secs:.6},");
+    let _ = writeln!(
+        json,
+        "  \"robustness_parallel_secs\": {rob_parallel_secs:.6},"
+    );
+    let _ = writeln!(json, "  \"robustness_digest\": \"{rob_digest:#018x}\"");
     json.push_str("}\n");
 
     std::fs::write("BENCH_netsim.json", &json).expect("write BENCH_netsim.json");

@@ -8,8 +8,8 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges, summary,
-    verbosity,
+    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges,
+    robustness, summary, verbosity,
 };
 use httpserver::ServerKind;
 
@@ -178,6 +178,20 @@ fn experiments() -> Vec<Experiment> {
             id: "verbosity",
             what: "HTTP request redundancy and the compact-encoding headroom",
             run: || println!("{}", verbosity::verbosity_table().render()),
+        },
+        Experiment {
+            id: "robustness",
+            what: "Protocol matrix under packet loss + jitter/reordering study",
+            run: || {
+                let cells = robustness::run_points(&robustness::full_grid());
+                for t in robustness::report(&cells) {
+                    println!("{}", t.render());
+                }
+                println!(
+                    "{}",
+                    robustness::jitter_table(&robustness::jitter_study()).render()
+                );
+            },
         },
         Experiment {
             id: "xplot",

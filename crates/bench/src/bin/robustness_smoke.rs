@@ -1,0 +1,67 @@
+//! `robustness_smoke` — CI determinism gate for the impairment pipeline.
+//!
+//! Runs the reduced robustness grid twice through the parallel executor
+//! (thread count from `HTTPIPE_THREADS`, as in CI) and asserts that both
+//! passes render bit-identical reports. Any nondeterminism in the
+//! seeded impairment streams, the trace accounting or the thread pool
+//! shows up as a digest mismatch and a nonzero exit.
+//!
+//! ```text
+//! HTTPIPE_THREADS=8 cargo run --release -p httpipe-bench --bin robustness_smoke
+//! ```
+
+use httpipe_core::experiments::robustness::{self, RobustnessCell};
+use httpipe_core::harness::{run_cells, worker_threads};
+use std::time::Instant;
+
+fn run_once(points: &[robustness::RobustnessPoint]) -> Vec<RobustnessCell> {
+    let specs = points.iter().map(|p| p.spec()).collect();
+    points
+        .iter()
+        .zip(run_cells(specs))
+        .map(|(&point, cell)| RobustnessCell { point, cell })
+        .collect()
+}
+
+fn main() {
+    let points = robustness::reduced_grid();
+    let threads = worker_threads(points.len());
+    println!(
+        "robustness smoke: {} cells, {} worker threads, 2 passes",
+        points.len(),
+        threads
+    );
+
+    let start = Instant::now();
+    let first = run_once(&points);
+    let first_digest = robustness::report_digest(&first);
+    let second = run_once(&points);
+    let second_digest = robustness::report_digest(&second);
+    let secs = start.elapsed().as_secs_f64();
+
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a.cell, b.cell,
+            "nondeterministic cell {:?} / {:?}",
+            a.point, b.point
+        );
+    }
+    assert_eq!(
+        first_digest, second_digest,
+        "report digests differ between passes"
+    );
+
+    let lossy_rexmit: u64 = first
+        .iter()
+        .filter(|c| c.point.loss_pct > 0.0)
+        .map(|c| c.cell.retransmits)
+        .sum();
+    assert!(
+        lossy_rexmit > 0,
+        "lossy cells produced no retransmissions at all"
+    );
+
+    println!("  digest {first_digest:#018x} on both passes ({secs:.2}s total)");
+    println!("  lossy-cell retransmissions: {lossy_rexmit}");
+    println!("robustness smoke: OK");
+}

@@ -92,6 +92,7 @@ fn browser_spec(browser: Browser, server_kind: ServerKind, first_time: bool) -> 
         workload,
         cache,
         link_codec: None,
+        impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
     }

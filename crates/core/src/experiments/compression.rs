@@ -79,6 +79,7 @@ pub fn modem_cells(server_kind: ServerKind) -> (CellResult, CellResult) {
             cache: ClientCache::new(),
             // The modem pair compresses the PPP stream either way.
             link_codec: Some(|| Box::new(ModemCompressor::new())),
+            impair: None,
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
         };

@@ -129,6 +129,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             },
             cache: ClientCache::new(),
             link_codec: None,
+            impair: None,
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
         };
@@ -155,6 +156,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             },
             cache: ClientCache::new(),
             link_codec: None,
+            impair: None,
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
         };

@@ -8,5 +8,6 @@ pub mod content;
 pub mod nagle;
 pub mod protocol_matrix;
 pub mod ranges;
+pub mod robustness;
 pub mod summary;
 pub mod verbosity;

@@ -126,6 +126,10 @@ pub fn run_revisit_cell(env: NetEnv, idiom: RevisitIdiom) -> CellResult {
         body_bytes: cs.body_bytes() as u64,
         retries: cs.retries,
         resets: cs.resets,
+        retransmits: stats.retransmitted_packets,
+        drops: stats.drops(),
+        dups: stats.dup_packets,
+        reorders: stats.reordered_packets,
     }
 }
 

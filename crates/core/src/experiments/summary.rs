@@ -30,6 +30,7 @@ pub fn baseline_cell() -> CellResult {
         },
         cache: ClientCache::new(),
         link_codec: None,
+        impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
     };
@@ -80,6 +81,7 @@ pub fn all_techniques_cell() -> CellResult {
         },
         cache: ClientCache::new(),
         link_codec: None,
+        impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
     };

@@ -162,6 +162,9 @@ pub struct CellSpec {
     pub cache: ClientCache,
     /// Install a modem compressor on the link.
     pub link_codec: Option<fn() -> Box<dyn LinkCodec>>,
+    /// Impair the link (loss, jitter, reordering, duplication, outages).
+    /// `None` leaves the environment's ideal link untouched.
+    pub impair: Option<netsim::ImpairConfig>,
     /// Override the TCP parameters on both hosts (ablations).
     pub tcp: Option<netsim::TcpConfig>,
     /// How much of each packet the trace retains. Batch experiment runs
@@ -194,6 +197,9 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
     let client_host = sim.add_host("client");
     let server_host = sim.add_host("server");
     sim.add_link(client_host, server_host, spec.env.link());
+    if let Some(impair) = spec.impair.clone() {
+        sim.set_impairment(client_host, server_host, impair);
+    }
     if let Some(tcp) = spec.tcp.clone() {
         sim.set_tcp_config(client_host, tcp.clone());
         sim.set_tcp_config(server_host, tcp);
@@ -242,6 +248,10 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
         body_bytes: client_stats.body_bytes() as u64,
         retries: client_stats.retries,
         resets: client_stats.resets,
+        retransmits: stats.retransmitted_packets,
+        drops: stats.drops(),
+        dups: stats.dup_packets,
+        reorders: stats.reordered_packets,
     };
     RunOutput {
         cell,
@@ -307,6 +317,7 @@ pub fn matrix_spec(
         workload,
         cache,
         link_codec: None,
+        impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
     }

@@ -30,6 +30,14 @@ pub struct CellResult {
     pub retries: u64,
     /// RST events observed by the client.
     pub resets: u64,
+    /// TCP segments retransmitted on the wire (either direction).
+    pub retransmits: u64,
+    /// Packets the network dropped (loss + outage + queue overflow).
+    pub drops: u64,
+    /// Packets the network duplicated.
+    pub dups: u64,
+    /// Packets that overtook an earlier packet in flight.
+    pub reorders: u64,
 }
 
 impl CellResult {

@@ -9,8 +9,10 @@
 //!
 //! * a virtual clock and event queue ([`time`], [`sim`]);
 //! * point-to-point links with bandwidth, propagation delay, FIFO
-//!   serialization, optional deterministic loss, and optional modem-style
-//!   link compression ([`link`], [`modem`]);
+//!   serialization, optional modem-style link compression, and a
+//!   seeded-deterministic impairment pipeline — loss (uniform or bursty),
+//!   jitter, reordering, duplication, scheduled outages and queue bounds
+//!   ([`link`], [`modem`], [`impair`]);
 //! * a TCP state machine implementing the mechanisms above, including
 //!   correct half-close and RST-on-data-after-close semantics ([`tcp`]);
 //! * an event-driven application model with a BSD-like socket API
@@ -72,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod impair;
 pub mod link;
 pub mod modem;
 pub mod packet;
@@ -80,10 +83,11 @@ pub mod tcp;
 pub mod time;
 pub mod trace;
 
+pub use impair::{DropReason, ImpairConfig, JitterModel, LossModel, Outage};
 pub use link::{Link, LinkCodec, LinkConfig, Transmit};
 pub use modem::ModemCompressor;
 pub use packet::{HostId, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
 pub use sim::{App, AppEvent, Ctx, Simulator, SocketId, SocketStats};
 pub use tcp::TcpConfig;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceMode, TraceRecord, TraceStats};
+pub use trace::{DropRecord, Trace, TraceMode, TraceRecord, TraceStats};

@@ -1,15 +1,19 @@
 //! Point-to-point link model.
 //!
 //! A [`Link`] connects two hosts with independent per-direction state:
-//! bandwidth (serialization delay), propagation delay, an optional
-//! deterministic loss pattern (for retransmission testing), and an optional
-//! link-level compressor modelling V.42bis modem compression.
+//! bandwidth (serialization delay), propagation delay, a composable
+//! impairment pipeline ([`crate::impair`]: loss, jitter, reordering,
+//! duplication, outages, queue bounds), and an optional link-level
+//! compressor modelling V.42bis modem compression.
 //!
 //! The link is a FIFO per direction: a packet begins transmission when the
 //! previous one has finished serializing, and arrives one propagation delay
 //! after its serialization completes. This reproduces the queueing that makes
 //! a 28.8 kbps modem downlink the bottleneck in the paper's PPP tests.
+//! Jitter can add extra delay on top, and — only when reordering is
+//! explicitly enabled — break the FIFO property.
 
+use crate::impair::{DropReason, ImpairConfig, ImpairState, LossModel};
 use crate::packet::{HostId, Segment};
 use crate::time::{SimDuration, SimTime};
 
@@ -41,9 +45,8 @@ pub struct LinkConfig {
     pub bits_per_sec: Option<u64>,
     /// One-way propagation delay.
     pub propagation: SimDuration,
-    /// Drop every `n`-th data-bearing packet in each direction when
-    /// `Some(n)`; used only by loss/retransmission tests.
-    pub drop_every: Option<u64>,
+    /// Impairments applied to each direction (independent random streams).
+    pub impair: ImpairConfig,
 }
 
 impl LinkConfig {
@@ -52,7 +55,7 @@ impl LinkConfig {
         LinkConfig {
             bits_per_sec: Some(10_000_000),
             propagation: SimDuration::from_micros(250),
-            drop_every: None,
+            impair: ImpairConfig::none(),
         }
     }
 
@@ -61,7 +64,7 @@ impl LinkConfig {
         LinkConfig {
             bits_per_sec: Some(10_000_000),
             propagation: SimDuration::from_millis(45),
-            drop_every: None,
+            impair: ImpairConfig::none(),
         }
     }
 
@@ -70,7 +73,7 @@ impl LinkConfig {
         LinkConfig {
             bits_per_sec: Some(28_800),
             propagation: SimDuration::from_millis(75),
-            drop_every: None,
+            impair: ImpairConfig::none(),
         }
     }
 
@@ -79,14 +82,22 @@ impl LinkConfig {
         LinkConfig {
             bits_per_sec: None,
             propagation,
-            drop_every: None,
+            impair: ImpairConfig::none(),
         }
     }
 
-    /// Returns a copy dropping every `n`-th data packet per direction.
+    /// Returns a copy dropping every `n`-th data packet per direction — a
+    /// thin constructor over [`LossModel::EveryNth`], kept for the
+    /// deterministic loss/retransmission tests.
     pub fn with_drop_every(mut self, n: u64) -> Self {
         assert!(n > 0, "drop interval must be positive");
-        self.drop_every = Some(n);
+        self.impair.loss = LossModel::EveryNth { n };
+        self
+    }
+
+    /// Returns a copy with the given impairment pipeline installed.
+    pub fn with_impairment(mut self, impair: ImpairConfig) -> Self {
+        self.impair = impair;
         self
     }
 }
@@ -95,16 +106,16 @@ impl LinkConfig {
 struct Direction {
     /// Time at which the transmitter becomes free.
     busy_until: SimTime,
-    /// Count of data-bearing packets seen (for the deterministic drop model).
-    data_packets: u64,
+    /// Impairment pipeline state; `None` when the config is a pass-through.
+    impair: Option<ImpairState>,
     codec: Option<Box<dyn LinkCodec>>,
 }
 
 impl Direction {
-    fn new() -> Self {
+    fn new(cfg: &ImpairConfig, index: u64) -> Self {
         Direction {
             busy_until: SimTime::ZERO,
-            data_packets: 0,
+            impair: ImpairState::new(cfg, index),
             codec: None,
         }
     }
@@ -115,8 +126,11 @@ impl Direction {
 pub enum Transmit {
     /// The packet will arrive at the given time.
     Arrives(SimTime),
-    /// The packet was dropped by the loss model.
-    Dropped,
+    /// The packet was duplicated in flight: the original and the copy
+    /// arrive at the two given times.
+    Duplicated(SimTime, SimTime),
+    /// The packet was dropped for the given reason.
+    Dropped(DropReason),
 }
 
 /// A full-duplex point-to-point link between hosts `a` and `b`.
@@ -133,12 +147,14 @@ pub struct Link {
 impl Link {
     /// Create a new, empty instance.
     pub fn new(a: HostId, b: HostId, config: LinkConfig) -> Self {
+        let a_to_b = Direction::new(&config.impair, 0);
+        let b_to_a = Direction::new(&config.impair, 1);
         Link {
             a,
             b,
             config,
-            a_to_b: Direction::new(),
-            b_to_a: Direction::new(),
+            a_to_b,
+            b_to_a,
         }
     }
 
@@ -155,30 +171,51 @@ impl Link {
         self.b_to_a.codec = Some(make());
     }
 
-    fn direction(&mut self, from: HostId) -> &mut Direction {
-        if from == self.a {
-            &mut self.a_to_b
-        } else {
-            debug_assert_eq!(from, self.b);
-            &mut self.b_to_a
+    /// Replace the impairment pipeline on both directions. Resets the
+    /// per-direction impairment state (random streams restart from the new
+    /// seed); serialization state is untouched.
+    pub fn set_impairment(&mut self, impair: ImpairConfig) {
+        self.a_to_b.impair = ImpairState::new(&impair, 0);
+        self.b_to_a.impair = ImpairState::new(&impair, 1);
+        self.config.impair = impair;
+    }
+
+    /// Bytes currently queued for serialization in one direction at `now`:
+    /// the backlog a tail-drop queue bound is compared against.
+    fn backlog_bytes(busy_until: SimTime, now: SimTime, bits_per_sec: Option<u64>) -> u64 {
+        match bits_per_sec {
+            Some(bps) => {
+                let ns = busy_until.since(now).as_nanos() as u128;
+                (ns * bps as u128 / 8_000_000_000) as u64
+            }
+            None => 0,
         }
     }
 
     /// Submit `segment` for transmission at time `now`.
     ///
-    /// Returns the arrival time at the far end (or `Dropped`), plus the
-    /// number of bytes the packet occupied on the physical wire after any
-    /// link compression.
+    /// Returns the arrival time at the far end (or `Dropped` /
+    /// `Duplicated`), plus the number of bytes the packet occupied on the
+    /// physical wire after any link compression.
     pub fn transmit(&mut self, now: SimTime, from: HostId, segment: &Segment) -> (Transmit, usize) {
-        let config = self.config.clone();
-        let dir = self.direction(from);
+        let Link {
+            a,
+            config,
+            a_to_b,
+            b_to_a,
+            ..
+        } = self;
+        let dir = if from == *a {
+            a_to_b
+        } else {
+            debug_assert_eq!(from, self.b);
+            b_to_a
+        };
 
-        if segment.has_payload() {
-            dir.data_packets += 1;
-            if let Some(n) = config.drop_every {
-                if dir.data_packets % n == 0 {
-                    return (Transmit::Dropped, 0);
-                }
+        if let Some(st) = dir.impair.as_mut() {
+            let backlog = Self::backlog_bytes(dir.busy_until, now, config.bits_per_sec);
+            if let Some(reason) = st.pre_wire(&config.impair, now, segment.has_payload(), backlog) {
+                return (Transmit::Dropped(reason), 0);
             }
         }
 
@@ -195,13 +232,29 @@ impl Link {
         };
         let done = start + tx;
         dir.busy_until = done;
-        (Transmit::Arrives(done + config.propagation), physical)
+        let nominal = done + config.propagation;
+
+        match dir.impair.as_mut() {
+            Some(st) => {
+                // Duplicate copies trail the original by a fraction of the
+                // propagation delay, as a copy taking a marginally longer
+                // path would.
+                let gap = SimDuration::from_nanos(config.propagation.as_nanos() / 8)
+                    .max(SimDuration::from_micros(1));
+                match st.post_wire(&config.impair, nominal, gap) {
+                    (at, Some(dup_at)) => (Transmit::Duplicated(at, dup_at), physical),
+                    (at, None) => (Transmit::Arrives(at), physical),
+                }
+            }
+            None => (Transmit::Arrives(nominal), physical),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::impair::JitterModel;
     use crate::packet::{SockAddr, TcpFlags};
     use bytes::Bytes;
 
@@ -262,7 +315,7 @@ mod tests {
         let mut outcomes = Vec::new();
         for _ in 0..6 {
             let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(100));
-            outcomes.push(matches!(o, Transmit::Dropped));
+            outcomes.push(matches!(o, Transmit::Dropped(_)));
         }
         assert_eq!(outcomes, vec![false, false, true, false, false, true]);
     }
@@ -272,6 +325,74 @@ mod tests {
         let mut link = Link::new(HostId(0), HostId(1), LinkConfig::lan().with_drop_every(1));
         let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(0));
         assert!(matches!(o, Transmit::Arrives(_)));
+    }
+
+    #[test]
+    fn drop_reason_reported() {
+        let mut link = Link::new(HostId(0), HostId(1), LinkConfig::lan().with_drop_every(1));
+        let (o, wire) = link.transmit(SimTime::ZERO, HostId(0), &seg(10));
+        assert_eq!(o, Transmit::Dropped(DropReason::Loss));
+        assert_eq!(wire, 0, "dropped packets never touch the wire");
+    }
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn outage_drops_then_recovers() {
+        let cfg = LinkConfig::lan()
+            .with_impairment(ImpairConfig::none().with_outage(at_ms(10), at_ms(20)));
+        let mut link = Link::new(HostId(0), HostId(1), cfg);
+        let (up, _) = link.transmit(at_ms(5), HostId(0), &seg(100));
+        assert!(matches!(up, Transmit::Arrives(_)));
+        let (down, _) = link.transmit(at_ms(15), HostId(0), &seg(100));
+        assert_eq!(down, Transmit::Dropped(DropReason::Outage));
+        let (later, _) = link.transmit(at_ms(25), HostId(0), &seg(100));
+        assert!(matches!(later, Transmit::Arrives(_)));
+    }
+
+    #[test]
+    fn duplication_produces_two_arrivals() {
+        let cfg = LinkConfig::lan().with_impairment(ImpairConfig::none().with_duplication(1.0));
+        let mut link = Link::new(HostId(0), HostId(1), cfg);
+        let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(100));
+        let Transmit::Duplicated(first, second) = o else {
+            panic!("expected duplication, got {o:?}");
+        };
+        assert!(second > first);
+    }
+
+    #[test]
+    fn jitter_without_reorder_stays_fifo() {
+        let cfg =
+            LinkConfig::lan().with_impairment(ImpairConfig::none().with_seed(77).with_jitter(
+                JitterModel::Uniform {
+                    min: SimDuration::ZERO,
+                    max: SimDuration::from_millis(20),
+                },
+            ));
+        let mut link = Link::new(HostId(0), HostId(1), cfg);
+        let mut last = SimTime::ZERO;
+        for i in 0..200u64 {
+            let now = SimTime::from_nanos(i * 10_000);
+            let (o, _) = link.transmit(now, HostId(0), &seg(100));
+            let Transmit::Arrives(at) = o else {
+                panic!("no loss configured")
+            };
+            assert!(at >= last, "packet {i} overtook its predecessor");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn set_impairment_replaces_pipeline() {
+        let mut link = Link::new(HostId(0), HostId(1), LinkConfig::lan());
+        let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(10));
+        assert!(matches!(o, Transmit::Arrives(_)));
+        link.set_impairment(ImpairConfig::none().with_loss(LossModel::EveryNth { n: 1 }));
+        let (o, _) = link.transmit(SimTime::ZERO, HostId(0), &seg(10));
+        assert_eq!(o, Transmit::Dropped(DropReason::Loss));
     }
 
     struct HalfCodec;

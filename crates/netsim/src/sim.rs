@@ -94,6 +94,8 @@ struct QueuedEvent {
     segment: Option<Segment>,
     sent: SimTime,
     physical: usize,
+    /// True for the second copy of a network-duplicated packet.
+    dup: bool,
 }
 
 impl PartialEq for QueuedEvent {
@@ -177,6 +179,7 @@ impl Kernel {
             segment: None,
             sent: SimTime::ZERO,
             physical: 0,
+            dup: false,
         }));
     }
 
@@ -187,6 +190,7 @@ impl Kernel {
         segment: Segment,
         sent: SimTime,
         physical: usize,
+        dup: bool,
     ) {
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent {
@@ -197,6 +201,7 @@ impl Kernel {
             segment: Some(segment),
             sent,
             physical,
+            dup,
         }));
     }
 
@@ -215,8 +220,14 @@ impl Kernel {
         let now = self.now;
         let (outcome, physical) = self.links[idx].transmit(now, from, &seg);
         match outcome {
-            Transmit::Arrives(at) => self.push_arrival(at, to, seg, now, physical),
-            Transmit::Dropped => {}
+            Transmit::Arrives(at) => self.push_arrival(at, to, seg, now, physical, false),
+            Transmit::Duplicated(at, dup_at) => {
+                self.push_arrival(at, to, seg.clone(), now, physical, false);
+                self.push_arrival(dup_at, to, seg, now, physical, true);
+            }
+            // The tracer must see drops too: they are invisible as
+            // arrivals but the paper-style summaries report them.
+            Transmit::Dropped(reason) => self.trace.observe_drop(now, &seg, reason),
         }
     }
 
@@ -276,10 +287,21 @@ impl Kernel {
         }
     }
 
-    fn handle_arrival(&mut self, host: HostId, seg: Segment, sent: SimTime, physical: usize) {
+    fn handle_arrival(
+        &mut self,
+        host: HostId,
+        seg: Segment,
+        sent: SimTime,
+        physical: usize,
+        dup: bool,
+    ) {
         // Borrow-only capture: in stats-only mode this is a pure
         // accumulation, with no per-packet clone or allocation.
-        self.trace.observe(sent, self.now, &seg, physical);
+        if dup {
+            self.trace.observe_dup(sent, self.now, &seg, physical);
+        } else {
+            self.trace.observe(sent, self.now, &seg, physical);
+        }
 
         let key = (seg.dst.port, seg.src);
         let h = &self.hosts[host.0 as usize];
@@ -542,6 +564,12 @@ impl Simulator {
         &mut self.kernel.links[idx]
     }
 
+    /// Install (or replace) the impairment pipeline on the link between
+    /// two hosts. Shorthand for `link_mut(a, b).set_impairment(..)`.
+    pub fn set_impairment(&mut self, a: HostId, b: HostId, impair: crate::impair::ImpairConfig) {
+        self.link_mut(a, b).set_impairment(impair);
+    }
+
     /// Install the application driving `host`.
     pub fn install_app(&mut self, host: HostId, app: Box<dyn App>) {
         self.apps[host.0 as usize] = Some(app);
@@ -641,7 +669,7 @@ impl Simulator {
                 QueuedKind::Arrival => {
                     let seg = ev.segment.expect("arrival carries a segment");
                     self.kernel
-                        .handle_arrival(ev.host, seg, ev.sent, ev.physical);
+                        .handle_arrival(ev.host, seg, ev.sent, ev.physical, ev.dup);
                 }
                 QueuedKind::TcpTimer { slot, kind, epoch } => {
                     self.kernel.handle_tcp_timer(ev.host, slot, kind, epoch);

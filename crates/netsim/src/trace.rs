@@ -14,7 +14,8 @@
 //! the memory cost is O(host pairs) instead of O(packets), which is what the
 //! batch experiment matrix wants.
 
-use crate::packet::{HostId, Segment, TCP_IP_HEADER_BYTES};
+use crate::impair::DropReason;
+use crate::packet::{HostId, Segment, SockAddr, TCP_IP_HEADER_BYTES};
 use crate::time::SimTime;
 use std::collections::HashMap;
 use std::fmt;
@@ -44,6 +45,36 @@ pub struct TraceRecord {
     pub physical_bytes: usize,
 }
 
+/// One packet the link refused to deliver (retained in
+/// [`TraceMode::Full`] so dumps can show the loss pattern).
+#[derive(Debug, Clone)]
+pub struct DropRecord {
+    /// Time the packet was submitted to the link.
+    pub at: SimTime,
+    /// The discarded segment.
+    pub segment: Segment,
+    /// Why the link dropped it.
+    pub reason: DropReason,
+}
+
+/// Per-host-pair impairment event counters, maintained online in **both**
+/// trace modes (they cannot be recomputed from arrival records alone).
+#[derive(Debug, Default)]
+struct PairEvents {
+    drops_loss: u64,
+    drops_outage: u64,
+    drops_queue: u64,
+    dup_packets: u64,
+    reordered: u64,
+    retransmitted: u64,
+    /// Latest departure time seen per direction (index 0 = low→high
+    /// host); an arrival whose departure precedes it was reordered.
+    last_sent: [Option<SimTime>; 2],
+    /// Highest sequence-space end seen per flow; a data segment starting
+    /// below it re-covers already-sent octets: a retransmission.
+    max_seq: HashMap<(SockAddr, SockAddr), u64>,
+}
+
 /// A full capture of a simulation run.
 #[derive(Debug, Default)]
 pub struct Trace {
@@ -53,6 +84,10 @@ pub struct Trace {
     /// `packets_c2s` counts the low→high direction. Only populated in
     /// [`TraceMode::StatsOnly`].
     pair_stats: HashMap<(HostId, HostId), TraceStats>,
+    /// Impairment counters per (low, high) host pair, kept in both modes.
+    net_events: HashMap<(HostId, HostId), PairEvents>,
+    /// Dropped packets, retained only in [`TraceMode::Full`].
+    dropped: Vec<DropRecord>,
     /// Packets observed regardless of mode.
     observed: u64,
 }
@@ -94,6 +129,7 @@ impl Trace {
         physical_bytes: usize,
     ) {
         self.observed += 1;
+        self.track_wire(sent, segment, false);
         match self.mode {
             TraceMode::Full => self.records.push(TraceRecord {
                 sent,
@@ -105,6 +141,92 @@ impl Trace {
         }
     }
 
+    /// Observe the second arrival of a network-duplicated packet. Counted
+    /// as a normal on-the-wire packet, plus a duplication event; excluded
+    /// from reorder/retransmission detection (the copy is not a TCP-level
+    /// retransmission).
+    pub fn observe_dup(
+        &mut self,
+        sent: SimTime,
+        received: SimTime,
+        segment: &Segment,
+        physical_bytes: usize,
+    ) {
+        self.observed += 1;
+        self.track_wire(sent, segment, true);
+        match self.mode {
+            TraceMode::Full => self.records.push(TraceRecord {
+                sent,
+                received,
+                segment: segment.clone(),
+                physical_bytes,
+            }),
+            TraceMode::StatsOnly => self.accumulate(sent, received, segment, physical_bytes),
+        }
+    }
+
+    /// Record a packet the link dropped instead of delivering. Feeds the
+    /// per-pair drop counters in both modes; [`TraceMode::Full`]
+    /// additionally retains a [`DropRecord`] for [`Trace::dump`].
+    pub fn observe_drop(&mut self, at: SimTime, segment: &Segment, reason: DropReason) {
+        let ev = self.pair_events(segment);
+        match reason {
+            DropReason::Loss => ev.drops_loss += 1,
+            DropReason::Outage => ev.drops_outage += 1,
+            DropReason::Queue => ev.drops_queue += 1,
+        }
+        if self.mode == TraceMode::Full {
+            self.dropped.push(DropRecord {
+                at,
+                segment: segment.clone(),
+                reason,
+            });
+        }
+    }
+
+    fn pair_events(&mut self, seg: &Segment) -> &mut PairEvents {
+        let (from, to) = (seg.src.host, seg.dst.host);
+        let key = if from <= to { (from, to) } else { (to, from) };
+        self.net_events.entry(key).or_default()
+    }
+
+    /// Online reorder / retransmission / duplication detection, shared by
+    /// both modes (arrival records alone cannot distinguish a network
+    /// duplicate from a TCP retransmission).
+    fn track_wire(&mut self, sent: SimTime, seg: &Segment, dup: bool) {
+        let forward = (seg.src.host <= seg.dst.host) as usize;
+        let ev = self.pair_events(seg);
+        if dup {
+            ev.dup_packets += 1;
+            return;
+        }
+        // Arrivals are observed in arrival order: a packet that departed
+        // before the latest departure already seen arrived out of order.
+        let reordered = match ev.last_sent[forward] {
+            Some(prev) if sent < prev => {
+                ev.reordered += 1;
+                true
+            }
+            _ => {
+                ev.last_sent[forward] = Some(sent);
+                false
+            }
+        };
+        // Sequence-space tracking per flow (SYN/FIN octets included). A
+        // reordered fresh segment also starts below the high-water mark,
+        // so only in-order arrivals count as retransmissions.
+        if seg.seq_space() > 0 {
+            let end = seg.seq_end();
+            let high = ev.max_seq.entry((seg.src, seg.dst)).or_insert(0);
+            if !reordered && seg.seq < *high {
+                ev.retransmitted += 1;
+            }
+            if end > *high {
+                *high = end;
+            }
+        }
+    }
+
     /// Append a captured packet (ownership-taking variant of [`observe`],
     /// kept for tests and external captures).
     ///
@@ -113,6 +235,7 @@ impl Trace {
         match self.mode {
             TraceMode::Full => {
                 self.observed += 1;
+                self.track_wire(rec.sent, &rec.segment, false);
                 self.records.push(rec);
             }
             TraceMode::StatsOnly => {
@@ -159,10 +282,19 @@ impl Trace {
         &self.records
     }
 
+    /// Dropped packets in submission order (retained only in
+    /// [`TraceMode::Full`]; the per-pair drop *counters* in
+    /// [`TraceStats`] work in both modes).
+    pub fn drop_records(&self) -> &[DropRecord] {
+        &self.dropped
+    }
+
     /// Drop all accumulated contents.
     pub fn clear(&mut self) {
         self.records.clear();
         self.pair_stats.clear();
+        self.net_events.clear();
+        self.dropped.clear();
         self.observed = 0;
     }
 
@@ -170,7 +302,7 @@ impl Trace {
     /// two hosts, with `client` defining the "client → server" direction.
     /// Works in both modes and produces identical results.
     pub fn stats(&self, client: HostId, server: HostId) -> TraceStats {
-        match self.mode {
+        let mut s = match self.mode {
             TraceMode::Full => {
                 let mut s = TraceStats::default();
                 for rec in &self.records {
@@ -199,7 +331,21 @@ impl Trace {
                 }
                 s
             }
+        };
+        let key = if client <= server {
+            (client, server)
+        } else {
+            (server, client)
+        };
+        if let Some(ev) = self.net_events.get(&key) {
+            s.drops_loss = ev.drops_loss;
+            s.drops_outage = ev.drops_outage;
+            s.drops_queue = ev.drops_queue;
+            s.dup_packets = ev.dup_packets;
+            s.reordered_packets = ev.reordered;
+            s.retransmitted_packets = ev.retransmitted;
         }
+        s
     }
 
     /// Renders the capture in a compact tcpdump-like text form (useful when
@@ -209,6 +355,12 @@ impl Trace {
         let mut out = String::new();
         for rec in &self.records {
             let _ = writeln!(out, "{} {}", rec.sent, rec.segment);
+        }
+        if !self.dropped.is_empty() {
+            let _ = writeln!(out, "--- {} dropped ---", self.dropped.len());
+            for d in &self.dropped {
+                let _ = writeln!(out, "{} DROP({}) {}", d.at, d.reason, d.segment);
+            }
         }
         out
     }
@@ -289,6 +441,19 @@ pub struct TraceStats {
     pub first: Option<SimTime>,
     /// Arrival time of the last packet.
     pub last: Option<SimTime>,
+    /// Packets discarded by the loss model (never reached the wire).
+    pub drops_loss: u64,
+    /// Packets discarded during scheduled link outages.
+    pub drops_outage: u64,
+    /// Packets tail-dropped by a bounded link queue.
+    pub drops_queue: u64,
+    /// Extra copies delivered by network duplication.
+    pub dup_packets: u64,
+    /// Packets that arrived out of departure order.
+    pub reordered_packets: u64,
+    /// Data-bearing segments re-covering already-sent sequence space —
+    /// TCP retransmissions observed on the wire.
+    pub retransmitted_packets: u64,
 }
 
 impl TraceStats {
@@ -341,6 +506,11 @@ impl TraceStats {
         } else {
             self.header_bytes as f64 * 100.0 / self.bytes as f64
         }
+    }
+
+    /// Packets dropped by the link for any reason.
+    pub fn drops(&self) -> u64 {
+        self.drops_loss + self.drops_outage + self.drops_queue
     }
 
     /// Wall-clock span from the first departure to the last arrival.
@@ -505,6 +675,89 @@ mod tests {
         );
         assert_eq!(lean.len(), traffic.len());
         assert!(lean.records().is_empty(), "StatsOnly retains no records");
+    }
+
+    #[test]
+    fn drops_counted_with_reason_in_both_modes() {
+        for mode in [TraceMode::Full, TraceMode::StatsOnly] {
+            let mut t = Trace::with_mode(mode);
+            let r = rec(0, 1, TcpFlags::ACK, 100, 0);
+            t.observe(r.sent, r.received, &r.segment, r.physical_bytes);
+            t.observe_drop(SimTime::from_nanos(5), &r.segment, DropReason::Loss);
+            t.observe_drop(SimTime::from_nanos(6), &r.segment, DropReason::Loss);
+            t.observe_drop(SimTime::from_nanos(7), &r.segment, DropReason::Outage);
+            t.observe_drop(SimTime::from_nanos(8), &r.segment, DropReason::Queue);
+            let s = t.stats(HostId(0), HostId(1));
+            assert_eq!(s.drops_loss, 2);
+            assert_eq!(s.drops_outage, 1);
+            assert_eq!(s.drops_queue, 1);
+            assert_eq!(s.drops(), 4);
+            // Dropped packets never count as observed on the wire.
+            assert_eq!(s.total_packets(), 1);
+            if mode == TraceMode::Full {
+                assert_eq!(t.drop_records().len(), 4);
+                let dump = t.dump();
+                assert!(dump.contains("--- 4 dropped ---"), "{dump}");
+                assert!(dump.contains("DROP(loss)"), "{dump}");
+                assert!(dump.contains("DROP(outage)"), "{dump}");
+            } else {
+                assert!(t.drop_records().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn reordering_detected_from_departure_times() {
+        for mode in [TraceMode::Full, TraceMode::StatsOnly] {
+            let mut t = Trace::with_mode(mode);
+            // Departures at 0, 1000, 2000 — but the middle one arrives last.
+            let mut a = rec(0, 1, TcpFlags::ACK, 10, 0);
+            let mut b = rec(0, 1, TcpFlags::ACK, 10, 1_000);
+            let mut c = rec(0, 1, TcpFlags::ACK, 10, 2_000);
+            a.segment.seq = 0;
+            b.segment.seq = 10;
+            c.segment.seq = 20;
+            for r in [&a, &c, &b] {
+                t.observe(r.sent, r.received, &r.segment, r.physical_bytes);
+            }
+            let s = t.stats(HostId(0), HostId(1));
+            assert_eq!(s.reordered_packets, 1, "mode {mode:?}");
+            assert_eq!(s.retransmitted_packets, 0, "fresh data is not a rexmit");
+        }
+    }
+
+    #[test]
+    fn retransmissions_detected_from_sequence_space() {
+        let mut t = Trace::with_mode(TraceMode::StatsOnly);
+        let first = rec(0, 1, TcpFlags::ACK, 100, 0);
+        let mut again = first.clone();
+        again.sent = SimTime::from_nanos(9_000);
+        again.received = SimTime::from_nanos(9_100);
+        t.observe(first.sent, first.received, &first.segment, 140);
+        t.observe(again.sent, again.received, &again.segment, 140);
+        let s = t.stats(HostId(0), HostId(1));
+        assert_eq!(s.retransmitted_packets, 1);
+        assert_eq!(s.reordered_packets, 0);
+    }
+
+    #[test]
+    fn network_duplicates_counted_separately() {
+        let mut t = Trace::with_mode(TraceMode::StatsOnly);
+        let r = rec(0, 1, TcpFlags::ACK, 100, 0);
+        t.observe(r.sent, r.received, &r.segment, r.physical_bytes);
+        t.observe_dup(
+            r.sent,
+            SimTime::from_nanos(500),
+            &r.segment,
+            r.physical_bytes,
+        );
+        let s = t.stats(HostId(0), HostId(1));
+        assert_eq!(s.dup_packets, 1);
+        assert_eq!(
+            s.retransmitted_packets, 0,
+            "a network duplicate is not a TCP retransmission"
+        );
+        assert_eq!(s.total_packets(), 2, "both copies crossed the wire");
     }
 
     #[test]

@@ -157,7 +157,7 @@ fn reliable_delivery_any_link_speed() {
         let link = LinkConfig {
             bits_per_sec: Some(kbps * 1000),
             propagation: SimDuration::from_millis(delay_ms),
-            drop_every: None,
+            impair: netsim::ImpairConfig::none(),
         };
         let (received, _) = run_transfer(payload.clone(), vec![], link, TcpConfig::default());
         assert_eq!(
@@ -185,6 +185,38 @@ fn reliable_delivery_small_windows() {
             received, payload,
             "case {case} window {window_kb}K mss {mss}"
         );
+    }
+}
+
+#[test]
+fn reliable_delivery_under_impairment() {
+    use netsim::{ImpairConfig, JitterModel, LossModel};
+    let mut rng = SmallRng::seed_from_u64(0x0007_C906);
+    for case in 0..32 {
+        let payload = random_bytes(&mut rng, 1, 25_000);
+        let loss = match rng.gen_range(0u32..3) {
+            0 => LossModel::None,
+            1 => LossModel::Bernoulli {
+                p: rng.gen_range(1u64..100) as f64 / 1000.0, // up to 10%
+            },
+            _ => LossModel::bursty(rng.gen_range(1u64..80) as f64 / 1000.0, 4.0),
+        };
+        let mut impair = ImpairConfig::none()
+            .with_seed(rng.gen())
+            .with_loss(loss)
+            .with_duplication(rng.gen_range(0u64..100) as f64 / 1000.0);
+        if rng.gen() {
+            impair = impair
+                .with_jitter(JitterModel::Uniform {
+                    min: SimDuration::ZERO,
+                    max: SimDuration::from_millis(rng.gen_range(1u64..30)),
+                })
+                .with_reorder(rng.gen());
+        }
+        let link = LinkConfig::wan().with_impairment(impair.clone());
+        let (received, closed) = run_transfer(payload.clone(), vec![], link, TcpConfig::default());
+        assert_eq!(received, payload, "case {case} impair {impair:?}");
+        assert!(closed, "case {case} impair {impair:?}");
     }
 }
 
