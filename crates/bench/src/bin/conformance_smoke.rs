@@ -1,0 +1,81 @@
+//! `conformance_smoke` — CI conformance gate for the simulation kernel.
+//!
+//! Sweeps the full unimpaired protocol matrix (every environment ×
+//! server × protocol setup × scenario) plus a sampled impaired grid
+//! (the reduced WAN loss grid and the jitter/reordering study) through
+//! [`run_cells_checked`], which re-runs each cell with full per-packet
+//! tracing and verifies every TCP and HTTP invariant in the
+//! `conformance` crate against the finished trace. Any violation
+//! prints its detail and exits nonzero.
+//!
+//! ```text
+//! HTTPIPE_THREADS=8 cargo run --release -p httpipe-bench --bin conformance_smoke
+//! ```
+
+use httpipe_core::env::NetEnv;
+use httpipe_core::experiments::{protocol_matrix, robustness};
+use httpipe_core::harness::{matrix_spec, run_cells_checked, worker_threads, CellSpec, Scenario};
+use httpserver::ServerKind;
+use std::time::Instant;
+
+fn unimpaired_matrix() -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for env in NetEnv::ALL {
+        for server in [ServerKind::Apache, ServerKind::Jigsaw] {
+            for &setup in protocol_matrix::matrix_setups(env) {
+                for scenario in [Scenario::FirstTime, Scenario::Revalidate] {
+                    specs.push(matrix_spec(env, server, setup, scenario));
+                }
+            }
+        }
+    }
+    specs
+}
+
+fn impaired_sample() -> Vec<CellSpec> {
+    let mut specs: Vec<CellSpec> = robustness::reduced_grid()
+        .iter()
+        .map(|p| p.spec())
+        .collect();
+    for setup in robustness::SETUPS {
+        for jitter_ms in robustness::JITTER_GRID_MS {
+            specs.push(robustness::JitterPoint { setup, jitter_ms }.spec());
+        }
+    }
+    specs
+}
+
+fn main() {
+    let mut specs = unimpaired_matrix();
+    let unimpaired = specs.len();
+    specs.extend(impaired_sample());
+    let total = specs.len();
+    println!(
+        "conformance smoke: {unimpaired} unimpaired + {} impaired cells, {} worker threads",
+        total - unimpaired,
+        worker_threads(total)
+    );
+
+    let start = Instant::now();
+    let (cells, report) = run_cells_checked(specs);
+    let secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(cells.len(), total, "every cell must produce a result");
+    println!(
+        "  checked {} connections, {} segments, {} HTTP requests ({secs:.2}s)",
+        report.connections, report.segments, report.http_requests
+    );
+    if !report.is_clean() {
+        eprintln!("conformance smoke: FAILED");
+        eprintln!("{}", report.summary());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    assert!(
+        report.connections > 0 && report.segments > 0 && report.http_requests > 0,
+        "checker saw no traffic — trace plumbing is broken"
+    );
+    println!("conformance smoke: OK");
+}

@@ -1,0 +1,735 @@
+//! The causal replay engine: groups a trace into connections, replays
+//! departures and arrivals in time order, and checks the TCP invariants.
+//! HTTP-level checks over the reassembled streams live in [`crate::http`].
+
+use crate::{CheckConfig, InvariantKind, Report, Violation};
+use netsim::{DropRecord, Segment, SimTime, SockAddr, TraceRecord};
+use std::collections::BTreeMap;
+
+/// Check every connection in a trace against the full invariant set.
+///
+/// `records` are the arrival-ordered captures from
+/// [`netsim::Trace::records`] (requires [`netsim::TraceMode::Full`]);
+/// `drops` are the link-dropped packets from
+/// [`netsim::Trace::drop_records`] — they still count as departures.
+pub fn check_trace(records: &[TraceRecord], drops: &[DropRecord], cfg: &CheckConfig) -> Report {
+    let mut conns: BTreeMap<(SockAddr, SockAddr), Conn> = BTreeMap::new();
+    for rec in records {
+        let key = conn_key(&rec.segment);
+        let conn = conns.entry(key).or_default();
+        let pkt = conn.intern(rec.sent, &rec.segment);
+        conn.arrivals.push((rec.received, pkt));
+    }
+    for d in drops {
+        let key = conn_key(&d.segment);
+        conns.entry(key).or_default().intern(d.at, &d.segment);
+    }
+
+    let mut report = Report {
+        connections: conns.len(),
+        ..Report::default()
+    };
+    for (key, conn) in &conns {
+        report.segments += conn.packets.len();
+        check_conn(*key, conn, cfg, &mut report);
+    }
+    report
+}
+
+/// Normalized connection key: the endpoint pair, lower address first.
+fn conn_key(seg: &Segment) -> (SockAddr, SockAddr) {
+    if seg.src <= seg.dst {
+        (seg.src, seg.dst)
+    } else {
+        (seg.dst, seg.src)
+    }
+}
+
+/// Identity of one emission: (sent-nanos, src, seq, ack, flag bits,
+/// window, payload length). Two trace records matching on all of these
+/// are network copies of the same packet.
+type EmissionKey = (u64, SockAddr, u64, u64, u8, usize, usize);
+
+/// One unique emission. Network duplication delivers the same emission
+/// twice; both arrivals point at the same packet.
+struct Packet {
+    sent: SimTime,
+    seg: Segment,
+}
+
+#[derive(Default)]
+struct Conn {
+    packets: Vec<Packet>,
+    /// (arrival time, packet index), in trace (arrival) order.
+    arrivals: Vec<(SimTime, usize)>,
+    /// Dedup map from emission identity to packet index.
+    interned: BTreeMap<EmissionKey, usize>,
+}
+
+impl Conn {
+    /// Fold an observed copy of a segment into its unique emission.
+    fn intern(&mut self, sent: SimTime, seg: &Segment) -> usize {
+        let f = &seg.flags;
+        let flagbits = (f.syn as u8)
+            | (f.ack as u8) << 1
+            | (f.fin as u8) << 2
+            | (f.rst as u8) << 3
+            | (f.psh as u8) << 4;
+        let key = (
+            sent.as_nanos(),
+            seg.src,
+            seg.seq,
+            seg.ack,
+            flagbits,
+            seg.payload.len(),
+            seg.window,
+        );
+        if let Some(&i) = self.interned.get(&key) {
+            return i;
+        }
+        self.packets.push(Packet {
+            sent,
+            seg: seg.clone(),
+        });
+        let i = self.packets.len() - 1;
+        self.interned.insert(key, i);
+        i
+    }
+}
+
+/// The replay timeline: arrivals are processed before departures at the
+/// same instant, matching the TCB (a segment arriving at `t` is handled
+/// before anything the TCB emits at `t`).
+#[derive(Clone, Copy)]
+enum Event {
+    Arrive { at: SimTime, pkt: usize },
+    Depart { at: SimTime, pkt: usize },
+}
+
+impl Event {
+    fn at(&self) -> SimTime {
+        match *self {
+            Event::Arrive { at, .. } | Event::Depart { at, .. } => at,
+        }
+    }
+    fn rank(&self) -> u8 {
+        match self {
+            Event::Arrive { .. } => 0,
+            Event::Depart { .. } => 1,
+        }
+    }
+}
+
+/// Everything the replay tracks about one endpoint (one direction's
+/// sender, the opposite direction's receiver).
+struct EndState {
+    addr: SockAddr,
+    /// --- sender-side ---
+    departed_any: bool,
+    snd_max: u64,
+    /// First FIN's sequence end (the FIN octet is `fin_end - 1`).
+    fin_end: Option<u64>,
+    sent_rst: bool,
+    rst_arrived: Option<SimTime>,
+    last_ack_departed: u64,
+    last_edge_departed: u64,
+    last_syn_tx: Option<SimTime>,
+    syn_arrived_since_syn_tx: bool,
+    /// Data-bearing transmissions `(start, end, at, payload_len)` in
+    /// emission order, for retransmission justification.
+    txs: Vec<(u64, u64, SimTime, usize)>,
+    /// Fresh payload first-emission ranges `(stream_start, stream_end,
+    /// at)` in stream-offset space, for the HTTP timing checks.
+    fresh_sent: Vec<(u64, u64, SimTime)>,
+    /// ACK-bearing departures `(at, ack)`, for the delayed-ACK checks of
+    /// the opposite direction.
+    ack_departures: Vec<(SimTime, u64)>,
+    /// --- info that has causally arrived here from the peer ---
+    first_arrival: Option<SimTime>,
+    arrived_seq_max: u64,
+    arrived_syn_seq: Option<u64>,
+    max_ack_arrived: u64,
+    /// Upper bound on the peer-facing congestion window: initial cwnd
+    /// plus one MSS per window-advancing ACK (slow start's growth rate;
+    /// congestion avoidance grows slower, losses only shrink it).
+    cwnd_cap: usize,
+    max_right_edge: u64,
+    last_arr_window: Option<usize>,
+    dup_acks: u32,
+    /// --- receiver-side stream reassembly ---
+    rcv_nxt: Option<u64>,
+    peer_fin_seq: Option<u64>,
+    stash: BTreeMap<u64, bytes::Bytes>,
+    stream: Vec<u8>,
+    /// `(at, total stream bytes contiguous)` per advancing delivery.
+    deliveries: Vec<(SimTime, u64)>,
+}
+
+impl EndState {
+    fn new(addr: SockAddr, cfg: &CheckConfig) -> Self {
+        EndState {
+            addr,
+            departed_any: false,
+            snd_max: 0,
+            fin_end: None,
+            sent_rst: false,
+            rst_arrived: None,
+            last_ack_departed: 0,
+            last_edge_departed: 0,
+            last_syn_tx: None,
+            syn_arrived_since_syn_tx: false,
+            txs: Vec::new(),
+            fresh_sent: Vec::new(),
+            ack_departures: Vec::new(),
+            first_arrival: None,
+            arrived_seq_max: 0,
+            arrived_syn_seq: None,
+            max_ack_arrived: 0,
+            cwnd_cap: cfg.tcp.initial_cwnd_segments as usize * cfg.tcp.mss,
+            max_right_edge: 0,
+            last_arr_window: None,
+            dup_acks: 0,
+            rcv_nxt: None,
+            peer_fin_seq: None,
+            stash: BTreeMap::new(),
+            stream: Vec::new(),
+            deliveries: Vec::new(),
+        }
+    }
+
+    fn nodelay(&self, cfg: &CheckConfig) -> bool {
+        if self.addr.port == cfg.server_port {
+            cfg.server_nodelay
+        } else {
+            cfg.client_nodelay
+        }
+    }
+}
+
+fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report: &mut Report) {
+    let mut events: Vec<Event> = Vec::with_capacity(conn.packets.len() + conn.arrivals.len());
+    for (i, _) in conn.packets.iter().enumerate() {
+        events.push(Event::Depart {
+            at: conn.packets[i].sent,
+            pkt: i,
+        });
+    }
+    for &(at, pkt) in &conn.arrivals {
+        events.push(Event::Arrive { at, pkt });
+    }
+    // Arrivals before departures at equal instants; then by emission
+    // order (seq, seq_space) so same-instant batches replay as the TCB
+    // emitted them; packet index last for stability.
+    events.sort_by_key(|e| {
+        let p = match *e {
+            Event::Arrive { pkt, .. } | Event::Depart { pkt, .. } => pkt,
+        };
+        let seg = &conn.packets[p].seg;
+        (e.at(), e.rank(), seg.seq, seg.seq_space(), p)
+    });
+
+    let mut ends = [EndState::new(key.0, cfg), EndState::new(key.1, cfg)];
+    let mut any_packet_seen = false;
+    let mut first_rst: Option<SimTime> = None;
+    let v = |report: &mut Report, kind, at, detail: String| {
+        report.violations.push(Violation {
+            kind,
+            conn: key,
+            at,
+            detail,
+        });
+    };
+
+    for ev in &events {
+        match *ev {
+            Event::Arrive { at, pkt } => {
+                let seg = &conn.packets[pkt].seg;
+                // The receiver is the endpoint the segment is addressed to.
+                let side = usize::from(seg.dst != key.0);
+                let e = &mut ends[side];
+                if e.first_arrival.is_none() {
+                    e.first_arrival = Some(at);
+                }
+                if seg.flags.rst {
+                    if e.rst_arrived.is_none() {
+                        e.rst_arrived = Some(at);
+                    }
+                    first_rst = Some(first_rst.map_or(at, |t| t.min(at)));
+                    continue;
+                }
+                e.arrived_seq_max = e.arrived_seq_max.max(seg.seq_end());
+                e.last_arr_window = Some(seg.window);
+                if seg.flags.syn {
+                    e.arrived_syn_seq = Some(seg.seq);
+                    e.syn_arrived_since_syn_tx = true;
+                    e.rcv_nxt.get_or_insert(seg.seq + 1);
+                }
+                if seg.flags.ack {
+                    e.max_right_edge = e.max_right_edge.max(seg.ack + seg.window as u64);
+                    if seg.ack > e.max_ack_arrived {
+                        e.max_ack_arrived = seg.ack;
+                        e.cwnd_cap += cfg.tcp.mss;
+                        e.dup_acks = 0;
+                    } else if seg.ack == e.max_ack_arrived
+                        && !seg.has_payload()
+                        && !seg.flags.syn
+                        && !seg.flags.fin
+                        && e.snd_max > seg.ack
+                    {
+                        e.dup_acks += 1;
+                    }
+                }
+                // Receiver-side reassembly of the peer's byte stream.
+                if seg.flags.fin {
+                    e.peer_fin_seq = Some(seg.seq_end() - 1);
+                }
+                if !seg.payload.is_empty() {
+                    if let Some(rcv_nxt) = e.rcv_nxt {
+                        let mut advanced = false;
+                        let mut nxt = rcv_nxt;
+                        if seg.seq <= nxt {
+                            let skip = (nxt - seg.seq) as usize;
+                            if skip < seg.payload.len() {
+                                e.stream.extend_from_slice(&seg.payload[skip..]);
+                                nxt += (seg.payload.len() - skip) as u64;
+                                advanced = true;
+                            }
+                        } else {
+                            e.stash
+                                .entry(seg.seq)
+                                .or_insert_with(|| seg.payload.clone());
+                        }
+                        // Drain any stashed out-of-order data that became
+                        // contiguous.
+                        while let Some((&s, _)) = e.stash.first_key_value() {
+                            if s > nxt {
+                                break;
+                            }
+                            let (s, data) = e.stash.pop_first().expect("non-empty stash");
+                            let skip = (nxt - s) as usize;
+                            if skip < data.len() {
+                                e.stream.extend_from_slice(&data[skip..]);
+                                nxt += (data.len() - skip) as u64;
+                                advanced = true;
+                            }
+                        }
+                        e.rcv_nxt = Some(nxt);
+                        if advanced {
+                            e.deliveries.push((at, e.stream.len() as u64));
+                        }
+                    }
+                }
+            }
+            Event::Depart { at, pkt } => {
+                let seg = &conn.packets[pkt].seg;
+                let side = usize::from(seg.src != key.0);
+                let mss = cfg.tcp.mss;
+
+                // RST semantics first: an RST is exempt from the
+                // sequence/ack discipline (a kernel reply echoes the
+                // stray segment's ack as its seq).
+                if seg.flags.rst {
+                    first_rst = Some(first_rst.map_or(at, |t| t.min(at)));
+                    if seg.has_payload() || seg.flags.syn || seg.flags.fin {
+                        v(
+                            report,
+                            InvariantKind::RstWithPayload,
+                            at,
+                            format!("RST carries payload/SYN/FIN: {seg}"),
+                        );
+                    }
+                    if !any_packet_seen {
+                        v(
+                            report,
+                            InvariantKind::RstNotFirst,
+                            at,
+                            "RST is the first segment of the connection".into(),
+                        );
+                    }
+                    let e = &mut ends[side];
+                    if let Some(t) = e.rst_arrived {
+                        if at > t {
+                            v(
+                                report,
+                                InvariantKind::SilenceAfterRstRecvd,
+                                at,
+                                format!("RST sent after an RST arrived at {t}"),
+                            );
+                        }
+                    }
+                    e.sent_rst = true;
+                    e.departed_any = true;
+                    any_packet_seen = true;
+                    continue;
+                }
+
+                // Immutable cross-side reads before borrowing mutably.
+                let e = &ends[side];
+                if !e.departed_any && !seg.flags.syn {
+                    v(
+                        report,
+                        InvariantKind::SynFirst,
+                        at,
+                        format!("first segment lacks SYN: {seg}"),
+                    );
+                }
+                if e.sent_rst {
+                    v(
+                        report,
+                        InvariantKind::SilenceAfterRstSent,
+                        at,
+                        format!("segment after this endpoint sent RST: {seg}"),
+                    );
+                }
+                if let Some(t) = e.rst_arrived {
+                    if at > t {
+                        v(
+                            report,
+                            InvariantKind::SilenceAfterRstRecvd,
+                            at,
+                            format!("segment sent after an RST arrived at {t}: {seg}"),
+                        );
+                    }
+                }
+                if seg.flags.ack {
+                    if e.first_arrival.is_none() {
+                        v(
+                            report,
+                            InvariantKind::HandshakeOrdering,
+                            at,
+                            format!("ACK-bearing segment before anything arrived: {seg}"),
+                        );
+                    }
+                    if seg.ack > e.arrived_seq_max {
+                        v(
+                            report,
+                            InvariantKind::AckNoUnsentData,
+                            at,
+                            format!(
+                                "ack {} exceeds causally delivered sequence end {}",
+                                seg.ack, e.arrived_seq_max
+                            ),
+                        );
+                    }
+                    if seg.ack < e.last_ack_departed {
+                        v(
+                            report,
+                            InvariantKind::AckMonotonic,
+                            at,
+                            format!("ack {} after ack {}", seg.ack, e.last_ack_departed),
+                        );
+                    }
+                    let edge = seg.ack + seg.window as u64;
+                    if edge < e.last_edge_departed {
+                        v(
+                            report,
+                            InvariantKind::WindowEdgeNoShrink,
+                            at,
+                            format!(
+                                "advertised right edge shrank {} -> {edge}",
+                                e.last_edge_departed
+                            ),
+                        );
+                    }
+                    if seg.flags.syn {
+                        // SYN-ACK: must acknowledge the peer's ISS + 1.
+                        match e.arrived_syn_seq {
+                            Some(iss) if seg.ack == iss + 1 => {}
+                            Some(iss) => v(
+                                report,
+                                InvariantKind::SynAckAcksIss,
+                                at,
+                                format!("SYN-ACK acks {} (peer ISS {iss})", seg.ack),
+                            ),
+                            None => v(
+                                report,
+                                InvariantKind::HandshakeOrdering,
+                                at,
+                                "SYN-ACK before any SYN arrived".into(),
+                            ),
+                        }
+                    }
+                }
+                if seg.payload.len() > mss {
+                    v(
+                        report,
+                        InvariantKind::MssRespect,
+                        at,
+                        format!("payload {} exceeds MSS {mss}", seg.payload.len()),
+                    );
+                }
+
+                if seg.seq_space() > 0 {
+                    let fresh = seg.seq >= e.snd_max;
+                    let is_probe = seg.payload.len() == 1 && e.last_arr_window == Some(0);
+                    // A segment may re-cover old space or extend it, but
+                    // never *start* beyond snd_max (sequence gap).
+                    if seg.seq > e.snd_max {
+                        v(
+                            report,
+                            InvariantKind::SeqContiguous,
+                            at,
+                            format!("seq {} leaves a gap above snd_max {}", seg.seq, e.snd_max),
+                        );
+                    }
+                    if let Some(fin_end) = e.fin_end {
+                        if seg.seq_end() > fin_end {
+                            v(
+                                report,
+                                InvariantKind::DataAfterFin,
+                                at,
+                                format!(
+                                    "sequence space {}..{} beyond FIN end {fin_end}",
+                                    seg.seq,
+                                    seg.seq_end()
+                                ),
+                            );
+                        }
+                        if seg.flags.fin && seg.seq_end() != fin_end {
+                            v(
+                                report,
+                                InvariantKind::FinSeqStable,
+                                at,
+                                format!("FIN moved from {fin_end} to {}", seg.seq_end()),
+                            );
+                        }
+                    }
+                    if !seg.payload.is_empty() && !is_probe {
+                        let payload_end = seg.seq + seg.payload.len() as u64;
+                        if payload_end > e.max_right_edge && e.max_right_edge > 0 {
+                            v(
+                                report,
+                                InvariantKind::WindowRespect,
+                                at,
+                                format!(
+                                    "payload end {payload_end} beyond advertised right edge {}",
+                                    e.max_right_edge
+                                ),
+                            );
+                        }
+                    }
+                    if seg.seq_end() > e.snd_max {
+                        // Extending flight: check the congestion bound.
+                        // +2 covers the SYN/FIN sequence units which are
+                        // not payload subject to cwnd.
+                        let in_flight = (seg.seq_end() - e.max_ack_arrived) as usize;
+                        if in_flight > e.cwnd_cap + 2 {
+                            v(
+                                report,
+                                InvariantKind::CwndRespect,
+                                at,
+                                format!(
+                                    "{in_flight} bytes in flight exceeds cwnd bound {}",
+                                    e.cwnd_cap
+                                ),
+                            );
+                        }
+                    }
+                    // Nagle: a *fresh* sub-MSS data segment may not depart
+                    // while earlier data is unacknowledged (FIN-bearing
+                    // segments and zero-window probes are exempt).
+                    if fresh
+                        && !seg.payload.is_empty()
+                        && seg.payload.len() < mss
+                        && !seg.flags.fin
+                        && !seg.flags.syn
+                        && !e.nodelay(cfg)
+                        && !is_probe
+                        && e.snd_max > e.max_ack_arrived
+                    {
+                        v(
+                            report,
+                            InvariantKind::NagleHold,
+                            at,
+                            format!(
+                                "fresh {}-byte segment with {} bytes in flight under Nagle",
+                                seg.payload.len(),
+                                e.snd_max - e.max_ack_arrived
+                            ),
+                        );
+                    }
+                    // Retransmission justification for re-covered space.
+                    if !fresh {
+                        let octet = seg.seq;
+                        let last_tx = e
+                            .txs
+                            .iter()
+                            .rev()
+                            .find(|&&(s, end, _, _)| s <= octet && octet < end);
+                        if let Some(&(_, _, last_at, last_len)) = last_tx {
+                            let waited = at.since(last_at) >= cfg.tcp.min_rto;
+                            let fast = e.dup_acks >= 3;
+                            let probe_recover = last_len == 1;
+                            let syn_answer = seg.flags.syn && e.syn_arrived_since_syn_tx;
+                            if !(waited || fast || probe_recover || is_probe || syn_answer) {
+                                v(
+                                    report,
+                                    InvariantKind::RexmitJustified,
+                                    at,
+                                    format!(
+                                        "seq {} re-sent {} after previous copy with {} dup-acks",
+                                        seg.seq,
+                                        at.since(last_at),
+                                        e.dup_acks
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+
+                // State updates after the checks.
+                let prev_snd_max = ends[side].snd_max;
+                let e = &mut ends[side];
+                e.departed_any = true;
+                any_packet_seen = true;
+                if seg.flags.syn {
+                    e.last_syn_tx = Some(at);
+                    e.syn_arrived_since_syn_tx = false;
+                }
+                if seg.flags.ack {
+                    e.last_ack_departed = seg.ack;
+                    e.last_edge_departed = e.last_edge_departed.max(seg.ack + seg.window as u64);
+                    e.ack_departures.push((at, seg.ack));
+                }
+                if seg.seq_space() > 0 {
+                    e.txs.push((seg.seq, seg.seq_end(), at, seg.payload.len()));
+                    if !seg.payload.is_empty() {
+                        // Fresh payload range in stream offsets (data
+                        // stream starts one past the SYN octet).
+                        let payload_end = seg.seq + seg.payload.len() as u64;
+                        let fresh_from = seg.seq.max(prev_snd_max.max(1));
+                        if fresh_from < payload_end && fresh_from >= 1 {
+                            e.fresh_sent.push((fresh_from - 1, payload_end - 1, at));
+                        }
+                    }
+                    if seg.flags.fin && e.fin_end.is_none() {
+                        e.fin_end = Some(seg.seq_end());
+                    }
+                    e.snd_max = e.snd_max.max(seg.seq_end());
+                }
+            }
+        }
+    }
+
+    // Delayed-ACK checks: every advancing delivery at an endpoint must be
+    // covered by an ACK departing within the delayed-ACK timeout, and no
+    // three deliveries may pass without *any* ACK departing. Connections
+    // that end in an RST are only held to deadlines that expired before
+    // the reset.
+    for recv in &ends {
+        let iss_off = recv.rcv_nxt.map(|_| 1u64).unwrap_or(0);
+        let deadline_cap = cfg.tcp.delayed_ack;
+        for &(t, covered) in &recv.deliveries {
+            let deadline = t + deadline_cap;
+            if let Some(rst) = first_rst {
+                if deadline >= rst {
+                    continue;
+                }
+            }
+            let need_ack = covered + iss_off; // stream bytes -> seq space
+            let acked_in_time = recv
+                .ack_departures
+                .iter()
+                .any(|&(s, a)| a >= need_ack && s <= deadline);
+            if !acked_in_time {
+                v(
+                    report,
+                    InvariantKind::DelayedAckDeadline,
+                    t,
+                    format!(
+                        "data delivered at {t} not acknowledged to {need_ack} within {}",
+                        deadline_cap
+                    ),
+                );
+            }
+        }
+        for w in recv.deliveries.windows(3) {
+            let (t1, t3) = (w[0].0, w[2].0);
+            if let Some(rst) = first_rst {
+                if t3 >= rst {
+                    continue;
+                }
+            }
+            let any_ack = recv.ack_departures.iter().any(|&(s, _)| s >= t1 && s <= t3);
+            if !any_ack {
+                v(
+                    report,
+                    InvariantKind::DelayedAckForce,
+                    t3,
+                    format!("three data deliveries {t1}..{t3} without an ACK departing"),
+                );
+            }
+        }
+    }
+
+    if cfg.http {
+        if let Some((req, resp)) = http_sides(key, &ends, cfg.server_port) {
+            crate::http::check_http(key, req, resp, first_rst, report);
+        }
+    }
+}
+
+/// One HTTP direction as the checker sees it: the reassembled byte
+/// stream, when each prefix became contiguous at the receiver, and when
+/// each byte first departed the sender.
+pub(crate) struct HttpSide<'a> {
+    pub stream: &'a [u8],
+    /// `(at, contiguous stream bytes)` per advancing delivery at the
+    /// receiver, in time order.
+    pub deliveries: &'a [(SimTime, u64)],
+    /// `(stream_start, stream_end, at)` first-emission ranges at the
+    /// sender, in increasing offset order.
+    pub fresh_sent: &'a [(u64, u64, SimTime)],
+    /// Whether the sender half-closed this direction with a FIN.
+    pub fin_seen: bool,
+}
+
+impl HttpSide<'_> {
+    /// When the byte at `off` became contiguous at the receiver.
+    pub fn covered_at(&self, off: u64) -> Option<SimTime> {
+        self.deliveries
+            .iter()
+            .find(|&&(_, covered)| covered > off)
+            .map(|&(t, _)| t)
+    }
+
+    /// When the byte at `off` first departed the sender.
+    pub fn first_sent_at(&self, off: u64) -> Option<SimTime> {
+        self.fresh_sent
+            .iter()
+            .find(|&&(s, e, _)| s <= off && off < e)
+            .map(|&(_, _, t)| t)
+    }
+}
+
+fn http_sides<'a>(
+    key: (SockAddr, SockAddr),
+    ends: &'a [EndState; 2],
+    server_port: u16,
+) -> Option<(HttpSide<'a>, HttpSide<'a>)> {
+    // Identify the server endpoint by port; the request stream is what
+    // the *server side* reassembled, the response stream is what the
+    // client side reassembled.
+    let server_side = if key.0.port == server_port {
+        0
+    } else if key.1.port == server_port {
+        1
+    } else {
+        return None;
+    };
+    let client_side = 1 - server_side;
+    let req = HttpSide {
+        stream: &ends[server_side].stream,
+        deliveries: &ends[server_side].deliveries,
+        fresh_sent: &ends[client_side].fresh_sent,
+        fin_seen: ends[client_side].fin_end.is_some(),
+    };
+    let resp = HttpSide {
+        stream: &ends[client_side].stream,
+        deliveries: &ends[client_side].deliveries,
+        fresh_sent: &ends[server_side].fresh_sent,
+        fin_seen: ends[server_side].fin_end.is_some(),
+    };
+    Some((req, resp))
+}

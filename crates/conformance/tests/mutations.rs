@@ -1,0 +1,793 @@
+//! Mutation tests: every [`InvariantKind`] is demonstrated by a
+//! synthetic trace that deliberately breaks it — and nothing else fires
+//! on the clean baseline exchange. These are the proof that each
+//! invariant has teeth; the proof they don't fire spuriously is the
+//! matrix gate in `httpipe-core/tests/conformance_gate.rs`.
+
+use bytes::Bytes;
+use conformance::{check_trace, CheckConfig, InvariantKind, Report};
+use netsim::trace::{DropRecord, TraceRecord};
+use netsim::{HostId, Segment, SimTime, SockAddr, TcpFlags};
+
+const WIN: usize = 65535;
+const REQ: &[u8] = b"GET / HTTP/1.1\r\nHost: example.org\r\n\r\n";
+const RESP: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+
+fn client() -> SockAddr {
+    SockAddr::new(HostId(0), 1000)
+}
+
+fn server() -> SockAddr {
+    SockAddr::new(HostId(1), 80)
+}
+
+fn t(us: u64) -> SimTime {
+    SimTime::from_nanos(us * 1_000)
+}
+
+fn fl(syn: bool, ack: bool, fin: bool, rst: bool) -> TcpFlags {
+    TcpFlags {
+        syn,
+        ack,
+        fin,
+        rst,
+        psh: false,
+    }
+}
+
+fn seg(c2s: bool, seq: u64, ack: u64, flags: TcpFlags, payload: &[u8], window: usize) -> Segment {
+    let (src, dst) = if c2s {
+        (client(), server())
+    } else {
+        (server(), client())
+    };
+    Segment {
+        src,
+        dst,
+        seq,
+        ack,
+        flags,
+        window,
+        payload: Bytes::from(payload.to_vec()),
+    }
+}
+
+fn rec(sent_us: u64, recv_us: u64, segment: Segment) -> TraceRecord {
+    let physical_bytes = segment.wire_len();
+    TraceRecord {
+        sent: t(sent_us),
+        received: t(recv_us),
+        segment,
+        physical_bytes,
+    }
+}
+
+/// SYN, SYN-ACK, ACK with ISS 0 on both sides (like the simulated TCB).
+fn handshake() -> Vec<TraceRecord> {
+    vec![
+        rec(
+            0,
+            1000,
+            seg(true, 0, 0, fl(true, false, false, false), &[], WIN),
+        ),
+        rec(
+            1000,
+            2000,
+            seg(false, 0, 1, fl(true, true, false, false), &[], WIN),
+        ),
+        rec(
+            2000,
+            3000,
+            seg(true, 1, 1, fl(false, true, false, false), &[], WIN),
+        ),
+    ]
+}
+
+/// A complete clean exchange: handshake, one request, one response,
+/// orderly FIN close in both directions.
+fn baseline() -> Vec<TraceRecord> {
+    let r = REQ.len() as u64;
+    let p = RESP.len() as u64;
+    let mut v = handshake();
+    // Request, acked by the response within the delayed-ACK deadline.
+    v.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    v.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 1 + r, fl(false, true, false, false), RESP, WIN),
+    ));
+    // Client acks the response, then closes.
+    v.push(rec(
+        5500,
+        6500,
+        seg(true, 1 + r, 1 + p, fl(false, true, false, false), &[], WIN),
+    ));
+    v.push(rec(
+        6500,
+        7500,
+        seg(true, 1 + r, 1 + p, fl(false, true, true, false), &[], WIN),
+    ));
+    // Server acks the FIN and closes its side; client's final ack.
+    v.push(rec(
+        8000,
+        9000,
+        seg(false, 1 + p, 2 + r, fl(false, true, true, false), &[], WIN),
+    ));
+    v.push(rec(
+        9000,
+        10000,
+        seg(true, 2 + r, 2 + p, fl(false, true, false, false), &[], WIN),
+    ));
+    v
+}
+
+fn check(recs: &[TraceRecord]) -> Report {
+    check_trace(recs, &[], &CheckConfig::default())
+}
+
+fn check_tcp(recs: &[TraceRecord]) -> Report {
+    let cfg = CheckConfig {
+        http: false,
+        ..CheckConfig::default()
+    };
+    check_trace(recs, &[], &cfg)
+}
+
+#[track_caller]
+fn assert_fires(report: &Report, kind: InvariantKind) {
+    assert!(
+        report.has(kind),
+        "expected a {kind} violation, got: {:?}",
+        report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn clean_baseline_has_no_violations() {
+    let report = check(&baseline());
+    assert!(
+        report.is_clean(),
+        "baseline violations:\n{:#?}",
+        report.violations
+    );
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.http_requests, 1);
+}
+
+#[test]
+fn every_invariant_kind_is_enumerated() {
+    assert_eq!(InvariantKind::ALL.len(), 26);
+}
+
+#[test]
+fn mutation_syn_first() {
+    // A connection whose opening segment is plain data, no SYN anywhere.
+    let recs = vec![rec(
+        0,
+        1000,
+        seg(true, 1, 1, fl(false, true, false, false), b"hi", WIN),
+    )];
+    assert_fires(&check_tcp(&recs), InvariantKind::SynFirst);
+}
+
+#[test]
+fn mutation_handshake_ordering() {
+    // The SYN is lost on the wire (a drop, not an arrival), yet the
+    // server answers with a SYN-ACK it cannot have solicited.
+    let drops = vec![DropRecord {
+        at: t(0),
+        segment: seg(true, 0, 0, fl(true, false, false, false), &[], WIN),
+        reason: netsim::impair::DropReason::Loss,
+    }];
+    let recs = vec![rec(
+        1000,
+        2000,
+        seg(false, 0, 1, fl(true, true, false, false), &[], WIN),
+    )];
+    let cfg = CheckConfig {
+        http: false,
+        ..CheckConfig::default()
+    };
+    let report = check_trace(&recs, &drops, &cfg);
+    assert_fires(&report, InvariantKind::HandshakeOrdering);
+}
+
+#[test]
+fn mutation_synack_acks_iss() {
+    let mut recs = handshake();
+    // SYN-ACK acknowledges 5; the peer's ISS is 0, so it must ack 1.
+    recs[1].segment.ack = 5;
+    assert_fires(&check_tcp(&recs), InvariantKind::SynAckAcksIss);
+}
+
+#[test]
+fn mutation_seq_contiguous() {
+    let mut recs = handshake();
+    // Request data starts at seq 10: a gap above snd_max = 1.
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 10, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 1, fl(false, true, false, false), &[], WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::SeqContiguous);
+}
+
+#[test]
+fn mutation_ack_monotonic() {
+    let mut recs = handshake();
+    // After acking 1, the client's next ack goes back to 0.
+    recs.push(rec(
+        3000,
+        4000,
+        seg(true, 1, 0, fl(false, true, false, false), &[], WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::AckMonotonic);
+}
+
+#[test]
+fn mutation_ack_no_unsent_data() {
+    let mut recs = handshake();
+    // The handshake ack acknowledges 100 bytes the server never sent.
+    recs[2].segment.ack = 100;
+    assert_fires(&check_tcp(&recs), InvariantKind::AckNoUnsentData);
+}
+
+#[test]
+fn mutation_mss_respect() {
+    let mut recs = handshake();
+    let jumbo = vec![0u8; 2000]; // default MSS is 1460
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), &jumbo, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 2001, fl(false, true, false, false), &[], WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::MssRespect);
+}
+
+#[test]
+fn mutation_window_respect() {
+    let mut recs = handshake();
+    // The server advertises a 10-byte window; the request overruns it.
+    recs[1].segment.window = 10;
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(
+            false,
+            1,
+            1 + REQ.len() as u64,
+            fl(false, true, false, false),
+            &[],
+            WIN,
+        ),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::WindowRespect);
+}
+
+#[test]
+fn mutation_window_edge_no_shrink() {
+    let r = REQ.len() as u64;
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    // The server's ack pulls its advertised right edge back from
+    // 1 + 65535 to (1 + r) + 100.
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 1 + r, fl(false, true, false, false), &[], 100),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::WindowEdgeNoShrink);
+}
+
+#[test]
+fn mutation_cwnd_respect() {
+    // Four full segments burst into a cwnd bound of
+    // initial (2 MSS) + one MSS per advancing ack (the SYN-ACK) = 4380.
+    let mss = 1460usize;
+    let payload = vec![0u8; mss];
+    let mut recs = handshake();
+    for i in 0..4u64 {
+        recs.push(rec(
+            2500 + i * 100,
+            3500 + i * 100,
+            seg(
+                true,
+                1 + i * mss as u64,
+                1,
+                fl(false, true, false, false),
+                &payload,
+                WIN,
+            ),
+        ));
+    }
+    // Acks keep the delayed-ACK invariants satisfied.
+    recs.push(rec(
+        3650,
+        4650,
+        seg(
+            false,
+            1,
+            1 + 2 * mss as u64,
+            fl(false, true, false, false),
+            &[],
+            WIN,
+        ),
+    ));
+    recs.push(rec(
+        4500,
+        5500,
+        seg(
+            false,
+            1,
+            1 + 4 * mss as u64,
+            fl(false, true, false, false),
+            &[],
+            WIN,
+        ),
+    ));
+    let report = check_tcp(&recs);
+    assert_fires(&report, InvariantKind::CwndRespect);
+    // Only the fourth segment oversteps the bound.
+    assert_eq!(
+        report
+            .violations
+            .iter()
+            .filter(|v| v.kind == InvariantKind::CwndRespect)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn mutation_delayed_ack_deadline() {
+    let mut recs = handshake();
+    // The request arrives and the server never acknowledges it.
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::DelayedAckDeadline);
+}
+
+#[test]
+fn mutation_delayed_ack_force() {
+    // Three deliveries pass without any ack departing; the eventual ack
+    // still meets every 200 ms deadline, so only the force rule fires.
+    let mut recs = handshake();
+    for i in 0..3u64 {
+        recs.push(rec(
+            2500 + i * 100,
+            3500 + i * 100,
+            seg(
+                true,
+                1 + i * 100,
+                1,
+                fl(false, true, false, false),
+                &[0u8; 100],
+                WIN,
+            ),
+        ));
+    }
+    recs.push(rec(
+        10_000,
+        11_000,
+        seg(false, 1, 301, fl(false, true, false, false), &[], WIN),
+    ));
+    let report = check_tcp(&recs);
+    assert_fires(&report, InvariantKind::DelayedAckForce);
+    assert!(!report.has(InvariantKind::DelayedAckDeadline));
+}
+
+#[test]
+fn mutation_nagle_hold() {
+    // With Nagle enabled on the client, a second small segment departs
+    // while the first is still unacknowledged.
+    let r = REQ.len() as u64;
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        2600,
+        3600,
+        seg(
+            true,
+            1 + r,
+            1,
+            fl(false, true, false, false),
+            b"more bytes",
+            WIN,
+        ),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 11 + r, fl(false, true, false, false), &[], WIN),
+    ));
+    let cfg = CheckConfig {
+        client_nodelay: false,
+        http: false,
+        ..CheckConfig::default()
+    };
+    let report = check_trace(&recs, &[], &cfg);
+    assert_fires(&report, InvariantKind::NagleHold);
+    // The same trace is legal with TCP_NODELAY set.
+    assert!(check_tcp(&recs).is_clean());
+}
+
+#[test]
+fn mutation_data_after_fin() {
+    let r = REQ.len() as u64;
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 1 + r, fl(false, true, false, false), &[], WIN),
+    ));
+    recs.push(rec(
+        5000,
+        6000,
+        seg(true, 1 + r, 1, fl(false, true, true, false), &[], WIN),
+    ));
+    // New sequence space beyond the FIN.
+    recs.push(rec(
+        5500,
+        6500,
+        seg(
+            true,
+            2 + r,
+            1,
+            fl(false, true, false, false),
+            b"late data",
+            WIN,
+        ),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::DataAfterFin);
+}
+
+#[test]
+fn mutation_fin_seq_stable() {
+    let r = REQ.len() as u64;
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 1 + r, fl(false, true, false, false), &[], WIN),
+    ));
+    recs.push(rec(
+        5000,
+        6000,
+        seg(true, 1 + r, 1, fl(false, true, true, false), &[], WIN),
+    ));
+    // A FIN "retransmission" (a full RTO later, so the rexmit itself is
+    // justified) at a different sequence number.
+    recs.push(rec(
+        600_000,
+        601_000,
+        seg(true, r - 4, 1, fl(false, true, true, false), &[], WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::FinSeqStable);
+}
+
+#[test]
+fn mutation_rst_with_payload() {
+    let mut recs = handshake();
+    recs.push(rec(
+        3000,
+        4000,
+        seg(true, 1, 0, fl(false, false, false, true), b"abort", WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::RstWithPayload);
+}
+
+#[test]
+fn mutation_rst_not_first() {
+    let recs = vec![rec(
+        0,
+        1000,
+        seg(true, 0, 0, fl(false, false, false, true), &[], 0),
+    )];
+    assert_fires(&check_tcp(&recs), InvariantKind::RstNotFirst);
+}
+
+#[test]
+fn mutation_silence_after_rst_sent() {
+    let mut recs = handshake();
+    recs.push(rec(
+        3000,
+        4000,
+        seg(true, 1, 0, fl(false, false, false, true), &[], 0),
+    ));
+    // Data from the endpoint that just reset the connection.
+    recs.push(rec(
+        4000,
+        5000,
+        seg(true, 1, 1, fl(false, true, false, false), b"zombie", WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::SilenceAfterRstSent);
+}
+
+#[test]
+fn mutation_silence_after_rst_recvd() {
+    let mut recs = handshake();
+    recs.push(rec(
+        3000,
+        4000,
+        seg(false, 1, 0, fl(false, false, false, true), &[], 0),
+    ));
+    // The client keeps talking after the server's RST arrived at 4 ms.
+    recs.push(rec(
+        5000,
+        6000,
+        seg(true, 1, 1, fl(false, true, false, false), b"zombie", WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::SilenceAfterRstRecvd);
+}
+
+#[test]
+fn mutation_rexmit_justified() {
+    let r = REQ.len() as u64;
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        5000,
+        6000,
+        seg(false, 1, 1 + r, fl(false, true, false, false), &[], WIN),
+    ));
+    // Identical copy 7.5 ms after the original: far below the 500 ms
+    // minimum RTO, and with zero duplicate acks.
+    recs.push(rec(
+        10_000,
+        11_000,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    assert_fires(&check_tcp(&recs), InvariantKind::RexmitJustified);
+}
+
+#[test]
+fn mutation_http_request_parse() {
+    let garbage = b"\x01\x02 this is not HTTP\r\n\r\n";
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), garbage, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(
+            false,
+            1,
+            1 + garbage.len() as u64,
+            fl(false, true, false, false),
+            &[],
+            WIN,
+        ),
+    ));
+    assert_fires(&check(&recs), InvariantKind::HttpRequestParse);
+}
+
+#[test]
+fn mutation_http_response_parse() {
+    let r = REQ.len() as u64;
+    let garbage = b"\x01\x02 this is not HTTP either\r\n\r\n";
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 1 + r, fl(false, true, false, false), garbage, WIN),
+    ));
+    recs.push(rec(
+        5500,
+        6500,
+        seg(
+            true,
+            1 + r,
+            1 + garbage.len() as u64,
+            fl(false, true, false, false),
+            &[],
+            WIN,
+        ),
+    ));
+    assert_fires(&check(&recs), InvariantKind::HttpResponseParse);
+}
+
+#[test]
+fn mutation_response_before_request() {
+    let r = REQ.len() as u64;
+    let p = RESP.len() as u64;
+    let mut recs = handshake();
+    // The request departs at 2.5 ms and completes arrival at 3.5 ms —
+    // but the server's response already departed at 3.0 ms.
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        3000,
+        4000,
+        seg(false, 1, 1, fl(false, true, false, false), RESP, WIN),
+    ));
+    recs.push(rec(
+        5000,
+        6000,
+        seg(false, 1 + p, 1 + r, fl(false, true, false, false), &[], WIN),
+    ));
+    recs.push(rec(
+        5500,
+        6500,
+        seg(true, 1 + r, 1 + p, fl(false, true, false, false), &[], WIN),
+    ));
+    assert_fires(&check(&recs), InvariantKind::ResponseBeforeRequest);
+}
+
+#[test]
+fn mutation_pipeline_order() {
+    let r = REQ.len() as u64;
+    let p = RESP.len() as u64;
+    let second = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nworld";
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(false, 1, 1 + r, fl(false, true, false, false), RESP, WIN),
+    ));
+    // A second response to a connection that only ever saw one request.
+    recs.push(rec(
+        4100,
+        5100,
+        seg(
+            false,
+            1 + p,
+            1 + r,
+            fl(false, true, false, false),
+            second,
+            WIN,
+        ),
+    ));
+    recs.push(rec(
+        5500,
+        6500,
+        seg(
+            true,
+            1 + r,
+            1 + p + second.len() as u64,
+            fl(false, true, false, false),
+            &[],
+            WIN,
+        ),
+    ));
+    assert_fires(&check(&recs), InvariantKind::PipelineOrder);
+}
+
+#[test]
+fn mutation_stream_leftover() {
+    let r = REQ.len() as u64;
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    // A truncated second request, then a clean FIN: unparsed bytes left.
+    recs.push(rec(
+        2600,
+        3600,
+        seg(
+            true,
+            1 + r,
+            1,
+            fl(false, true, false, false),
+            b"GET / HT",
+            WIN,
+        ),
+    ));
+    recs.push(rec(
+        5000,
+        6000,
+        seg(true, 9 + r, 1, fl(false, true, true, false), &[], WIN),
+    ));
+    recs.push(rec(
+        6000,
+        7000,
+        seg(false, 1, 10 + r, fl(false, true, false, false), &[], WIN),
+    ));
+    assert_fires(&check(&recs), InvariantKind::StreamLeftover);
+}
+
+#[test]
+fn mutation_connection_close_respected() {
+    let close_resp = b"HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 5\r\n\r\nhello";
+    let r = REQ.len() as u64;
+    let p = close_resp.len() as u64;
+    let mut recs = handshake();
+    recs.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        4000,
+        5000,
+        seg(
+            false,
+            1,
+            1 + r,
+            fl(false, true, false, false),
+            close_resp,
+            WIN,
+        ),
+    ));
+    // The close response fully arrived at 5 ms; a second request departs
+    // at 6 ms anyway.
+    recs.push(rec(
+        6000,
+        7000,
+        seg(true, 1 + r, 1 + p, fl(false, true, false, false), REQ, WIN),
+    ));
+    recs.push(rec(
+        7100,
+        8100,
+        seg(
+            false,
+            1 + p,
+            1 + 2 * r,
+            fl(false, true, false, false),
+            &[],
+            WIN,
+        ),
+    ));
+    assert_fires(&check(&recs), InvariantKind::ConnectionCloseRespected);
+}

@@ -45,8 +45,8 @@ impl VerbosityStudy {
 /// verbatim in `a` — the natural unit of HTTP-request redundancy (most
 /// header lines repeat exactly; the request line and validators differ).
 fn diff_bytes(a: &[u8], b: &[u8]) -> usize {
-    use std::collections::HashMap;
-    let mut available: HashMap<&[u8], usize> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut available: BTreeMap<&[u8], usize> = BTreeMap::new();
     for line in a.split(|&c| c == b'\n') {
         *available.entry(line).or_insert(0) += 1;
     }

@@ -323,6 +323,52 @@ pub fn matrix_spec(
     }
 }
 
+/// Derive the conformance-checker configuration a spec's trace must be
+/// judged against: the TCP parameters in effect on both hosts and the
+/// per-side TCP_NODELAY settings (the applications set it per socket
+/// from their configs, overriding the TCP default).
+pub fn check_config_for(spec: &CellSpec) -> conformance::CheckConfig {
+    conformance::CheckConfig {
+        tcp: spec.tcp.clone().unwrap_or_default(),
+        client_nodelay: spec.client.nodelay,
+        server_nodelay: spec.server.nodelay,
+        server_port: spec.server.port,
+        http: true,
+    }
+}
+
+/// Execute one cell under the trace-invariant checker: forces
+/// [`TraceMode::Full`] (the checker needs per-packet records; the
+/// resulting [`CellResult`] is bit-identical to a `StatsOnly` run by
+/// construction) and verifies every TCP/HTTP invariant over the
+/// finished trace.
+pub fn run_spec_checked(mut spec: CellSpec) -> (RunOutput, conformance::Report) {
+    let cfg = check_config_for(&spec);
+    spec.trace_mode = TraceMode::Full;
+    let out = run_spec(spec);
+    let trace = out.sim.trace();
+    let report = conformance::check_trace(trace.records(), trace.drop_records(), &cfg);
+    (out, report)
+}
+
+/// [`run_cells`] with every cell run under the trace-invariant checker.
+/// Returns the per-cell results plus one merged [`conformance::Report`]
+/// across all cells (violations keep their connection addresses; cells
+/// are checked independently so the merge loses no information).
+pub fn run_cells_checked(specs: Vec<CellSpec>) -> (Vec<CellResult>, conformance::Report) {
+    let outcomes = run_cells_map(specs, None, |spec| {
+        let (out, report) = run_spec_checked(spec);
+        (out.cell, report)
+    });
+    let mut merged = conformance::Report::default();
+    let mut cells = Vec::with_capacity(outcomes.len());
+    for (cell, report) in outcomes {
+        merged.merge(report);
+        cells.push(cell);
+    }
+    (cells, merged)
+}
+
 /// Run one matrix cell.
 pub fn run_matrix_cell(
     env: NetEnv,
@@ -363,20 +409,33 @@ pub fn run_cells(specs: Vec<CellSpec>) -> Vec<CellResult> {
 
 /// [`run_cells`] with an explicit thread count (`None` = automatic).
 pub fn run_cells_threaded(specs: Vec<CellSpec>, threads: Option<usize>) -> Vec<CellResult> {
+    run_cells_map(specs, threads, |s| run_spec(s).cell)
+}
+
+/// Map an arbitrary per-cell function across independent cells on the
+/// work-stealing pool, returning the outputs in input order.
+///
+/// The engine behind [`run_cells_threaded`] and [`run_cells_checked`]:
+/// each worker claims the next unstarted cell off a shared counter, so
+/// long cells (PPP) don't serialize behind a static partition. With one
+/// thread (or one cell) it degrades to a plain serial loop.
+pub fn run_cells_map<T, F>(specs: Vec<CellSpec>, threads: Option<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(CellSpec) -> T + Sync,
+{
     let n = specs.len();
     let threads = threads
         .unwrap_or_else(|| worker_threads(n))
         .clamp(1, n.max(1));
     if threads <= 1 {
-        return specs.into_iter().map(|s| run_spec(s).cell).collect();
+        return specs.into_iter().map(f).collect();
     }
 
-    // Work-stealing by index: each worker claims the next unstarted cell,
-    // so long cells (PPP) don't serialize behind a static partition.
     let jobs: Vec<Mutex<Option<CellSpec>>> =
         specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -392,7 +451,7 @@ pub fn run_cells_threaded(specs: Vec<CellSpec>, threads: Option<usize>) -> Vec<C
                             .expect("cell spec lock")
                             .take()
                             .expect("cell claimed twice");
-                        out.push((i, run_spec(spec).cell));
+                        out.push((i, f(spec)));
                     }
                     out
                 })

@@ -31,7 +31,7 @@ use httpwire::validators::Validators;
 use httpwire::{format_http_date, ContentCoding, ETag, Method, Request, Response, ResponseParser};
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::{SimTime, SocketId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Flush-timer token (CPU-op tokens start at 1).
 const FLUSH_TOKEN: u64 = 0;
@@ -147,12 +147,15 @@ pub struct HttpClient {
     /// Work not yet assigned to a connection.
     pending: VecDeque<Job>,
     /// Paths fetched successfully.
-    completed: HashSet<String>,
-    conns: HashMap<SocketId, Conn>,
+    completed: BTreeSet<String>,
+    /// Ordered map: several paths iterate the live connections (idle-conn
+    /// search, flush-all, finish checks), so the iteration order must be
+    /// deterministic for runs to be reproducible.
+    conns: BTreeMap<SocketId, Conn>,
     /// The single connection used by the 1.1 modes.
     main_conn: Option<SocketId>,
     /// Image paths discovered in the HTML so far.
-    discovered: HashSet<String>,
+    discovered: BTreeSet<String>,
     /// The HTML page has fully arrived and been parsed.
     discovery_complete: bool,
     flush_armed: bool,
@@ -162,7 +165,7 @@ pub struct HttpClient {
     /// livelock a client that always re-pipelines the full batch.
     cautious: bool,
     /// Client CPU: outstanding ops keyed by timer token.
-    cpu_ops: HashMap<u64, CpuOp>,
+    cpu_ops: BTreeMap<u64, CpuOp>,
     next_token: u64,
     cpu_busy: SimTime,
     /// A request-generation op is in flight (they are strictly serial).
@@ -190,14 +193,14 @@ impl HttpClient {
             workload,
             cache,
             pending: VecDeque::new(),
-            completed: HashSet::new(),
-            conns: HashMap::new(),
+            completed: BTreeSet::new(),
+            conns: BTreeMap::new(),
             main_conn: None,
-            discovered: HashSet::new(),
+            discovered: BTreeSet::new(),
             discovery_complete: false,
             flush_armed: false,
             cautious: false,
-            cpu_ops: HashMap::new(),
+            cpu_ops: BTreeMap::new(),
             next_token: 1,
             cpu_busy: SimTime::ZERO,
             gen_scheduled: false,

@@ -25,7 +25,7 @@ use httpwire::validators::{evaluate_conditional, if_range_matches, CondResult};
 use httpwire::{format_http_date, Method, Request, RequestParser, Response, StatusCode, Version};
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::{SimTime, SocketId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Counters exposed after a run.
@@ -85,9 +85,9 @@ impl Conn {
 pub struct HttpServer {
     config: ServerConfig,
     store: Arc<SiteStore>,
-    conns: HashMap<SocketId, Conn>,
+    conns: BTreeMap<SocketId, Conn>,
     /// Service-completion timers: token → (connection, request).
-    pending: HashMap<u64, (SocketId, Request)>,
+    pending: BTreeMap<u64, (SocketId, Request)>,
     next_token: u64,
     /// The single-CPU service queue.
     cpu_busy_until: SimTime,
@@ -101,8 +101,8 @@ impl HttpServer {
         HttpServer {
             config,
             store,
-            conns: HashMap::new(),
-            pending: HashMap::new(),
+            conns: BTreeMap::new(),
+            pending: BTreeMap::new(),
             next_token: 1,
             cpu_busy_until: SimTime::ZERO,
             stats: ServerStats::default(),

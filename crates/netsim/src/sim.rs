@@ -120,8 +120,10 @@ struct HostState {
     tcp_config: TcpConfig,
     sockets: Vec<Tcb>,
     /// (local port, remote addr) → socket slot.
+    // xtask: allow(hash-collections): keyed lookup only; never iterated.
     demux: HashMap<(u16, SockAddr), u32>,
     /// Listening ports.
+    // xtask: allow(hash-collections): keyed lookup only; never iterated.
     listeners: HashMap<u16, ()>,
     next_ephemeral: u16,
     stats: SocketStats,
@@ -140,6 +142,7 @@ pub struct Kernel {
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     hosts: Vec<HostState>,
     links: Vec<Link>,
+    // xtask: allow(hash-collections): keyed lookup only; never iterated.
     link_index: HashMap<(HostId, HostId), usize>,
     trace: Trace,
     pending: VecDeque<(HostId, AppEvent)>,
@@ -156,7 +159,7 @@ impl Kernel {
             queue: BinaryHeap::new(),
             hosts: Vec::new(),
             links: Vec::new(),
-            link_index: HashMap::new(),
+            link_index: HashMap::new(), // xtask: allow(hash-collections)
             trace: Trace::new(),
             pending: VecDeque::new(),
             events_processed: 0,
@@ -535,8 +538,8 @@ impl Simulator {
             name: name.to_string(),
             tcp_config: TcpConfig::default(),
             sockets: Vec::new(),
-            demux: HashMap::new(),
-            listeners: HashMap::new(),
+            demux: HashMap::new(),     // xtask: allow(hash-collections)
+            listeners: HashMap::new(), // xtask: allow(hash-collections)
             next_ephemeral: 40_000,
             stats: SocketStats::default(),
         });

@@ -1,0 +1,369 @@
+//! `xtask` — dependency-free repo maintenance tasks.
+//!
+//! The one task so far is the determinism lint:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! The whole simulation must be a pure function of its inputs: two runs
+//! of the same spec must agree bit-for-bit regardless of thread count,
+//! hash seeds or wall-clock. The type system can't enforce that, so this
+//! is a line/token lint over the workspace sources for the constructs
+//! that have historically broken it:
+//!
+//! * `hash-collections` — `HashMap`/`HashSet` in the determinism-critical
+//!   crates (`netsim`, `core`, `httpserver`, `httpclient`). Rust's hash
+//!   maps use a random per-process seed; any iteration leaks that seed's
+//!   order into the run. Use `BTreeMap`/`BTreeSet`, or carry an
+//!   `xtask: allow(hash-collections)` comment arguing the map is
+//!   keyed-lookup-only.
+//! * `wall-clock` — `Instant::now` / `SystemTime` anywhere: simulated
+//!   code must read [`SimTime`] from the simulator, never the host clock.
+//!   (Benchmark timing is the legitimate exception, allowlisted in
+//!   `xtask-allow.txt`.)
+//! * `thread-rng` — `thread_rng` anywhere: all randomness must flow from
+//!   explicit seeds.
+//! * `float-time-cmp` — `==`/`!=` on the same line as `as_secs_f64`:
+//!   exact comparison of float-converted simulated time; compare the
+//!   integer nanosecond values instead.
+//! * `unwrap-impair` — `.unwrap()` in the impairment pipeline
+//!   (`netsim/src/impair.rs`): a panic mid-impairment tears down a cell
+//!   asymmetrically and poisons the shared thread pool.
+//!
+//! Suppression: a `xtask: allow(<rule>)` comment on the flagged line or
+//! in the comment block immediately above it, or a `<rule> <path>` line
+//! in the committed `xtask-allow.txt` at the repo root. Test code
+//! (`tests/` directories and `#[cfg(test)]` items) is skipped.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: a name, the substrings that trigger it, and the crate
+/// directories (under `crates/`) it applies to (`None` = everywhere).
+struct Rule {
+    name: &'static str,
+    /// The line (comments stripped) triggers if it contains any of these.
+    needles: &'static [&'static str],
+    /// And, when non-empty, all of these.
+    also: &'static [&'static str],
+    crates: Option<&'static [&'static str]>,
+    /// Restrict to one file (workspace-relative), e.g. the impairment
+    /// pipeline.
+    file: Option<&'static str>,
+    /// Skip `use` declarations — an import alone creates nothing; every
+    /// actual use of the type still triggers.
+    skip_use_lines: bool,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-collections",
+        needles: &["HashMap", "HashSet"],
+        also: &[],
+        crates: Some(&["netsim", "core", "httpserver", "httpclient"]),
+        file: None,
+        skip_use_lines: true,
+    },
+    Rule {
+        name: "wall-clock",
+        needles: &["Instant::now", "SystemTime"],
+        also: &[],
+        crates: None,
+        file: None,
+        skip_use_lines: true,
+    },
+    Rule {
+        name: "thread-rng",
+        needles: &["thread_rng"],
+        also: &[],
+        crates: None,
+        file: None,
+        skip_use_lines: false,
+    },
+    Rule {
+        name: "float-time-cmp",
+        needles: &["==", "!="],
+        also: &["as_secs_f64"],
+        crates: None,
+        file: None,
+        skip_use_lines: false,
+    },
+    Rule {
+        name: "unwrap-impair",
+        needles: &[".unwrap("],
+        also: &[],
+        crates: None,
+        file: Some("crates/netsim/src/impair.rs"),
+        skip_use_lines: false,
+    },
+];
+
+/// A `<rule> <path>` entry from `xtask-allow.txt`.
+struct FileAllow {
+    rule: String,
+    path: String,
+    used: bool,
+}
+
+struct Finding {
+    path: String,
+    line_no: usize,
+    rule: &'static str,
+    text: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut allows = load_file_allows(&root);
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &root, &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for rel in &files {
+        // The linter's own rule table spells out the needles it hunts.
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        scanned += 1;
+        let text = match fs::read_to_string(root.join(rel)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        lint_file(rel, &text, &mut allows, &mut findings);
+    }
+
+    for f in &findings {
+        println!("{}:{}: [{}] {}", f.path, f.line_no, f.rule, f.text.trim());
+    }
+    for a in allows.iter().filter(|a| !a.used) {
+        println!("xtask-allow.txt: unused entry `{} {}`", a.rule, a.path);
+    }
+    let unused_allows = allows.iter().filter(|a| !a.used).count();
+    if findings.is_empty() && unused_allows == 0 {
+        println!("xtask lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s), {} stale allowlist entr(ies) in {} files",
+            findings.len(),
+            unused_allows,
+            scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: walk up from this binary's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn load_file_allows(root: &Path) -> Vec<FileAllow> {
+    let mut out = Vec::new();
+    let Ok(text) = fs::read_to_string(root.join("xtask-allow.txt")) else {
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
+            out.push(FileAllow {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                used: false,
+            });
+        }
+    }
+    out
+}
+
+/// Every `.rs` file under `dir` (recursively), as workspace-relative
+/// paths, skipping `target/` and `tests/` directories.
+fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "tests" {
+                continue;
+            }
+            collect_rs_files(&path, root, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("file under workspace root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+/// The crate directory name of a workspace-relative path
+/// (`crates/netsim/src/tcp.rs` → `netsim`).
+fn crate_dir(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+fn lint_file(rel: &str, text: &str, allows: &mut [FileAllow], findings: &mut Vec<Finding>) {
+    let cdir = crate_dir(rel);
+    // Allow markers collected from the comment block directly above the
+    // current code line.
+    let mut pending_allows: BTreeSet<String> = BTreeSet::new();
+    // Brace depth of `#[cfg(test)]` items still open; while positive,
+    // everything is test code.
+    let mut test_depth: i64 = 0;
+    let mut in_test_item = false;
+    // Attribute seen, waiting for the item's first `{`.
+    let mut test_armed = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        let (code, comment) = split_comment(raw);
+
+        if in_test_item || test_armed {
+            // Track braces in code (strings with braces inside test code
+            // would miscount; none of the workspace sources do this in a
+            // way that unbalances an item).
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        test_depth += 1;
+                        test_armed = false;
+                        in_test_item = true;
+                    }
+                    '}' => test_depth -= 1,
+                    _ => {}
+                }
+            }
+            if in_test_item && test_depth <= 0 {
+                in_test_item = false;
+                test_depth = 0;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            test_armed = true;
+            continue;
+        }
+
+        // Collect allow markers: from a standalone comment line they
+        // apply to the next code line; from a trailing comment to this
+        // line only.
+        let mut line_allows: BTreeSet<String> = std::mem::take(&mut pending_allows);
+        for marker in allow_markers(comment) {
+            line_allows.insert(marker);
+        }
+        if code.trim().is_empty() {
+            // Pure comment (or blank) line: markers carry forward.
+            pending_allows = line_allows;
+            continue;
+        }
+
+        for rule in RULES {
+            if let Some(crates) = rule.crates {
+                if !crates.contains(&cdir) {
+                    continue;
+                }
+            }
+            if let Some(file) = rule.file {
+                if rel != file {
+                    continue;
+                }
+            }
+            if rule.skip_use_lines && trimmed.starts_with("use ") {
+                continue;
+            }
+            let hit = rule.needles.iter().any(|n| code.contains(n))
+                && rule.also.iter().all(|n| code.contains(n));
+            if !hit {
+                continue;
+            }
+            if line_allows.contains(rule.name) {
+                continue;
+            }
+            if let Some(a) = allows
+                .iter_mut()
+                .find(|a| a.rule == rule.name && a.path == rel)
+            {
+                a.used = true;
+                continue;
+            }
+            findings.push(Finding {
+                path: rel.to_string(),
+                line_no: i + 1,
+                rule: rule.name,
+                text: raw.to_string(),
+            });
+        }
+    }
+}
+
+/// Split a source line at the start of its `//` comment (ignoring `//`
+/// inside string literals).
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped byte
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// Every `xtask: allow(<rule>)` marker in a comment.
+fn allow_markers(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("xtask: allow(") {
+        let after = &rest[pos + "xtask: allow(".len()..];
+        if let Some(end) = after.find(')') {
+            out.push(after[..end].trim().to_string());
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
