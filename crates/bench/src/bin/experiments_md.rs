@@ -8,7 +8,7 @@
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
     ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges,
-    robustness, summary, verbosity,
+    robustness, scale, summary, verbosity,
 };
 use httpipe_core::harness::ProtocolSetup;
 use httpipe_core::result::CellResult;
@@ -526,6 +526,35 @@ fn main() {
         "\nReport digest (two identical runs required by CI's robustness-smoke\n\
          gate): `{:#018x}`.\n",
         robustness::report_digest(&rob_cells)
+    ));
+
+    // ---- Many-client scale -----------------------------------------------
+    out.push_str("\n## Many-client scale (`repro scale`)\n\n");
+    out.push_str(
+        "Beyond the paper: the argument for HTTP/1.1 was always *server*\n\
+         scalability, but the paper measures one robot on a private link. Here\n\
+         N robots share one bottleneck against one Apache (64-deep listen\n\
+         queue, bounded link buffer), every client fetching the site first\n\
+         time. Columns: per-client elapsed-time percentiles, Jain's fairness\n\
+         index over per-client times, the server's peak simultaneous\n\
+         connection count, SYNs dropped at the listen queue, and aggregate\n\
+         packets/retransmissions. The shape to notice: HTTP/1.0×4's peak\n\
+         connection count scales ~4N while persistent and pipelined hold ~N,\n\
+         so pipelining carries 256 clients with several times less server\n\
+         state — and the 256-client SYN burst is the only place the listen\n\
+         queue overflows.\n\n",
+    );
+    out.push_str("```\n");
+    let scale_cells = scale::run_points(&scale::full_grid());
+    for t in scale::report(&scale_cells) {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str("```\n");
+    out.push_str(&format!(
+        "\nReport digest (two identical runs of the reduced grid required by\n\
+         CI's scale-smoke gate): `{:#018x}`.\n",
+        scale::report_digest(&scale_cells)
     ));
 
     print!("{out}");

@@ -9,7 +9,7 @@
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
     ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges,
-    robustness, summary, verbosity,
+    robustness, scale, summary, verbosity,
 };
 use httpserver::ServerKind;
 
@@ -191,6 +191,17 @@ fn experiments() -> Vec<Experiment> {
                     "{}",
                     robustness::jitter_table(&robustness::jitter_study()).render()
                 );
+            },
+        },
+        Experiment {
+            id: "scale",
+            what:
+                "Many-client fleets on one bottleneck: fairness, peak server connections, SYN drops",
+            run: || {
+                let cells = scale::run_points(&scale::full_grid());
+                for t in scale::report(&cells) {
+                    println!("{}", t.render());
+                }
             },
         },
         Experiment {

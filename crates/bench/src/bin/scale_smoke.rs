@@ -1,0 +1,73 @@
+//! `scale_smoke` — CI determinism gate for the many-client fleet engine.
+//!
+//! Runs the reduced scale grid (LAN+WAN × three setups × N ∈ {1, 16, 64})
+//! twice through the fleet executor (thread count from `HTTPIPE_THREADS`,
+//! as in CI) and asserts that both passes render bit-identical reports.
+//! Any nondeterminism in the shared-link round-robin scheduler, the
+//! listen-queue accounting or the fleet thread pool shows up as a digest
+//! mismatch and a nonzero exit.
+//!
+//! ```text
+//! HTTPIPE_THREADS=8 cargo run --release -p httpipe-bench --bin scale_smoke
+//! ```
+
+use httpipe_core::experiments::scale::{self, ScaleCell};
+use httpipe_core::harness::worker_threads;
+use std::time::Instant;
+
+fn main() {
+    let points = scale::reduced_grid();
+    let threads = worker_threads(points.len());
+    println!(
+        "scale smoke: {} fleet cells, {} worker threads, 2 passes",
+        points.len(),
+        threads
+    );
+
+    let start = Instant::now();
+    let first = scale::run_points(&points);
+    let first_digest = scale::report_digest(&first);
+    let second = scale::run_points(&points);
+    let second_digest = scale::report_digest(&second);
+    let secs = start.elapsed().as_secs_f64();
+
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(
+            a.client_secs, b.client_secs,
+            "nondeterministic fleet cell {:?}",
+            a.point
+        );
+    }
+    assert_eq!(
+        first_digest, second_digest,
+        "report digests differ between passes"
+    );
+
+    // The contended cells really contend: at N=64 the fleet's slowest
+    // client is slower than an uncontended single client of the same
+    // setup, yet everyone finishes the whole site.
+    let find = |n: usize, cell: &ScaleCell| -> bool { cell.point.n_clients == n };
+    for big in first.iter().filter(|c| find(64, c)) {
+        let lone = first
+            .iter()
+            .find(|c| {
+                c.point.env == big.point.env && c.point.setup == big.point.setup && find(1, c)
+            })
+            .expect("N=1 anchor present");
+        assert!(
+            big.p99 > lone.p50,
+            "{:?}: 64 contending clients no slower than one",
+            big.point
+        );
+        assert_eq!(
+            big.fetched,
+            64 * lone.fetched,
+            "{:?}: some client fell short of the full site",
+            big.point
+        );
+    }
+
+    println!("  digest {first_digest:#018x} on both passes ({secs:.2}s total)");
+    println!("scale smoke: OK");
+}

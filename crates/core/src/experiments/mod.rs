@@ -9,5 +9,6 @@ pub mod nagle;
 pub mod protocol_matrix;
 pub mod ranges;
 pub mod robustness;
+pub mod scale;
 pub mod summary;
 pub mod verbosity;

@@ -190,6 +190,34 @@ pub struct RunOutput {
     pub server_host: netsim::HostId,
 }
 
+/// Assemble one client's [`CellResult`] from the raw trace, socket and
+/// application counters (shared by [`run_spec`] and [`run_fleet`]).
+fn cell_result(
+    stats: &netsim::TraceStats,
+    socket_stats: netsim::SocketStats,
+    client_stats: &httpclient::ClientStats,
+) -> CellResult {
+    CellResult {
+        packets_c2s: stats.packets_c2s,
+        packets_s2c: stats.packets_s2c,
+        bytes: stats.bytes,
+        physical_bytes: stats.physical_bytes,
+        secs: stats.elapsed_secs(),
+        overhead_pct: stats.overhead_pct(),
+        sockets_used: socket_stats.sockets_used,
+        max_sockets: socket_stats.max_simultaneous,
+        fetched: client_stats.fetched.len() as u64,
+        validated: client_stats.validated() as u64,
+        body_bytes: client_stats.body_bytes() as u64,
+        retries: client_stats.retries,
+        resets: client_stats.resets,
+        retransmits: stats.retransmitted_packets,
+        drops: stats.drops(),
+        dups: stats.dup_packets,
+        reorders: stats.reordered_packets,
+    }
+}
+
 /// Execute one cell.
 pub fn run_spec(spec: CellSpec) -> RunOutput {
     let mut sim = Simulator::new();
@@ -234,25 +262,7 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
         .expect("server app")
         .stats;
 
-    let cell = CellResult {
-        packets_c2s: stats.packets_c2s,
-        packets_s2c: stats.packets_s2c,
-        bytes: stats.bytes,
-        physical_bytes: stats.physical_bytes,
-        secs: stats.elapsed_secs(),
-        overhead_pct: stats.overhead_pct(),
-        sockets_used: socket_stats.sockets_used,
-        max_sockets: socket_stats.max_simultaneous,
-        fetched: client_stats.fetched.len() as u64,
-        validated: client_stats.validated() as u64,
-        body_bytes: client_stats.body_bytes() as u64,
-        retries: client_stats.retries,
-        resets: client_stats.resets,
-        retransmits: stats.retransmitted_packets,
-        drops: stats.drops(),
-        dups: stats.dup_packets,
-        reorders: stats.reordered_packets,
-    };
+    let cell = cell_result(&stats, socket_stats, &client_stats);
     RunOutput {
         cell,
         client_stats,
@@ -261,6 +271,139 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
         client_host,
         server_host,
     }
+}
+
+/// Everything configurable about one fleet run: `n_clients` robots
+/// behind one shared bottleneck link fetching from one server.
+///
+/// Hosts are laid out clients-first (hosts `0..n`) with the server last
+/// (host `n`), so an `n_clients == 1` fleet is host-for-host identical
+/// to the single-client [`matrix_spec`] topology.
+pub struct FleetSpec {
+    /// How many concurrent clients share the bottleneck.
+    pub n_clients: usize,
+    /// Network environment of the shared link.
+    pub env: NetEnv,
+    /// Client protocol setup (every client runs the same one).
+    pub setup: ProtocolSetup,
+    /// Server behaviour profile.
+    pub server: ServerConfig,
+    /// Content the server serves.
+    pub store: Arc<SiteStore>,
+    /// What every client is asked to do.
+    pub workload: Workload,
+    /// Bottleneck buffer bound in bytes (`None` = unbounded, the
+    /// single-client model's behaviour).
+    pub buffer_bytes: Option<u64>,
+    /// Reset backoff applied to every client.
+    pub reset_backoff: netsim::SimDuration,
+    /// Trace retention for the run.
+    pub trace_mode: TraceMode,
+}
+
+/// Outcome of one fleet run.
+pub struct FleetOutput {
+    /// Per-client metrics, in client order (each derived exactly as the
+    /// single-client [`run_spec`] derives its [`CellResult`]).
+    pub per_client: Vec<CellResult>,
+    /// Server application counters.
+    pub server_stats: httpserver::ServerStats,
+    /// Server host socket usage (includes `syn_drops`).
+    pub server_sockets: netsim::SocketStats,
+    /// The finished simulator (trace still accessible).
+    pub sim: Simulator,
+    /// Client host ids, in client order.
+    pub client_hosts: Vec<netsim::HostId>,
+    /// The server's host id.
+    pub server_host: netsim::HostId,
+}
+
+/// Execute one fleet run: N clients × one shared bottleneck × one server.
+pub fn run_fleet(spec: FleetSpec) -> FleetOutput {
+    assert!(spec.n_clients >= 1, "a fleet needs at least one client");
+    let mut sim = Simulator::new();
+    sim.set_trace_mode(spec.trace_mode);
+    let client_hosts: Vec<netsim::HostId> = (0..spec.n_clients)
+        .map(|i| sim.add_host(&format!("client{i}")))
+        .collect();
+    let server_host = sim.add_host("server");
+
+    let mut link = spec.env.link();
+    if let Some(bytes) = spec.buffer_bytes {
+        link = link.with_buffer_bytes(bytes);
+    }
+    sim.add_shared_link(&client_hosts, server_host, link);
+
+    let addr = SockAddr::new(server_host, spec.server.port);
+    sim.install_app(
+        server_host,
+        Box::new(HttpServer::new(spec.server, spec.store)),
+    );
+    for &c in &client_hosts {
+        let client = ClientConfig::robot(spec.setup.mode(), addr)
+            .with_deflate(spec.setup.deflate())
+            .with_style(RequestStyle::Robot)
+            .with_reset_backoff(spec.reset_backoff);
+        sim.install_app(
+            c,
+            Box::new(HttpClient::with_cache(
+                client,
+                spec.workload.clone(),
+                ClientCache::new(),
+            )),
+        );
+    }
+    sim.run_until_idle();
+
+    let per_client = client_hosts
+        .iter()
+        .map(|&c| {
+            let stats = sim.stats(c, server_host);
+            let socket_stats = sim.socket_stats(c);
+            let client_stats = sim
+                .app_mut::<HttpClient>(c)
+                .expect("client app")
+                .stats
+                .clone();
+            cell_result(&stats, socket_stats, &client_stats)
+        })
+        .collect();
+    let server_stats = sim
+        .app_mut::<HttpServer>(server_host)
+        .expect("server app")
+        .stats;
+    let server_sockets = sim.socket_stats(server_host);
+    FleetOutput {
+        per_client,
+        server_stats,
+        server_sockets,
+        sim,
+        client_hosts,
+        server_host,
+    }
+}
+
+/// Execute one fleet under the trace-invariant checker: forces
+/// [`TraceMode::Full`] and verifies every TCP/HTTP invariant over the
+/// finished multi-connection trace. Fleet clients are always the tuned
+/// robot (TCP_NODELAY set), and fleets run the default TCP parameters.
+pub fn run_fleet_checked(mut spec: FleetSpec) -> (FleetOutput, conformance::Report) {
+    let probe = ClientConfig::robot(
+        spec.setup.mode(),
+        SockAddr::new(netsim::HostId(0), spec.server.port),
+    );
+    let cfg = conformance::CheckConfig {
+        tcp: netsim::TcpConfig::default(),
+        client_nodelay: probe.nodelay,
+        server_nodelay: spec.server.nodelay,
+        server_port: spec.server.port,
+        http: true,
+    };
+    spec.trace_mode = TraceMode::Full;
+    let out = run_fleet(spec);
+    let trace = out.sim.trace();
+    let report = conformance::check_trace(trace.records(), trace.drop_records(), &cfg);
+    (out, report)
 }
 
 /// Build the standard cell for the protocol matrix (Tables 4–9): the

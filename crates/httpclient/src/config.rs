@@ -160,6 +160,10 @@ pub struct ClientConfig {
     pub request_gen_time: SimDuration,
     /// CPU time to handle one response (parsing, cache writes).
     pub response_proc_time: SimDuration,
+    /// Pause before reconnecting after a connection reset. Zero (the
+    /// default, matching libwww) retries immediately; fleet experiments
+    /// set it non-zero so refused clients do not hammer a loaded server.
+    pub reset_backoff: SimDuration,
 }
 
 impl ClientConfig {
@@ -177,6 +181,7 @@ impl ClientConfig {
             app_flush: true,
             request_gen_time: SimDuration::from_millis(2),
             response_proc_time: SimDuration::from_millis(4),
+            reset_backoff: SimDuration::ZERO,
         }
     }
 
@@ -224,6 +229,12 @@ impl ClientConfig {
     /// Builder-style TCP_NODELAY toggle.
     pub fn with_nodelay(mut self, on: bool) -> Self {
         self.nodelay = on;
+        self
+    }
+
+    /// Builder-style reset-backoff override.
+    pub fn with_reset_backoff(mut self, t: SimDuration) -> Self {
+        self.reset_backoff = t;
         self
     }
 }

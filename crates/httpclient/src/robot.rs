@@ -36,6 +36,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// Flush-timer token (CPU-op tokens start at 1).
 const FLUSH_TOKEN: u64 = 0;
 
+/// Reset-backoff timer token (CPU-op tokens count up from 1 and can
+/// never reach it).
+const BACKOFF_TOKEN: u64 = u64::MAX;
+
 /// The outcome of one fetched object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FetchRecord {
@@ -159,6 +163,9 @@ pub struct HttpClient {
     /// The HTML page has fully arrived and been parsed.
     discovery_complete: bool,
     flush_armed: bool,
+    /// A reset-backoff pause is in progress: no new requests go out
+    /// until its timer fires.
+    backoff_armed: bool,
     /// After an unexpected connection loss the client stops pipelining
     /// until one response completes on the fresh connection: without this
     /// a server that resets mid-pipeline (the naive-close hazard) can
@@ -199,6 +206,7 @@ impl HttpClient {
             discovered: BTreeSet::new(),
             discovery_complete: false,
             flush_armed: false,
+            backoff_armed: false,
             cautious: false,
             cpu_ops: BTreeMap::new(),
             next_token: 1,
@@ -340,7 +348,7 @@ impl HttpClient {
 
     /// Start generating the next request if the mode allows it.
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        if self.gen_scheduled {
+        if self.gen_scheduled || self.backoff_armed {
             return;
         }
         if self.pending.is_empty() {
@@ -791,11 +799,22 @@ impl App for HttpClient {
                 self.flush_armed = false;
                 self.flush_all(ctx);
             }
+            AppEvent::Timer(BACKOFF_TOKEN) if self.backoff_armed => {
+                self.backoff_armed = false;
+                self.pump(ctx);
+                self.maybe_finish(ctx);
+            }
             AppEvent::Timer(token) => match self.cpu_ops.remove(&token) {
                 Some(CpuOp::Gen(job)) => {
                     self.gen_scheduled = false;
-                    self.place_request(ctx, job);
-                    self.pump(ctx);
+                    if self.backoff_armed {
+                        // A reset landed while this request was being
+                        // built: hold it until the backoff expires.
+                        self.pending.push_front(job);
+                    } else {
+                        self.place_request(ctx, job);
+                        self.pump(ctx);
+                    }
                 }
                 Some(CpuOp::Proc { job, resp }) => {
                     self.handle_response(ctx, job, resp);
@@ -840,6 +859,10 @@ impl App for HttpClient {
             }
             AppEvent::Reset(s) => {
                 self.stats.resets += 1;
+                if self.config.reset_backoff > netsim::SimDuration::ZERO && !self.backoff_armed {
+                    self.backoff_armed = true;
+                    ctx.set_timer(BACKOFF_TOKEN, self.config.reset_backoff);
+                }
                 self.recover_outstanding(ctx, s);
             }
             AppEvent::Closed(s) => {

@@ -369,6 +369,43 @@ fn naive_close_resets_pipeline_but_client_recovers() {
 }
 
 #[test]
+fn reset_backoff_delays_reconnection_but_still_completes() {
+    // Same RST scenario, once with the default immediate retry and once
+    // with a backoff comfortably longer than the reconnect round trip:
+    // the backoff run must finish later (the client genuinely pauses)
+    // yet still fetch everything.
+    let paths: Vec<String> = (0..30).map(|i| format!("/img/{i}.gif")).collect();
+    let elapsed_with = |backoff: SimDuration| {
+        let paths = paths.clone();
+        let mut r = run(
+            LinkConfig::ppp(),
+            ServerConfig::apache(80)
+                .with_max_requests(3)
+                .with_naive_close(true),
+            wide_store(30),
+            |addr| {
+                HttpClient::new(
+                    ClientConfig::robot(ProtocolMode::Http11Pipelined, addr)
+                        .with_reset_backoff(backoff),
+                    Workload::FetchList { paths },
+                )
+            },
+        );
+        let stats = r.client().stats.clone();
+        assert!(stats.done, "backoff {backoff:?}: client finished");
+        assert_eq!(stats.fetched.len(), 30, "backoff {backoff:?}");
+        assert!(stats.resets > 0, "backoff {backoff:?}: scenario must RST");
+        r.stats().elapsed_secs()
+    };
+    let immediate = elapsed_with(SimDuration::ZERO);
+    let backed_off = elapsed_with(SimDuration::from_secs(2));
+    assert!(
+        backed_off > immediate,
+        "a reset backoff must lengthen the run ({backed_off} vs {immediate})"
+    );
+}
+
+#[test]
 fn persistent_serializes_requests() {
     // With serialization, elapsed time on a high-latency link must be
     // at least requests x RTT; pipelining collapses that.

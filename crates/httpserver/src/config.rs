@@ -36,6 +36,17 @@ impl ServerKind {
     }
 }
 
+/// What happens to a connection accepted beyond `max_connections`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse it immediately with a RST (the client sees a hard failure
+    /// and must reconnect).
+    Rst,
+    /// Park it unserviced until a slot frees; TCP receive-window
+    /// backpressure holds the client's request bytes in the meantime.
+    Queue,
+}
+
 /// Full server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -69,6 +80,15 @@ pub struct ServerConfig {
     /// Base of the virtual calendar for the `Date` header (epoch seconds
     /// at simulation time zero).
     pub date_base: u64,
+    /// Kernel SYN-queue depth for the listening socket; overflowing SYNs
+    /// are silently dropped and must be retransmitted. `None` = unbounded
+    /// (the historical behaviour).
+    pub listen_backlog: Option<u32>,
+    /// Application-level cap on concurrently serviced connections; `None`
+    /// = unlimited.
+    pub max_connections: Option<u32>,
+    /// What to do with connections accepted past `max_connections`.
+    pub admission_policy: AdmissionPolicy,
 }
 
 impl ServerConfig {
@@ -88,6 +108,9 @@ impl ServerConfig {
             per_connection_cost: SimDuration::from_millis(7),
             serve_deflate: false,
             date_base: 865_209_600, // 2 June 1997
+            listen_backlog: None,
+            max_connections: None,
+            admission_policy: AdmissionPolicy::Rst,
         }
     }
 
@@ -117,6 +140,9 @@ impl ServerConfig {
             per_connection_cost: SimDuration::from_millis(5),
             serve_deflate: false,
             date_base: 865_209_600,
+            listen_backlog: None,
+            max_connections: None,
+            admission_policy: AdmissionPolicy::Rst,
         }
     }
 
@@ -147,6 +173,19 @@ impl ServerConfig {
     /// Builder-style response-buffer size override.
     pub fn with_output_buffer(mut self, bytes: usize) -> Self {
         self.output_buffer = bytes;
+        self
+    }
+
+    /// Builder-style listen-backlog bound (SYN-queue depth).
+    pub fn with_listen_backlog(mut self, backlog: u32) -> Self {
+        self.listen_backlog = Some(backlog);
+        self
+    }
+
+    /// Builder-style concurrent-connection cap with its overflow policy.
+    pub fn with_max_connections(mut self, cap: u32, policy: AdmissionPolicy) -> Self {
+        self.max_connections = Some(cap);
+        self.admission_policy = policy;
         self
     }
 }

@@ -24,6 +24,6 @@ pub mod config;
 pub mod server;
 pub mod store;
 
-pub use config::{ServerConfig, ServerKind};
+pub use config::{AdmissionPolicy, ServerConfig, ServerKind};
 pub use server::{HttpServer, ServerStats};
 pub use store::{Entity, SiteStore};

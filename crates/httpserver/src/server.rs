@@ -16,7 +16,7 @@
 //! * **conditional requests, HEAD, byte ranges, and pre-deflated
 //!   entities**.
 
-use crate::config::{ServerConfig, ServerKind};
+use crate::config::{AdmissionPolicy, ServerConfig, ServerKind};
 use crate::store::SiteStore;
 use bytes::Bytes;
 use httpwire::coding;
@@ -25,7 +25,7 @@ use httpwire::validators::{evaluate_conditional, if_range_matches, CondResult};
 use httpwire::{format_http_date, Method, Request, RequestParser, Response, StatusCode, Version};
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::{SimTime, SocketId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Counters exposed after a run.
@@ -49,6 +49,19 @@ pub struct ServerStats {
     pub deflate_responses: u64,
     /// Connections closed by the per-connection request limit.
     pub connections_closed_by_limit: u64,
+    /// Connections refused (RST) at the `max_connections` cap.
+    pub refused_connections: u64,
+    /// Connections parked behind the `max_connections` cap before being
+    /// serviced.
+    pub queued_connections: u64,
+    /// High-water mark of concurrently serviced connections.
+    pub peak_connections: u64,
+    /// Largest buffer footprint (output buffer + parser backlog) any
+    /// single connection reached, in bytes.
+    pub peak_conn_memory: u64,
+    /// Largest aggregate buffer footprint across all connections, in
+    /// bytes.
+    pub peak_total_memory: u64,
 }
 
 #[derive(Debug)]
@@ -65,6 +78,9 @@ struct Conn {
     /// We half-closed and are draining (ignoring) further requests.
     draining: bool,
     peer_closed: bool,
+    /// Buffer bytes (output + parser backlog) currently charged to this
+    /// connection in the server's memory accounting.
+    mem: u64,
 }
 
 impl Conn {
@@ -77,6 +93,7 @@ impl Conn {
             closing: false,
             draining: false,
             peer_closed: false,
+            mem: 0,
         }
     }
 }
@@ -86,6 +103,11 @@ pub struct HttpServer {
     config: ServerConfig,
     store: Arc<SiteStore>,
     conns: BTreeMap<SocketId, Conn>,
+    /// Accepted connections parked behind the `max_connections` cap
+    /// (Queue policy); not read from until a service slot frees.
+    parked: VecDeque<SocketId>,
+    /// Aggregate buffer bytes across all serviced connections.
+    total_mem: u64,
     /// Service-completion timers: token → (connection, request).
     pending: BTreeMap<u64, (SocketId, Request)>,
     next_token: u64,
@@ -102,6 +124,8 @@ impl HttpServer {
             config,
             store,
             conns: BTreeMap::new(),
+            parked: VecDeque::new(),
+            total_mem: 0,
             pending: BTreeMap::new(),
             next_token: 1,
             cpu_busy_until: SimTime::ZERO,
@@ -117,6 +141,54 @@ impl HttpServer {
     /// Virtual wall-clock for the `Date` header.
     fn http_date(&self, now: SimTime) -> String {
         format_http_date(self.config.date_base + now.as_secs_f64() as u64)
+    }
+
+    /// Recompute the connection's buffer footprint and fold the change
+    /// into the aggregate and peak counters.
+    fn account(&mut self, sock: SocketId) {
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        let mem = conn.outbuf.len() as u64 + conn.parser.buffered() as u64;
+        self.total_mem = self.total_mem - conn.mem + mem;
+        conn.mem = mem;
+        self.stats.peak_conn_memory = self.stats.peak_conn_memory.max(mem);
+        self.stats.peak_total_memory = self.stats.peak_total_memory.max(self.total_mem);
+    }
+
+    /// Drop a connection from service, releasing its memory charge.
+    fn remove_conn(&mut self, sock: SocketId) {
+        if let Some(conn) = self.conns.remove(&sock) {
+            self.total_mem -= conn.mem;
+        }
+    }
+
+    /// Begin servicing an accepted connection.
+    fn admit(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+        self.stats.connections += 1;
+        ctx.set_nodelay(sock, self.config.nodelay);
+        self.conns.insert(sock, Conn::new());
+        self.stats.peak_connections = self.stats.peak_connections.max(self.conns.len() as u64);
+        // Accepting costs CPU (fork / thread spawn): requests on any
+        // connection queue behind it.
+        let now = ctx.now();
+        self.cpu_busy_until = self.cpu_busy_until.max(now) + self.config.per_connection_cost;
+    }
+
+    /// Move parked connections into service while slots are free.
+    fn promote_parked(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(cap) = self.config.max_connections {
+            if self.conns.len() >= cap as usize {
+                return;
+            }
+            let Some(sock) = self.parked.pop_front() else {
+                return;
+            };
+            self.admit(ctx, sock);
+            // Bytes the client sent while the connection sat parked are
+            // waiting in the socket's receive buffer.
+            self.on_readable(ctx, sock);
+        }
     }
 
     fn schedule_request(&mut self, ctx: &mut Ctx<'_>, sock: SocketId, req: Request) {
@@ -290,6 +362,7 @@ impl HttpServer {
         }
 
         conn.outbuf.extend_from_slice(&resp.to_bytes());
+        self.account(sock);
         self.flush(ctx, sock);
     }
 
@@ -310,12 +383,15 @@ impl HttpServer {
             }
             conn.outbuf.drain(..n);
         }
+        self.account(sock);
+        let conn = self.conns.get_mut(&sock).expect("still present");
         if conn.outbuf.is_empty() && conn.closing && conn.in_service == 0 {
             if self.config.naive_close {
                 // The hazard: closing both halves at once resets any
                 // pipelined requests already in flight.
                 ctx.close(sock);
-                self.conns.remove(&sock);
+                self.remove_conn(sock);
+                self.promote_parked(ctx);
             } else {
                 // Correct behaviour: half-close and drain the read side.
                 ctx.shutdown_write(sock);
@@ -328,14 +404,19 @@ impl HttpServer {
     }
 
     fn on_readable(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
-        let data = ctx.recv(sock, usize::MAX);
-        let Some(conn) = self.conns.get_mut(&sock) else {
+        if !self.conns.contains_key(&sock) {
+            // Parked (or already-gone) connection: leave the bytes in the
+            // socket's receive buffer so TCP window backpressure holds the
+            // client until a service slot frees.
             return;
-        };
+        }
+        let data = ctx.recv(sock, usize::MAX);
+        let conn = self.conns.get_mut(&sock).expect("checked above");
         if conn.draining {
             return; // reading only to drain; requests beyond the limit are dropped
         }
         conn.parser.feed(&data);
+        self.account(sock);
         loop {
             match self.conns.get_mut(&sock).unwrap().parser.next() {
                 Ok(Some(req)) => {
@@ -361,24 +442,36 @@ impl HttpServer {
                 }
             }
         }
+        self.account(sock);
     }
 }
 
 impl App for HttpServer {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: AppEvent) {
         match event {
-            AppEvent::Start => {
-                ctx.listen(self.config.port);
-            }
+            AppEvent::Start => match self.config.listen_backlog {
+                Some(backlog) => ctx.listen_with_backlog(self.config.port, backlog),
+                None => ctx.listen(self.config.port),
+            },
             AppEvent::Accepted { socket, .. } => {
-                self.stats.connections += 1;
-                ctx.set_nodelay(socket, self.config.nodelay);
-                self.conns.insert(socket, Conn::new());
-                // Accepting costs CPU (fork / thread spawn): requests on
-                // any connection queue behind it.
-                let now = ctx.now();
-                self.cpu_busy_until =
-                    self.cpu_busy_until.max(now) + self.config.per_connection_cost;
+                let at_cap = self
+                    .config
+                    .max_connections
+                    .is_some_and(|cap| self.conns.len() >= cap as usize);
+                if at_cap {
+                    match self.config.admission_policy {
+                        AdmissionPolicy::Rst => {
+                            self.stats.refused_connections += 1;
+                            ctx.abort(socket);
+                        }
+                        AdmissionPolicy::Queue => {
+                            self.stats.queued_connections += 1;
+                            self.parked.push_back(socket);
+                        }
+                    }
+                } else {
+                    self.admit(ctx, socket);
+                }
             }
             AppEvent::Readable(s) => self.on_readable(ctx, s),
             AppEvent::Timer(token) => {
@@ -396,7 +489,9 @@ impl App for HttpServer {
                 }
             }
             AppEvent::Reset(s) | AppEvent::Closed(s) => {
-                self.conns.remove(&s);
+                self.parked.retain(|&p| p != s);
+                self.remove_conn(s);
+                self.promote_parked(ctx);
             }
             _ => {}
         }

@@ -3,7 +3,7 @@
 //! the server is exercised against an independent implementation).
 
 use bytes::Bytes;
-use httpserver::{Entity, HttpServer, ServerConfig, SiteStore};
+use httpserver::{AdmissionPolicy, Entity, HttpServer, ServerConfig, SiteStore};
 use httpwire::{Method, ResponseParser};
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::{LinkConfig, Simulator, SockAddr, SocketId};
@@ -215,6 +215,170 @@ fn head_over_network_sends_no_body() {
     assert_eq!(resps[0].status.0, 200);
     assert!(resps[0].body.is_empty());
     assert_eq!(resps[0].headers.get_int("Content-Length"), Some(20_000));
+}
+
+/// Minimal one-request HTTP/1.0 client for admission tests: records
+/// whether it was served or reset.
+struct AdmClient {
+    server: SockAddr,
+    parser: ResponseParser,
+    responses: u32,
+    reset: bool,
+}
+
+impl AdmClient {
+    fn new(server: SockAddr) -> Self {
+        AdmClient {
+            server,
+            parser: ResponseParser::new(),
+            responses: 0,
+            reset: false,
+        }
+    }
+}
+
+impl App for AdmClient {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                self.parser.expect(Method::Get);
+                ctx.connect(self.server);
+            }
+            AppEvent::Connected(s) => {
+                ctx.send(s, b"GET /big.gif HTTP/1.0\r\n\r\n");
+            }
+            AppEvent::Readable(s) => {
+                let data = ctx.recv(s, usize::MAX);
+                self.parser.feed(&data);
+                while let Ok(Some(_)) = self.parser.next() {
+                    self.responses += 1;
+                }
+            }
+            AppEvent::PeerFin(s) => {
+                if let Ok(Some(_)) = self.parser.finish() {
+                    self.responses += 1;
+                }
+                ctx.close(s);
+            }
+            AppEvent::Reset(_) => self.reset = true,
+            _ => {}
+        }
+    }
+}
+
+/// Run `n` simultaneous one-shot clients against one server; returns
+/// (per-client (responses, reset), server stats, server host id, sim).
+fn run_fleet(n: usize, server_cfg: ServerConfig) -> (Vec<(u32, bool)>, httpserver::ServerStats) {
+    let mut sim = Simulator::new();
+    let clients: Vec<_> = (0..n)
+        .map(|i| sim.add_host(&format!("client{i}")))
+        .collect();
+    let s = sim.add_host("server");
+    for &c in &clients {
+        sim.add_link(c, s, LinkConfig::lan());
+    }
+    sim.install_app(s, Box::new(HttpServer::new(server_cfg, store())));
+    for &c in &clients {
+        sim.install_app(c, Box::new(AdmClient::new(SockAddr::new(s, 80))));
+    }
+    sim.run_until_idle();
+    let outcomes = clients
+        .iter()
+        .map(|&c| {
+            let app = sim.app_mut::<AdmClient>(c).unwrap();
+            (app.responses, app.reset)
+        })
+        .collect();
+    let stats = sim.app_mut::<HttpServer>(s).unwrap().stats;
+    (outcomes, stats)
+}
+
+#[test]
+fn connection_cap_rst_policy_refuses_excess_clients() {
+    let cfg = ServerConfig::apache(80).with_max_connections(2, AdmissionPolicy::Rst);
+    let (outcomes, stats) = run_fleet(4, cfg);
+    let served = outcomes.iter().filter(|(r, _)| *r == 1).count();
+    let reset = outcomes.iter().filter(|(_, r)| *r).count();
+    assert_eq!(served, 2, "cap admits exactly two: {outcomes:?}");
+    assert_eq!(reset, 2, "the excess two are RST: {outcomes:?}");
+    assert_eq!(stats.refused_connections, 2);
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.peak_connections, 2);
+}
+
+#[test]
+fn connection_cap_queue_policy_parks_and_eventually_serves_all() {
+    let cfg = ServerConfig::apache(80).with_max_connections(1, AdmissionPolicy::Queue);
+    let (outcomes, stats) = run_fleet(4, cfg);
+    assert!(
+        outcomes.iter().all(|&(r, reset)| r == 1 && !reset),
+        "every parked client is eventually served: {outcomes:?}"
+    );
+    assert_eq!(stats.queued_connections, 3);
+    assert_eq!(stats.connections, 4);
+    assert_eq!(stats.peak_connections, 1, "never more than one in service");
+}
+
+#[test]
+fn listen_backlog_plumbed_through_and_recovered_by_retransmission() {
+    let cfg = ServerConfig::apache(80).with_listen_backlog(2);
+    let mut sim = Simulator::new();
+    let clients: Vec<_> = (0..6)
+        .map(|i| sim.add_host(&format!("client{i}")))
+        .collect();
+    let s = sim.add_host("server");
+    for &c in &clients {
+        sim.add_link(c, s, LinkConfig::lan());
+    }
+    sim.install_app(s, Box::new(HttpServer::new(cfg, store())));
+    for &c in &clients {
+        sim.install_app(c, Box::new(AdmClient::new(SockAddr::new(s, 80))));
+    }
+    sim.run_until_idle();
+    assert!(
+        sim.socket_stats(s).syn_drops > 0,
+        "six simultaneous SYNs must overflow a backlog of two"
+    );
+    for &c in &clients {
+        assert_eq!(
+            sim.app_mut::<AdmClient>(c).unwrap().responses,
+            1,
+            "SYN retransmission recovers every dropped client"
+        );
+    }
+}
+
+#[test]
+fn memory_accounting_tracks_buffered_responses() {
+    let mut sim = Simulator::new();
+    let c = sim.add_host("client");
+    let s = sim.add_host("server");
+    sim.add_link(c, s, LinkConfig::lan());
+    sim.install_app(
+        s,
+        Box::new(HttpServer::new(ServerConfig::apache(80), store())),
+    );
+    let mut wire = Vec::new();
+    let mut expect = Vec::new();
+    for _ in 0..10 {
+        wire.extend_from_slice(b"GET /big.gif HTTP/1.1\r\nHost: x\r\n\r\n");
+        expect.push(Method::Get);
+    }
+    sim.install_app(
+        c,
+        Box::new(RawClient::new(SockAddr::new(s, 80), wire, expect)),
+    );
+    sim.run_until_idle();
+    let stats = sim.app_mut::<HttpServer>(s).unwrap().stats;
+    // Ten 20 kB entities against a bounded socket buffer: at least one
+    // full response must have sat in the output buffer at some point.
+    assert!(
+        stats.peak_conn_memory >= 20_000,
+        "peak_conn_memory = {}",
+        stats.peak_conn_memory
+    );
+    assert!(stats.peak_total_memory >= stats.peak_conn_memory);
+    assert_eq!(stats.peak_connections, 1);
 }
 
 #[test]

@@ -84,7 +84,7 @@ pub mod time;
 pub mod trace;
 
 pub use impair::{DropReason, ImpairConfig, JitterModel, LossModel, Outage};
-pub use link::{Link, LinkCodec, LinkConfig, Transmit};
+pub use link::{Link, LinkCodec, LinkConfig, Pumped, QueueDiscipline, Transmit};
 pub use modem::ModemCompressor;
 pub use packet::{HostId, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
 pub use sim::{App, AppEvent, Ctx, Simulator, SocketId, SocketStats};

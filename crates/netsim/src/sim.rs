@@ -70,6 +70,8 @@ pub struct SocketStats {
     pub sockets_used: u64,
     /// Peak number of simultaneously open (non-CLOSED) sockets.
     pub max_simultaneous: u64,
+    /// SYNs silently discarded because a listener's backlog was full.
+    pub syn_drops: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +84,11 @@ enum QueuedKind {
     },
     AppTimer {
         token: u64,
+    },
+    /// Release the next packet from a round-robin link direction.
+    LinkPump {
+        link: usize,
+        a_to_b: bool,
     },
 }
 
@@ -122,16 +129,31 @@ struct HostState {
     /// (local port, remote addr) → socket slot.
     // xtask: allow(hash-collections): keyed lookup only; never iterated.
     demux: HashMap<(u16, SockAddr), u32>,
-    /// Listening ports.
+    /// Listening ports → optional SYN-queue backlog bound (`None` accepts
+    /// unconditionally).
     // xtask: allow(hash-collections): keyed lookup only; never iterated.
-    listeners: HashMap<u16, ()>,
+    listeners: HashMap<u16, Option<u32>>,
     next_ephemeral: u16,
     stats: SocketStats,
+    /// Number of currently open sockets, maintained incrementally so peak
+    /// tracking stays O(1) with thousands of fleet connections.
+    open_now: u64,
+    /// Parallel to `sockets`: whether each slot is still counted in
+    /// `open_now`.
+    open_flags: Vec<bool>,
 }
 
 impl HostState {
     fn open_sockets(&self) -> u64 {
         self.sockets.iter().filter(|t| t.state.is_open()).count() as u64
+    }
+
+    /// Sockets on `port` still mid-handshake — the listener's SYN queue.
+    fn syn_queue_len(&self, port: u16) -> u32 {
+        self.sockets
+            .iter()
+            .filter(|t| t.state == State::SynRcvd && t.local.port == port)
+            .count() as u32
     }
 }
 
@@ -231,6 +253,41 @@ impl Kernel {
             // The tracer must see drops too: they are invisible as
             // arrivals but the paper-style summaries report them.
             Transmit::Dropped(reason) => self.trace.observe_drop(now, &seg, reason),
+            // Round-robin links deliver via pump events instead.
+            Transmit::Queued(pump_at) => {
+                if let Some(at) = pump_at {
+                    let a_to_b = from != self.links[idx].b;
+                    self.push(at, to, QueuedKind::LinkPump { link: idx, a_to_b });
+                }
+            }
+        }
+    }
+
+    /// Serve one packet from a round-robin link direction and schedule the
+    /// follow-up pump while backlog remains.
+    fn handle_link_pump(&mut self, link: usize, a_to_b: bool) {
+        let now = self.now;
+        let Some(p) = self.links[link].pump(now, a_to_b) else {
+            return;
+        };
+        if let Some(at) = p.next_pump {
+            self.push(
+                at,
+                p.segment.dst.host,
+                QueuedKind::LinkPump { link, a_to_b },
+            );
+        }
+        let to = p.segment.dst.host;
+        match p.outcome {
+            Transmit::Arrives(at) => {
+                self.push_arrival(at, to, p.segment, p.sent, p.physical, false)
+            }
+            Transmit::Duplicated(at, dup_at) => {
+                self.push_arrival(at, to, p.segment.clone(), p.sent, p.physical, false);
+                self.push_arrival(dup_at, to, p.segment, p.sent, p.physical, true);
+            }
+            Transmit::Dropped(reason) => self.trace.observe_drop(now, &p.segment, reason),
+            Transmit::Queued(_) => unreachable!("pump never re-queues"),
         }
     }
 
@@ -270,6 +327,13 @@ impl Kernel {
             };
             self.pending.push_back((host, ev));
         }
+        // Keep the incremental open-socket count in step with any state
+        // transition to CLOSED (including notification-free aborts).
+        let h = self.host(host);
+        if !h.sockets[slot as usize].state.is_open() && h.open_flags[slot as usize] {
+            h.open_flags[slot as usize] = false;
+            h.open_now -= 1;
+        }
         if any_close {
             // Remove closed sockets from the demux table so the 4-tuple can
             // be reused.
@@ -282,11 +346,19 @@ impl Kernel {
         }
     }
 
+    /// Record a newly created socket in the open-socket accounting.
+    fn count_socket_open(&mut self, host: HostId) {
+        let h = self.host(host);
+        h.open_flags.push(true);
+        h.open_now += 1;
+        debug_assert_eq!(h.open_flags.len(), h.sockets.len());
+    }
+
     fn update_peak(&mut self, host: HostId) {
         let h = self.host(host);
-        let open = h.open_sockets();
-        if open > h.stats.max_simultaneous {
-            h.stats.max_simultaneous = open;
+        debug_assert_eq!(h.open_now, h.open_sockets());
+        if h.open_now > h.stats.max_simultaneous {
+            h.stats.max_simultaneous = h.open_now;
         }
     }
 
@@ -317,28 +389,40 @@ impl Kernel {
             return;
         }
 
-        // No connection. A SYN to a listening port performs a passive open.
-        if seg.flags.syn && !seg.flags.ack && h.listeners.contains_key(&seg.dst.port) {
-            let local = SockAddr::new(host, seg.dst.port);
-            let remote = seg.src;
-            let cfg = h.tcp_config.clone();
-            let mut fx = Effects::default();
-            let now = self.now;
-            let tcb = Tcb::open_passive(local, remote, cfg, &seg, now, &mut fx);
-            let h = self.host(host);
-            let slot = h.sockets.len() as u32;
-            h.sockets.push(tcb);
-            let prev = h.demux.insert((local.port, remote), slot);
-            debug_assert!(
-                prev.is_none(),
-                "passive open clobbered live demux entry ({}, {:?})",
-                local.port,
-                remote
-            );
-            h.stats.sockets_used += 1;
-            self.apply_effects(host, slot, &mut fx);
-            self.update_peak(host);
-            return;
+        // No connection. A SYN to a listening port performs a passive open —
+        // unless the listener's SYN queue is full, in which case the SYN is
+        // silently discarded and the client's retransmission timer must
+        // recover (classic listen-backlog overflow).
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(&backlog) = h.listeners.get(&seg.dst.port) {
+                if let Some(cap) = backlog {
+                    if h.syn_queue_len(seg.dst.port) >= cap {
+                        self.host(host).stats.syn_drops += 1;
+                        return;
+                    }
+                }
+                let local = SockAddr::new(host, seg.dst.port);
+                let remote = seg.src;
+                let cfg = h.tcp_config.clone();
+                let mut fx = Effects::default();
+                let now = self.now;
+                let tcb = Tcb::open_passive(local, remote, cfg, &seg, now, &mut fx);
+                let h = self.host(host);
+                let slot = h.sockets.len() as u32;
+                h.sockets.push(tcb);
+                let prev = h.demux.insert((local.port, remote), slot);
+                debug_assert!(
+                    prev.is_none(),
+                    "passive open clobbered live demux entry ({}, {:?})",
+                    local.port,
+                    remote
+                );
+                h.stats.sockets_used += 1;
+                self.count_socket_open(host);
+                self.apply_effects(host, slot, &mut fx);
+                self.update_peak(host);
+                return;
+            }
         }
 
         // Anything else aimed at a closed port draws a RST (unless it *is*
@@ -398,13 +482,14 @@ impl Kernel {
             "active open clobbered live demux entry ({port}, {remote:?})"
         );
         h.stats.sockets_used += 1;
+        self.count_socket_open(host);
         self.apply_effects(host, slot, &mut fx);
         self.update_peak(host);
         SocketId { host, slot }
     }
 
-    fn listen(&mut self, host: HostId, port: u16) {
-        self.host(host).listeners.insert(port, ());
+    fn listen(&mut self, host: HostId, port: u16, backlog: Option<u32>) {
+        self.host(host).listeners.insert(port, backlog);
     }
 }
 
@@ -434,7 +519,15 @@ impl<'a> Ctx<'a> {
     /// Accept connections on `port`; each is signalled by
     /// [`AppEvent::Accepted`].
     pub fn listen(&mut self, port: u16) {
-        self.kernel.listen(self.host, port);
+        self.kernel.listen(self.host, port, None);
+    }
+
+    /// Like [`Ctx::listen`], but with a bounded SYN queue: while `backlog`
+    /// connections sit in SYN-RCVD on `port`, further SYNs are silently
+    /// dropped (counted in [`SocketStats::syn_drops`]) and must be
+    /// retransmitted by the peer.
+    pub fn listen_with_backlog(&mut self, port: u16, backlog: u32) {
+        self.kernel.listen(self.host, port, Some(backlog));
     }
 
     /// Queue bytes for transmission; returns the number accepted (bounded
@@ -542,6 +635,8 @@ impl Simulator {
             listeners: HashMap::new(), // xtask: allow(hash-collections)
             next_ephemeral: 40_000,
             stats: SocketStats::default(),
+            open_now: 0,
+            open_flags: Vec::new(),
         });
         self.apps.push(None);
         id
@@ -558,6 +653,22 @@ impl Simulator {
         self.kernel.links.push(Link::new(a, b, config));
         self.kernel.link_index.insert((a, b), idx);
         self.kernel.link_index.insert((b, a), idx);
+    }
+
+    /// Multiplex every `spokes` host onto ONE shared link to `hub`: all
+    /// spoke→hub traffic contends for the same transmitter (and hub→spoke
+    /// for the reverse one), modelling N clients behind a bottleneck
+    /// router. Arbitration between spokes follows the config's
+    /// [`QueueDiscipline`].
+    pub fn add_shared_link(&mut self, spokes: &[HostId], hub: HostId, config: LinkConfig) {
+        assert!(!spokes.is_empty(), "a shared link needs at least one spoke");
+        let idx = self.kernel.links.len();
+        self.kernel.links.push(Link::new(spokes[0], hub, config));
+        for &s in spokes {
+            assert_ne!(s, hub, "hub cannot be its own spoke");
+            self.kernel.link_index.insert((s, hub), idx);
+            self.kernel.link_index.insert((hub, s), idx);
+        }
     }
 
     /// Mutable access to the link between two hosts (e.g. to install a
@@ -681,6 +792,9 @@ impl Simulator {
                     self.kernel
                         .pending
                         .push_back((ev.host, AppEvent::Timer(token)));
+                }
+                QueuedKind::LinkPump { link, a_to_b } => {
+                    self.kernel.handle_link_pump(link, a_to_b);
                 }
             }
             self.dispatch_pending();
@@ -964,5 +1078,193 @@ mod tests {
         assert_eq!(Kernel::next_ephemeral_after(40_000), 40_001);
         assert_eq!(Kernel::next_ephemeral_after(u16::MAX), 40_000);
         assert_eq!(Kernel::next_ephemeral_after(39_999), 40_000);
+    }
+
+    /// Force the allocator to the top of the ephemeral range: it must wrap
+    /// to 40000 mid-burst without panicking or clobbering live tuples.
+    #[test]
+    fn ephemeral_allocation_survives_wraparound() {
+        let mut sim = Simulator::new();
+        let client = sim.add_host("client");
+        let server = sim.add_host("server");
+        sim.add_link(client, server, LinkConfig::lan());
+        let remote = SockAddr::new(server, 80);
+        sim.kernel.host(client).next_ephemeral = u16::MAX - 2;
+        let mut ports = Vec::new();
+        for _ in 0..6 {
+            let sock = sim.kernel.connect(client, remote);
+            ports.push(sim.kernel.sock(sock).local.port);
+        }
+        assert_eq!(
+            ports,
+            vec![65533, 65534, 65535, 40_000, 40_001, 40_002],
+            "wraps past 65535 back into the ephemeral range"
+        );
+    }
+
+    /// N spoke hosts on one shared FIFO bottleneck: traffic from different
+    /// clients serializes behind the same transmitter, so each transfer is
+    /// slower than it would be on a private link, yet all complete.
+    #[test]
+    fn shared_bottleneck_serializes_competing_clients() {
+        let run = |shared: bool| -> (f64, Vec<usize>) {
+            let mut sim = Simulator::new();
+            let clients: Vec<HostId> = (0..4).map(|i| sim.add_host(&format!("c{i}"))).collect();
+            let server = sim.add_host("server");
+            if shared {
+                sim.add_shared_link(&clients, server, LinkConfig::ppp());
+            } else {
+                for &c in &clients {
+                    sim.add_link(c, server, LinkConfig::ppp());
+                }
+            }
+            sim.install_app(
+                server,
+                Box::new(Echo {
+                    port: 80,
+                    echoed: 0,
+                }),
+            );
+            for &c in &clients {
+                sim.install_app(
+                    c,
+                    Box::new(EchoClient {
+                        server: SockAddr::new(server, 80),
+                        payload: vec![7u8; 20_000],
+                        sent: 0,
+                        received: Vec::new(),
+                        done: false,
+                        sock: None,
+                    }),
+                );
+            }
+            sim.run_until_idle();
+            let elapsed = clients
+                .iter()
+                .map(|&c| sim.stats(c, server).elapsed_secs())
+                .fold(0.0f64, f64::max);
+            let received = clients
+                .iter()
+                .map(|&c| {
+                    let app = sim.app_mut::<EchoClient>(c).unwrap();
+                    assert!(app.done, "every client finishes");
+                    app.received.len()
+                })
+                .collect();
+            (elapsed, received)
+        };
+        let (private_t, private_rx) = run(false);
+        let (shared_t, shared_rx) = run(true);
+        assert_eq!(private_rx, shared_rx);
+        assert!(
+            shared_t > 3.0 * private_t,
+            "4 clients behind one 28.8k modem should take ~4x as long \
+             (private {private_t:.2}s shared {shared_t:.2}s)"
+        );
+    }
+
+    /// The same fleet on a round-robin bottleneck also completes, with the
+    /// pump-driven delivery path.
+    #[test]
+    fn shared_round_robin_bottleneck_completes() {
+        let mut sim = Simulator::new();
+        let clients: Vec<HostId> = (0..4).map(|i| sim.add_host(&format!("c{i}"))).collect();
+        let server = sim.add_host("server");
+        sim.add_shared_link(
+            &clients,
+            server,
+            LinkConfig::lan()
+                .with_round_robin()
+                .with_buffer_bytes(64_000),
+        );
+        sim.install_app(
+            server,
+            Box::new(Echo {
+                port: 80,
+                echoed: 0,
+            }),
+        );
+        for &c in &clients {
+            sim.install_app(
+                c,
+                Box::new(EchoClient {
+                    server: SockAddr::new(server, 80),
+                    payload: vec![3u8; 30_000],
+                    sent: 0,
+                    received: Vec::new(),
+                    done: false,
+                    sock: None,
+                }),
+            );
+        }
+        sim.run_until_idle();
+        for &c in &clients {
+            let app = sim.app_mut::<EchoClient>(c).unwrap();
+            assert!(app.done);
+            assert_eq!(app.received.len(), 30_000);
+        }
+    }
+
+    /// A bounded listen backlog silently drops overflow SYNs; clients
+    /// recover via SYN retransmission, so every connection still
+    /// establishes eventually.
+    #[test]
+    fn listen_backlog_overflow_drops_syns_then_recovers() {
+        struct BacklogEcho {
+            port: u16,
+            backlog: u32,
+            accepted: u64,
+        }
+        impl App for BacklogEcho {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+                match ev {
+                    AppEvent::Start => ctx.listen_with_backlog(self.port, self.backlog),
+                    AppEvent::Accepted { .. } => self.accepted += 1,
+                    AppEvent::Readable(s) => {
+                        let data = ctx.recv(s, usize::MAX);
+                        ctx.send(s, &data);
+                    }
+                    AppEvent::PeerFin(s) => ctx.shutdown_write(s),
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let clients: Vec<HostId> = (0..8).map(|i| sim.add_host(&format!("c{i}"))).collect();
+        let server = sim.add_host("server");
+        // High-latency link: SYN-RCVD entries linger a full RTT, so eight
+        // simultaneous SYNs overflow a backlog of two.
+        sim.add_shared_link(&clients, server, LinkConfig::wan());
+        sim.install_app(
+            server,
+            Box::new(BacklogEcho {
+                port: 80,
+                backlog: 2,
+                accepted: 0,
+            }),
+        );
+        for &c in &clients {
+            sim.install_app(
+                c,
+                Box::new(EchoClient {
+                    server: SockAddr::new(server, 80),
+                    payload: vec![1u8; 100],
+                    sent: 0,
+                    received: Vec::new(),
+                    done: false,
+                    sock: None,
+                }),
+            );
+        }
+        sim.run_until_idle();
+        let stats = sim.socket_stats(server);
+        assert!(
+            stats.syn_drops > 0,
+            "backlog of 2 must shed some of 8 simultaneous SYNs"
+        );
+        assert_eq!(stats.sockets_used, 8, "retransmitted SYNs all land");
+        for &c in &clients {
+            assert!(sim.app_mut::<EchoClient>(c).unwrap().done);
+        }
     }
 }

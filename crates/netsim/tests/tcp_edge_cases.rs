@@ -192,6 +192,143 @@ fn stale_timer_epochs_are_ignored() {
     assert_eq!(c.segments_retransmitted, 0);
 }
 
+/// Both ends close at once: the crossing FINs take each side through
+/// CLOSING into TIME_WAIT — neither sees the other's ACK first.
+#[test]
+fn simultaneous_close_passes_through_closing() {
+    let (mut c, mut s) = handshake(TcpConfig::default(), TcpConfig::default());
+    let now = SimTime::ZERO;
+    let mut cfx = fx();
+    c.app_shutdown_write(now, &mut cfx);
+    let fin_c = cfx.segments.pop().unwrap();
+    let mut sfx = fx();
+    s.app_shutdown_write(now, &mut sfx);
+    let fin_s = sfx.segments.pop().unwrap();
+    assert!(fin_c.flags.fin && fin_s.flags.fin);
+    assert_eq!(c.state, State::FinWait1);
+    assert_eq!(s.state, State::FinWait1);
+
+    // The FINs cross in flight: each side sees the peer's FIN before any
+    // ACK of its own.
+    let mut cfx = fx();
+    c.on_segment(now, &fin_s, &mut cfx);
+    assert_eq!(c.state, State::Closing);
+    let ack_c = cfx.segments.pop().expect("peer FIN is acked");
+    let mut sfx = fx();
+    s.on_segment(now, &fin_c, &mut sfx);
+    assert_eq!(s.state, State::Closing);
+    let ack_s = sfx.segments.pop().expect("peer FIN is acked");
+
+    // The crossing ACKs complete both closes into TIME_WAIT.
+    let mut cfx = fx();
+    c.on_segment(now, &ack_s, &mut cfx);
+    assert_eq!(c.state, State::TimeWait);
+    let mut sfx = fx();
+    s.on_segment(now, &ack_c, &mut sfx);
+    assert_eq!(s.state, State::TimeWait);
+}
+
+/// After a zero-window stall, the receiver's window update must actually
+/// restart transmission, and the rest of the stream must arrive.
+#[test]
+fn window_update_reopens_zero_window_and_sender_resumes() {
+    let recv_cfg = TcpConfig {
+        recv_window: 4096,
+        ..TcpConfig::default()
+    };
+    let (mut c, mut s) = handshake(TcpConfig::default(), recv_cfg);
+    let now = SimTime::ZERO;
+    let total = 8192usize;
+
+    let mut e = fx();
+    c.app_send(now, &vec![5u8; total], &mut e);
+    let mut outgoing: Vec<Segment> = e.segments.drain(..).collect();
+    for _ in 0..20 {
+        let mut sfx = fx();
+        for seg in outgoing.drain(..) {
+            s.on_segment(now, &seg, &mut sfx);
+        }
+        let mut cfx = fx();
+        for ack in sfx.segments.drain(..) {
+            c.on_segment(now, &ack, &mut cfx);
+        }
+        outgoing = cfx.segments.drain(..).collect();
+        if outgoing.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(s.readable_bytes(), 4096, "receiver buffer filled exactly");
+
+    // The application drains the buffer; the resulting window update must
+    // make the blocked sender transmit the remainder.
+    let mut sfx = fx();
+    let drained = s.app_recv(usize::MAX, &mut sfx);
+    assert_eq!(drained.len(), 4096);
+    let update = sfx.segments.pop().expect("window update emitted");
+    assert!(!update.has_payload());
+    assert!(
+        update.window >= 4096,
+        "window reopened, got {}",
+        update.window
+    );
+
+    let mut cfx = fx();
+    c.on_segment(now, &update, &mut cfx);
+    assert!(
+        cfx.segments.iter().any(|g| g.has_payload()),
+        "sender must resume after the window update"
+    );
+    let mut delivered = drained.len();
+    let mut outgoing: Vec<Segment> = cfx.segments.drain(..).collect();
+    for _ in 0..20 {
+        let mut sfx = fx();
+        for seg in outgoing.drain(..) {
+            s.on_segment(now, &seg, &mut sfx);
+        }
+        let mut rfx = fx();
+        delivered += s.app_recv(usize::MAX, &mut rfx).len();
+        let mut cfx = fx();
+        for ack in sfx.segments.drain(..).chain(rfx.segments.drain(..)) {
+            c.on_segment(now, &ack, &mut cfx);
+        }
+        outgoing = cfx.segments.drain(..).collect();
+        if outgoing.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(delivered, total, "entire stream arrives after the reopen");
+}
+
+/// A RST answering our SYN (closed port, admission-control abort) must kill
+/// the attempt in SYN-SENT: no reply, no retransmissions, a Reset
+/// notification to the application.
+#[test]
+fn rst_in_syn_sent_aborts_the_attempt() {
+    let now = SimTime::ZERO;
+    let mut cfx = fx();
+    let mut client = Tcb::open_active(CLIENT, SERVER, TcpConfig::default(), now, &mut cfx);
+    let syn = cfx.segments.pop().unwrap();
+    assert_eq!(client.state, State::SynSent);
+    let (kind, at, epoch) = *cfx
+        .timers
+        .iter()
+        .find(|(k, _, _)| *k == TimerKind::Rto)
+        .expect("SYN retransmission timer armed");
+
+    let rst = Segment::rst(SERVER, CLIENT, syn.seq + 1);
+    let mut cfx = fx();
+    client.on_segment(now, &rst, &mut cfx);
+    assert_eq!(client.state, State::Closed);
+    assert!(client.was_reset);
+    assert!(cfx.notifications.contains(&SockNotify::Reset));
+    assert!(cfx.segments.is_empty(), "an RST draws no reply");
+
+    // The already-armed SYN RTO is stale and must stay silent.
+    let mut cfx = fx();
+    client.on_timer(at, kind, epoch, &mut cfx);
+    assert!(cfx.segments.is_empty(), "no SYN retransmit after the reset");
+}
+
 /// End-to-end: sockets_used and max_simultaneous reflect reality for a
 /// burst of short connections.
 struct Burst {
@@ -241,6 +378,69 @@ impl App for OneByteEcho {
             _ => {}
         }
     }
+}
+
+/// Opens connections strictly one after another, starting the next as soon
+/// as the server's FIN arrives — so finished sockets still sit in
+/// TIME_WAIT (with live demux claims on their ports) while new ones open.
+struct Serial {
+    server: SockAddr,
+    remaining: u32,
+    completed: u32,
+}
+
+impl App for Serial {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                ctx.connect(self.server);
+                self.remaining -= 1;
+            }
+            AppEvent::Connected(s) => {
+                ctx.send(s, b"x");
+                ctx.shutdown_write(s);
+            }
+            AppEvent::PeerFin(_) if self.remaining > 0 => {
+                ctx.connect(self.server);
+                self.remaining -= 1;
+            }
+            AppEvent::Closed(_) => self.completed += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Regression for fleet-scale port allocation: >4k sequential connections
+/// from one host must all establish and close cleanly, with the allocator
+/// skipping ports still held by TIME_WAIT sockets instead of colliding or
+/// exhausting.
+#[test]
+fn four_thousand_sequential_connections_allocate_cleanly() {
+    const CONNS: u32 = 4200;
+    let mut sim = Simulator::new();
+    let c = sim.add_host("client");
+    let s = sim.add_host("server");
+    let cfg = TcpConfig {
+        time_wait: SimDuration::from_millis(50),
+        ..TcpConfig::default()
+    };
+    sim.set_tcp_config(c, cfg.clone());
+    sim.set_tcp_config(s, cfg);
+    sim.add_link(c, s, LinkConfig::lan());
+    sim.install_app(s, Box::new(OneByteEcho));
+    sim.install_app(
+        c,
+        Box::new(Serial {
+            server: SockAddr::new(s, 80),
+            remaining: CONNS,
+            completed: 0,
+        }),
+    );
+    sim.run_until_idle();
+    assert_eq!(sim.app_mut::<Serial>(c).unwrap().completed, CONNS);
+    let stats = sim.socket_stats(c);
+    assert_eq!(stats.sockets_used as u32, CONNS);
+    assert_eq!(sim.socket_stats(s).sockets_used as u32, CONNS);
 }
 
 #[test]
