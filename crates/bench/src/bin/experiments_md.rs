@@ -7,7 +7,7 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges,
+    ablations, browsers, closemgmt, compression, content, nagle, probe, protocol_matrix, ranges,
     robustness, scale, summary, verbosity,
 };
 use httpipe_core::harness::ProtocolSetup;
@@ -555,6 +555,38 @@ fn main() {
         "\nReport digest (two identical runs of the reduced grid required by\n\
          CI's scale-smoke gate): `{:#018x}`.\n",
         scale::report_digest(&scale_cells)
+    ));
+
+    // ---- Where the time goes ---------------------------------------------
+    out.push_str("\n## Where the time goes (`diagnose`)\n\n");
+    out.push_str(
+        "Beyond the paper: the elapsed-time columns above, decomposed by cause.\n\
+         The paper explained its timings by hand from tcpdump output; the\n\
+         `netsim::probe` flight recorder automates that analysis, attributing\n\
+         every wall-clock nanosecond of a run to exactly one of nine causes —\n\
+         connection setup, slow-start/RTT waits, Nagle holds, delayed-ACK\n\
+         waits, RTO recovery, receiver-window backpressure, server think time,\n\
+         wire serialization, or idle — so the buckets sum to the elapsed time\n\
+         (`Sum` = `Sec` on every row). The shape to notice: the WAN rows are\n\
+         dominated by connection setup + slow start (exactly the paper's case\n\
+         for persistence and pipelining), while PPP is wire-serialization\n\
+         bound, which is why compression is the only lever that helps there.\n\
+         The PPP HTTP/1.0 row also books real RTO time: four parallel\n\
+         connections push the modem's queueing delay past the 3 s initial\n\
+         RTO, a spurious-retransmission regime the single-connection setups\n\
+         never enter (one more reason the paper dropped that row).\n\
+         Full per-request timelines and machine-readable `PROBE_*.json`\n\
+         documents come from `cargo run --release -p httpipe-bench --bin\n\
+         diagnose`.\n\n",
+    );
+    out.push_str("```\n");
+    let probe_cells = probe::run_points(&probe::canonical_grid());
+    out.push_str(&probe::report(&probe_cells).render());
+    out.push_str("```\n");
+    out.push_str(&format!(
+        "\nReport digest (two identical runs of the reduced grid required by\n\
+         CI's diagnose-smoke gate): `{:#018x}`.\n",
+        probe::report_digest(&probe_cells)
     ));
 
     print!("{out}");

@@ -222,7 +222,8 @@ fn experiments() -> Vec<Experiment> {
                     let plot = out
                         .sim
                         .trace()
-                        .xplot(out.server_host, &format!("{name} first-time WAN"));
+                        .xplot(out.server_host, &format!("{name} first-time WAN"))
+                        .expect("trace captured in Full mode");
                     let path = format!("xplot_{name}.xpl");
                     std::fs::write(&path, plot).expect("write xplot file");
                     println!("wrote {path} (server->client time-sequence)");

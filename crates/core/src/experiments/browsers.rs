@@ -95,6 +95,7 @@ fn browser_spec(browser: Browser, server_kind: ServerKind, first_time: bool) -> 
         impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
+        probe: false,
     }
 }
 

@@ -82,6 +82,7 @@ pub fn modem_cells(server_kind: ServerKind) -> (CellResult, CellResult) {
             impair: None,
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
+            probe: false,
         };
         run_spec(spec).cell
     };

@@ -132,6 +132,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             impair: None,
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
+            probe: false,
         };
         run_spec(spec).cell
     };
@@ -159,6 +160,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             impair: None,
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
+            probe: false,
         };
         run_spec(spec).cell
     };

@@ -6,6 +6,7 @@ pub mod closemgmt;
 pub mod compression;
 pub mod content;
 pub mod nagle;
+pub mod probe;
 pub mod protocol_matrix;
 pub mod ranges;
 pub mod robustness;

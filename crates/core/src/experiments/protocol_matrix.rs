@@ -172,12 +172,18 @@ pub fn matrix_table(env: NetEnv, server: ServerKind) -> Table {
     let mut t = Table::new(
         &format!("Table {n} - {server_name} - {}", env.channel()),
         &[
-            "FT Pa", "FT Bytes", "FT Sec", "FT %ov", "CV Pa", "CV Bytes", "CV Sec", "CV %ov",
+            "FT Pa", "FT Bytes", "FT Sec", "FT 1stB", "FT %ov", "CV Pa", "CV Bytes", "CV Sec",
+            "CV 1stB", "CV %ov",
         ],
     );
     for (label, first, reval) in matrix_cells(env, server) {
-        let mut cols = Table::cell_columns(&first);
-        cols.extend(Table::cell_columns(&reval));
+        let mut cols = Vec::with_capacity(10);
+        for cell in [&first, &reval] {
+            let mut group = Table::cell_columns(cell);
+            // Slot the first-response-byte latency between Sec and %ov.
+            group.insert(3, format!("{:.2}", cell.first_byte_secs));
+            cols.extend(group);
+        }
         t.push_row(label, cols);
     }
     t
@@ -192,6 +198,22 @@ mod tests {
         let t = table1();
         assert_eq!(t.rows.len(), 3);
         assert!(t.render().contains("28.8k"));
+    }
+
+    #[test]
+    fn matrix_table_surfaces_first_byte() {
+        let t = matrix_table(NetEnv::Lan, ServerKind::Apache);
+        assert_eq!(t.columns.len(), 10);
+        assert_eq!(t.columns[3], "FT 1stB");
+        assert_eq!(t.columns[8], "CV 1stB");
+        for (label, vals) in &t.rows {
+            let first_byte: f64 = vals[3].parse().unwrap();
+            let secs: f64 = vals[2].parse().unwrap();
+            assert!(
+                first_byte > 0.0 && first_byte <= secs,
+                "{label}: first byte {first_byte} outside (0, {secs}]"
+            );
+        }
     }
 
     #[test]

@@ -130,6 +130,8 @@ pub fn run_revisit_cell(env: NetEnv, idiom: RevisitIdiom) -> CellResult {
         drops: stats.drops(),
         dups: stats.dup_packets,
         reorders: stats.reordered_packets,
+        first_byte_secs: stats.first_byte_secs(),
+        probe: None,
     }
 }
 

@@ -33,6 +33,7 @@ pub fn baseline_cell() -> CellResult {
         impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
+        probe: false,
     };
     run_spec(spec).cell
 }
@@ -84,6 +85,7 @@ pub fn all_techniques_cell() -> CellResult {
         impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
+        probe: false,
     };
     run_spec(spec).cell
 }

@@ -172,6 +172,12 @@ pub struct CellSpec {
     /// the per-packet records are needed (`dump`, `xplot`,
     /// `time_sequence`).
     pub trace_mode: TraceMode,
+    /// Enable the [`netsim::probe`] flight recorder for this run: the
+    /// [`CellResult`] gains a [`netsim::ProbeReport`] and the
+    /// [`RunOutput`] the full [`netsim::ProbeAnalysis`]. Off by default —
+    /// a disabled probe records nothing and leaves every existing metric
+    /// byte-identical.
+    pub probe: bool,
 }
 
 /// Outcome of one run: the cell metrics plus full app access if needed.
@@ -188,6 +194,8 @@ pub struct RunOutput {
     pub client_host: netsim::HostId,
     /// The server's host id.
     pub server_host: netsim::HostId,
+    /// Full stall attribution, present when [`CellSpec::probe`] was set.
+    pub probe: Option<netsim::ProbeAnalysis>,
 }
 
 /// Assemble one client's [`CellResult`] from the raw trace, socket and
@@ -215,6 +223,8 @@ fn cell_result(
         drops: stats.drops(),
         dups: stats.dup_packets,
         reorders: stats.reordered_packets,
+        first_byte_secs: stats.first_byte_secs(),
+        probe: None,
     }
 }
 
@@ -222,6 +232,9 @@ fn cell_result(
 pub fn run_spec(spec: CellSpec) -> RunOutput {
     let mut sim = Simulator::new();
     sim.set_trace_mode(spec.trace_mode);
+    if spec.probe {
+        sim.enable_probe();
+    }
     let client_host = sim.add_host("client");
     let server_host = sim.add_host("server");
     sim.add_link(client_host, server_host, spec.env.link());
@@ -262,7 +275,16 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
         .expect("server app")
         .stats;
 
-    let cell = cell_result(&stats, socket_stats, &client_stats);
+    let mut cell = cell_result(&stats, socket_stats, &client_stats);
+    let probe = if spec.probe {
+        let start = stats.first.unwrap_or(netsim::SimTime::from_nanos(0));
+        let end = stats.last.unwrap_or(start);
+        let analysis = netsim::probe::attribute(sim.probe_records(), start, end);
+        cell.probe = Some(analysis.report);
+        Some(analysis)
+    } else {
+        None
+    };
     RunOutput {
         cell,
         client_stats,
@@ -270,6 +292,7 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
         sim,
         client_host,
         server_host,
+        probe,
     }
 }
 
@@ -463,6 +486,7 @@ pub fn matrix_spec(
         impair: None,
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
+        probe: false,
     }
 }
 

@@ -38,6 +38,14 @@ pub struct CellResult {
     pub dups: u64,
     /// Packets that overtook an earlier packet in flight.
     pub reorders: u64,
+    /// Seconds from the first packet to the first response payload byte
+    /// reaching the client — perceived first-render latency.
+    pub first_byte_secs: f64,
+    /// Stall-attribution summary, present when the cell ran with the
+    /// flight recorder enabled ([`CellSpec::probe`]).
+    ///
+    /// [`CellSpec::probe`]: ../harness/struct.CellSpec.html#structfield.probe
+    pub probe: Option<netsim::ProbeReport>,
 }
 
 impl CellResult {

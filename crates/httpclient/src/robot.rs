@@ -30,7 +30,7 @@ use httpwire::coding;
 use httpwire::validators::Validators;
 use httpwire::{format_http_date, ContentCoding, ETag, Method, Request, Response, ResponseParser};
 use netsim::sim::{App, AppEvent, Ctx};
-use netsim::{SimTime, SocketId};
+use netsim::{FlushCause, SimTime, SocketId, SpanEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Flush-timer token (CPU-op tokens start at 1).
@@ -124,6 +124,11 @@ struct Conn {
     flushed_any: bool,
     /// This connection's work is done (awaiting close).
     finished: bool,
+    /// Requests queued in `reqbuf` since the last flush (probe spans).
+    unwritten: u32,
+    /// The current front-of-line response has already produced a
+    /// `FirstByte` span mark.
+    first_byte_seen: bool,
 }
 
 impl Conn {
@@ -136,6 +141,8 @@ impl Conn {
             connected: false,
             flushed_any: false,
             finished: false,
+            unwritten: 0,
+            first_byte_seen: false,
         }
     }
 }
@@ -412,22 +419,22 @@ impl HttpClient {
             ProtocolMode::Http11Pipelined => {
                 self.ensure_main_conn(ctx);
                 let sock = self.main_conn.unwrap();
-                self.queue_request(sock, job);
+                self.queue_request(ctx, sock, job);
                 let conn = &self.conns[&sock];
                 let buffered = conn.reqbuf.len();
                 let first_flush = !conn.flushed_any;
                 if buffered >= self.config.pipeline_buffer {
-                    self.flush_requests(ctx, sock);
+                    self.flush_requests(ctx, sock, FlushCause::Buffer);
                 } else if self.config.app_flush && first_flush {
                     // The paper's tuning: force the first (HTML) request
                     // out immediately.
-                    self.flush_requests(ctx, sock);
+                    self.flush_requests(ctx, sock, FlushCause::App);
                 } else if self.config.app_flush
                     && self.discovery_complete
                     && self.pending.is_empty()
                 {
                     // No more requests can ever join this batch.
-                    self.flush_requests(ctx, sock);
+                    self.flush_requests(ctx, sock, FlushCause::App);
                 } else {
                     self.arm_flush_timer(ctx);
                 }
@@ -435,8 +442,8 @@ impl HttpClient {
             ProtocolMode::Http11Persistent => {
                 self.ensure_main_conn(ctx);
                 let sock = self.main_conn.unwrap();
-                self.queue_request(sock, job);
-                self.flush_requests(ctx, sock);
+                self.queue_request(ctx, sock, job);
+                self.flush_requests(ctx, sock, FlushCause::App);
             }
             ProtocolMode::Http10Parallel { .. } => {
                 // Prefer an idle keep-alive connection, else open one.
@@ -446,8 +453,8 @@ impl HttpClient {
                     .find(|(_, c)| !c.finished && c.connected && c.sent.is_empty())
                     .map(|(s, _)| *s);
                 let sock = idle.unwrap_or_else(|| self.open_conn(ctx));
-                self.queue_request(sock, job);
-                self.flush_requests(ctx, sock);
+                self.queue_request(ctx, sock, job);
+                self.flush_requests(ctx, sock, FlushCause::App);
             }
         }
     }
@@ -487,12 +494,21 @@ impl HttpClient {
     }
 
     /// Append a job's request to a connection's pipeline buffer.
-    fn queue_request(&mut self, sock: SocketId, job: Job) {
+    fn queue_request(&mut self, ctx: &mut Ctx<'_>, sock: SocketId, job: Job) {
+        if ctx.probe_enabled() {
+            ctx.probe_span(
+                sock,
+                SpanEvent::RequestQueued {
+                    path: job.path.clone(),
+                },
+            );
+        }
         let req = self.build_request(&job);
         let conn = self.conns.get_mut(&sock).expect("live conn");
         conn.parser.expect(job.method);
         conn.reqbuf.extend_from_slice(&req.to_bytes());
         conn.sent.push_back(job);
+        conn.unwritten += 1;
         self.stats.requests_sent += 1;
     }
 
@@ -514,7 +530,7 @@ impl HttpClient {
     }
 
     /// Flush decision taken: move the request buffer to the socket.
-    fn flush_requests(&mut self, ctx: &mut Ctx<'_>, sock: SocketId) {
+    fn flush_requests(&mut self, ctx: &mut Ctx<'_>, sock: SocketId, cause: FlushCause) {
         let Some(conn) = self.conns.get_mut(&sock) else {
             return;
         };
@@ -522,14 +538,16 @@ impl HttpClient {
             let reqs = std::mem::take(&mut conn.reqbuf);
             conn.outbuf.extend_from_slice(&reqs);
             conn.flushed_any = true;
+            let count = std::mem::take(&mut conn.unwritten);
+            ctx.probe_span(sock, SpanEvent::RequestWritten { count, cause });
         }
         self.push_out(ctx, sock);
     }
 
-    fn flush_all(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_all(&mut self, ctx: &mut Ctx<'_>, cause: FlushCause) {
         let socks: Vec<SocketId> = self.conns.keys().copied().collect();
         for s in socks {
-            self.flush_requests(ctx, s);
+            self.flush_requests(ctx, s, cause);
         }
     }
 
@@ -730,6 +748,10 @@ impl HttpClient {
         let Some(conn) = self.conns.get_mut(&sock) else {
             return;
         };
+        if !data.is_empty() && !conn.sent.is_empty() && !conn.first_byte_seen {
+            conn.first_byte_seen = true;
+            ctx.probe_span(sock, SpanEvent::FirstByte);
+        }
         conn.parser.feed(&data);
         loop {
             let Some(conn) = self.conns.get_mut(&sock) else {
@@ -740,6 +762,15 @@ impl HttpClient {
                     let Some(job) = conn.sent.pop_front() else {
                         break; // unsolicited response; drop
                     };
+                    conn.first_byte_seen = false;
+                    if ctx.probe_enabled() {
+                        ctx.probe_span(
+                            sock,
+                            SpanEvent::BodyComplete {
+                                path: job.path.clone(),
+                            },
+                        );
+                    }
                     // HTTP/1.0 semantics: without keep-alive the server
                     // will close after this response.
                     if !resp.keeps_alive() {
@@ -797,7 +828,9 @@ impl App for HttpClient {
             }
             AppEvent::Timer(FLUSH_TOKEN) if self.flush_armed => {
                 self.flush_armed = false;
-                self.flush_all(ctx);
+                // Reaching the backstop timer means the application missed
+                // a flush opportunity — the paper's extra-RTT bug.
+                self.flush_all(ctx, FlushCause::Timer);
             }
             AppEvent::Timer(BACKOFF_TOKEN) if self.backoff_armed => {
                 self.backoff_armed = false;
@@ -832,6 +865,14 @@ impl App for HttpClient {
                         _ => None,
                     });
                 if let Some((job, resp)) = flushed {
+                    if ctx.probe_enabled() {
+                        ctx.probe_span(
+                            s,
+                            SpanEvent::BodyComplete {
+                                path: job.path.clone(),
+                            },
+                        );
+                    }
                     self.schedule_cpu(
                         ctx,
                         CpuOp::Proc { job, resp },

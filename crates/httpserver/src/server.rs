@@ -205,6 +205,7 @@ impl HttpServer {
         let start = self.cpu_busy_until.max(now);
         let done = start + service;
         self.cpu_busy_until = done;
+        ctx.probe_span(sock, netsim::SpanEvent::ServerThink { start, end: done });
         let token = self.next_token;
         self.next_token += 1;
         self.pending.insert(token, (sock, req));

@@ -78,6 +78,7 @@ pub mod impair;
 pub mod link;
 pub mod modem;
 pub mod packet;
+pub mod probe;
 pub mod sim;
 pub mod tcp;
 pub mod time;
@@ -87,7 +88,11 @@ pub use impair::{DropReason, ImpairConfig, JitterModel, LossModel, Outage};
 pub use link::{Link, LinkCodec, LinkConfig, Pumped, QueueDiscipline, Transmit};
 pub use modem::ModemCompressor;
 pub use packet::{HostId, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
+pub use probe::{
+    Diagnosis, FlushCause, ProbeAnalysis, ProbeEventKind, ProbeRecord, ProbeReport, ProbeSink,
+    SpanEvent, StallBuckets,
+};
 pub use sim::{App, AppEvent, Ctx, Simulator, SocketId, SocketStats};
 pub use tcp::TcpConfig;
 pub use time::{SimDuration, SimTime};
-pub use trace::{DropRecord, Trace, TraceMode, TraceRecord, TraceStats};
+pub use trace::{DropRecord, Trace, TraceMode, TraceModeError, TraceRecord, TraceStats};

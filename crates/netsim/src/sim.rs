@@ -9,6 +9,7 @@
 
 use crate::link::{Link, LinkConfig, Transmit};
 use crate::packet::{HostId, Segment, SockAddr};
+use crate::probe::{ProbeEventKind, ProbeRecord, ProbeSink, SpanEvent};
 use crate::tcp::{Effects, SockNotify, State, Tcb, TcpConfig, TimerKind};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceMode, TraceStats};
@@ -167,6 +168,7 @@ pub struct Kernel {
     // xtask: allow(hash-collections): keyed lookup only; never iterated.
     link_index: HashMap<(HostId, HostId), usize>,
     trace: Trace,
+    probe: ProbeSink,
     pending: VecDeque<(HostId, AppEvent)>,
     events_processed: u64,
     /// Safety valve against runaway simulations.
@@ -183,6 +185,7 @@ impl Kernel {
             links: Vec::new(),
             link_index: HashMap::new(), // xtask: allow(hash-collections)
             trace: Trace::new(),
+            probe: ProbeSink::default(),
             pending: VecDeque::new(),
             events_processed: 0,
             max_events: 200_000_000,
@@ -234,6 +237,39 @@ impl Kernel {
         &mut self.hosts[id.0 as usize]
     }
 
+    /// Record a wire-transmit probe event for a segment the link accepted.
+    /// The serialization interval is reconstructed from the link's rate and
+    /// propagation delay; rate-free links serialize instantaneously.
+    fn probe_wire_tx(&mut self, seg: &Segment, physical: usize, arrival: SimTime, link: usize) {
+        if !self.probe.enabled() {
+            return;
+        }
+        let cfg = self.links[link].config();
+        let serialize_end = SimTime::from_nanos(
+            arrival
+                .as_nanos()
+                .saturating_sub(cfg.propagation.as_nanos()),
+        );
+        let tx_ns = match cfg.bits_per_sec {
+            Some(bps) => SimDuration::transmission(physical, bps).as_nanos(),
+            None => 0,
+        };
+        let serialize_start = SimTime::from_nanos(serialize_end.as_nanos().saturating_sub(tx_ns));
+        self.probe.record(ProbeRecord {
+            at: self.now,
+            host: seg.src.host,
+            local: seg.src,
+            remote: seg.dst,
+            kind: ProbeEventKind::WireTx {
+                bytes: physical,
+                payload: seg.has_payload(),
+                serialize_start,
+                serialize_end,
+                arrival,
+            },
+        });
+    }
+
     /// Transmit a segment onto the link towards its destination.
     fn transmit(&mut self, seg: Segment) {
         let from = seg.src.host;
@@ -245,8 +281,12 @@ impl Kernel {
         let now = self.now;
         let (outcome, physical) = self.links[idx].transmit(now, from, &seg);
         match outcome {
-            Transmit::Arrives(at) => self.push_arrival(at, to, seg, now, physical, false),
+            Transmit::Arrives(at) => {
+                self.probe_wire_tx(&seg, physical, at, idx);
+                self.push_arrival(at, to, seg, now, physical, false)
+            }
             Transmit::Duplicated(at, dup_at) => {
+                self.probe_wire_tx(&seg, physical, at, idx);
                 self.push_arrival(at, to, seg.clone(), now, physical, false);
                 self.push_arrival(dup_at, to, seg, now, physical, true);
             }
@@ -280,9 +320,11 @@ impl Kernel {
         let to = p.segment.dst.host;
         match p.outcome {
             Transmit::Arrives(at) => {
+                self.probe_wire_tx(&p.segment, p.physical, at, link);
                 self.push_arrival(at, to, p.segment, p.sent, p.physical, false)
             }
             Transmit::Duplicated(at, dup_at) => {
+                self.probe_wire_tx(&p.segment, p.physical, at, link);
                 self.push_arrival(at, to, p.segment.clone(), p.sent, p.physical, false);
                 self.push_arrival(dup_at, to, p.segment, p.sent, p.physical, true);
             }
@@ -293,6 +335,20 @@ impl Kernel {
 
     /// Apply the side effects a TCB produced.
     fn apply_effects(&mut self, host: HostId, slot: u32, fx: &mut Effects) {
+        if !fx.probe.is_empty() {
+            let tcb = &self.hosts[host.0 as usize].sockets[slot as usize];
+            let (local, remote) = (tcb.local, tcb.remote);
+            let now = self.now;
+            for ev in fx.probe.drain(..) {
+                self.probe.record(ProbeRecord {
+                    at: now,
+                    host,
+                    local,
+                    remote,
+                    kind: ProbeEventKind::Tcp(ev),
+                });
+            }
+        }
         for seg in fx.segments.drain(..) {
             self.transmit(seg);
         }
@@ -406,7 +462,17 @@ impl Kernel {
                 let cfg = h.tcp_config.clone();
                 let mut fx = Effects::default();
                 let now = self.now;
-                let tcb = Tcb::open_passive(local, remote, cfg, &seg, now, &mut fx);
+                let mut tcb = Tcb::open_passive(local, remote, cfg, &seg, now, &mut fx);
+                if self.probe.enabled() {
+                    tcb.set_probe_enabled(true);
+                    self.probe.record(ProbeRecord {
+                        at: now,
+                        host,
+                        local,
+                        remote,
+                        kind: ProbeEventKind::ConnAccepted,
+                    });
+                }
                 let h = self.host(host);
                 let slot = h.sockets.len() as u32;
                 h.sockets.push(tcb);
@@ -472,7 +538,17 @@ impl Kernel {
         let local = SockAddr::new(host, port);
         let mut fx = Effects::default();
         let now = self.now;
-        let tcb = Tcb::open_active(local, remote, cfg, now, &mut fx);
+        let mut tcb = Tcb::open_active(local, remote, cfg, now, &mut fx);
+        if self.probe.enabled() {
+            tcb.set_probe_enabled(true);
+            self.probe.record(ProbeRecord {
+                at: now,
+                host,
+                local,
+                remote,
+                kind: ProbeEventKind::ConnOpen,
+            });
+        }
         let h = self.host(host);
         let slot = h.sockets.len() as u32;
         h.sockets.push(tcb);
@@ -589,6 +665,30 @@ impl<'a> Ctx<'a> {
     /// Current TCP state (for diagnostics and tests).
     pub fn sock_state(&mut self, sock: SocketId) -> State {
         self.kernel.sock(sock).state
+    }
+
+    /// Whether the probe flight recorder is collecting. Lets callers skip
+    /// building span payloads entirely while the probe is off.
+    pub fn probe_enabled(&self) -> bool {
+        self.kernel.probe.enabled()
+    }
+
+    /// Record an HTTP-layer request-lifecycle span mark against `sock`.
+    /// No-op unless the simulator's probe was enabled.
+    pub fn probe_span(&mut self, sock: SocketId, ev: SpanEvent) {
+        if !self.kernel.probe.enabled() {
+            return;
+        }
+        let tcb = self.kernel.sock(sock);
+        let (local, remote) = (tcb.local, tcb.remote);
+        let at = self.kernel.now;
+        self.kernel.probe.record(ProbeRecord {
+            at,
+            host: sock.host,
+            local,
+            remote,
+            kind: ProbeEventKind::Span(ev),
+        });
     }
 
     /// Arm an application timer; fires as [`AppEvent::Timer`] with `token`.
@@ -716,6 +816,23 @@ impl Simulator {
     /// The current trace capture mode.
     pub fn trace_mode(&self) -> TraceMode {
         self.kernel.trace.mode()
+    }
+
+    /// Turn on the probe flight recorder. Do this before traffic flows:
+    /// sockets created while the probe was off never emit events.
+    pub fn enable_probe(&mut self) {
+        self.kernel.probe.enable();
+    }
+
+    /// Whether the probe flight recorder is collecting.
+    pub fn probe_enabled(&self) -> bool {
+        self.kernel.probe.enabled()
+    }
+
+    /// The probe records collected so far (always empty unless
+    /// [`Simulator::enable_probe`] was called).
+    pub fn probe_records(&self) -> &[ProbeRecord] {
+        self.kernel.probe.records()
     }
 
     /// Statistics over all packets between `client` and `server`.

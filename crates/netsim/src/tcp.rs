@@ -11,6 +11,7 @@
 //! unit-testable.
 
 use crate::packet::{Segment, SockAddr, TcpFlags};
+use crate::probe::{BlockReason, TcpProbeEvent};
 use crate::time::{SimDuration, SimTime};
 use bytes::{Bytes, BytesMut};
 use std::collections::BTreeMap;
@@ -156,6 +157,9 @@ pub struct Effects {
     pub timers: Vec<(TimerKind, SimTime, u64)>,
     /// Events to surface to the owning application.
     pub notifications: Vec<SockNotify>,
+    /// Probe events for the flight recorder (empty unless the owning
+    /// kernel enabled its [`crate::probe::ProbeSink`]).
+    pub probe: Vec<TcpProbeEvent>,
 }
 
 impl Effects {
@@ -164,6 +168,7 @@ impl Effects {
         self.segments.clear();
         self.timers.clear();
         self.notifications.clear();
+        self.probe.clear();
     }
 }
 
@@ -232,6 +237,8 @@ pub struct Tcb {
     timer_epochs: [u64; TimerKind::COUNT],
     /// Set once the TCB has been reset (either direction).
     pub was_reset: bool,
+    /// When false (the default), probe emission is a single branch.
+    probe_enabled: bool,
 
     // --- statistics ---
     /// Segments this endpoint transmitted.
@@ -337,6 +344,7 @@ impl Tcb {
             },
             timer_epochs: [0; TimerKind::COUNT],
             was_reset: false,
+            probe_enabled: false,
             segments_sent: 0,
             segments_retransmitted: 0,
             bytes_sent: 0,
@@ -347,6 +355,48 @@ impl Tcb {
     /// The parameters this endpoint runs with.
     pub fn config(&self) -> &TcpConfig {
         &self.cfg
+    }
+
+    /// Enable or disable probe-event emission into [`Effects::probe`].
+    /// Disabled by default; the flight recorder costs one branch per
+    /// potential event while off.
+    pub fn set_probe_enabled(&mut self, enabled: bool) {
+        self.probe_enabled = enabled;
+    }
+
+    #[inline]
+    fn probe(&self, fx: &mut Effects, ev: TcpProbeEvent) {
+        if self.probe_enabled {
+            fx.probe.push(ev);
+        }
+    }
+
+    /// Emit a congestion-control sample reflecting the current state.
+    fn probe_sample(&self, fx: &mut Effects) {
+        if self.probe_enabled {
+            fx.probe.push(TcpProbeEvent::Sample {
+                cwnd: self.cc.cwnd as u64,
+                ssthresh: self.cc.ssthresh as u64,
+                srtt_ns: self.cc.srtt_ns,
+                rto_ns: self.cc.rto.as_nanos(),
+                in_flight: self.snd_nxt - self.snd_una,
+            });
+        }
+    }
+
+    /// Emit a window-blocked event naming whichever window binds.
+    fn probe_send_blocked(&self, unsent: usize, fx: &mut Effects) {
+        if self.probe_enabled {
+            let reason = if self.peer_window < self.cc.cwnd {
+                BlockReason::PeerWindow
+            } else {
+                BlockReason::Cwnd
+            };
+            fx.probe.push(TcpProbeEvent::SendBlocked {
+                reason,
+                pending: unsent as u64,
+            });
+        }
     }
 
     /// Set or clear TCP_NODELAY (the Nagle algorithm).
@@ -482,6 +532,8 @@ impl Tcb {
                     self.buf_base = self.snd_nxt;
                     self.take_rtt_sample(now, seg.ack);
                     self.cancel_timer(TimerKind::Rto);
+                    self.probe(fx, TcpProbeEvent::Established);
+                    self.probe_sample(fx);
                     self.emit_ack(fx);
                     fx.notifications.push(SockNotify::Connected);
                     self.try_send(now, fx);
@@ -496,6 +548,7 @@ impl Tcb {
                     self.peer_window = seg.window;
                     self.take_rtt_sample(now, seg.ack);
                     self.cancel_timer(TimerKind::Rto);
+                    self.probe(fx, TcpProbeEvent::Established);
                     fx.notifications.push(SockNotify::Accepted);
                     // Fall through to process any data on the ACK.
                 } else if seg.flags.syn && !seg.flags.ack {
@@ -610,6 +663,7 @@ impl Tcb {
             } else {
                 self.arm_rto(now, fx);
             }
+            self.probe_sample(fx);
         } else if ack == self.snd_una
             && !seg.has_payload()
             && !seg.flags.syn
@@ -623,12 +677,14 @@ impl Tcb {
                 let in_flight = (self.snd_nxt - self.snd_una) as usize;
                 self.cc.ssthresh = (in_flight / 2).max(2 * self.cfg.mss);
                 self.cc.cwnd = self.cc.ssthresh;
+                self.probe(fx, TcpProbeEvent::FastRetransmit);
                 self.retransmit(now, fx);
             }
         }
 
         // Zero-window handling: arm the persist timer if data waits.
         if self.peer_window == 0 && self.send_limit() > self.snd_nxt {
+            self.probe(fx, TcpProbeEvent::ZeroWindow);
             self.arm_timer(TimerKind::Persist, now + self.cc.rto, fx);
         }
     }
@@ -736,7 +792,9 @@ impl Tcb {
                 self.emit_ack(fx);
             } else if !self.delack_armed {
                 self.delack_armed = true;
-                self.arm_timer(TimerKind::DelAck, now + self.cfg.delayed_ack, fx);
+                let deadline = now + self.cfg.delayed_ack;
+                self.probe(fx, TcpProbeEvent::DelAckArm { deadline });
+                self.arm_timer(TimerKind::DelAck, deadline, fx);
             }
         }
     }
@@ -751,6 +809,7 @@ impl Tcb {
         if self.timer_epochs[kind.index()] != epoch || !self.state.is_open() {
             return;
         }
+        self.probe(fx, TcpProbeEvent::TimerFired { kind });
         match kind {
             TimerKind::DelAck => {
                 self.delack_armed = false;
@@ -767,6 +826,7 @@ impl Tcb {
                     self.cc.cwnd = self.cfg.mss;
                     self.cc.rto_backoff += 1;
                     self.cc.rtt_sample = None; // Karn's algorithm
+                    self.probe(fx, TcpProbeEvent::RtoFire);
                     self.retransmit(now, fx);
                 }
             }
@@ -854,6 +914,9 @@ impl Tcb {
     }
 
     fn emit_ack(&mut self, fx: &mut Effects) {
+        if self.delack_armed {
+            self.probe(fx, TcpProbeEvent::DelAckFlush);
+        }
         self.unacked_segments = 0;
         self.cancel_timer(TimerKind::DelAck);
         self.delack_armed = false;
@@ -878,6 +941,9 @@ impl Tcb {
             psh: payload.len() < self.cfg.mss || fin,
         };
         // Data segments piggyback the current ACK.
+        if self.delack_armed {
+            self.probe(fx, TcpProbeEvent::DelAckFlush);
+        }
         self.unacked_segments = 0;
         self.cancel_timer(TimerKind::DelAck);
         self.delack_armed = false;
@@ -920,15 +986,26 @@ impl Tcb {
             let fin_now = self.fin_queued && (self.snd_nxt + len as u64) == self.send_limit();
 
             if len == 0 && !fin_now {
+                if unsent > 0 {
+                    self.probe_send_blocked(unsent, fx);
+                }
                 break;
             }
             if len == 0 && fin_now && in_flight > 0 && unsent > 0 {
                 // Window-blocked with data still queued before the FIN.
+                self.probe_send_blocked(unsent, fx);
                 break;
             }
             // Nagle: hold sub-MSS segments while data is in flight, unless
             // this segment also carries our FIN.
             if len > 0 && len < self.cfg.mss && in_flight > 0 && !self.cfg.nodelay && !fin_now {
+                self.probe(
+                    fx,
+                    TcpProbeEvent::SendBlocked {
+                        reason: BlockReason::Nagle,
+                        pending: unsent as u64,
+                    },
+                );
                 break;
             }
 
@@ -956,6 +1033,7 @@ impl Tcb {
         }
         if sent_any {
             self.arm_rto(now, fx);
+            self.probe_sample(fx);
         }
     }
 

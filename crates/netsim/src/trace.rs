@@ -332,6 +332,7 @@ impl Trace {
                 let mut s = self.pair_stats.get(&key).copied().unwrap_or_default();
                 if !forward {
                     std::mem::swap(&mut s.packets_c2s, &mut s.packets_s2c);
+                    std::mem::swap(&mut s.first_payload_c2s, &mut s.first_payload_s2c);
                 }
                 s
             }
@@ -369,22 +370,41 @@ impl Trace {
         out
     }
 
+    /// Error unless the capture retains per-packet records.
+    fn require_full(&self) -> Result<(), TraceModeError> {
+        match self.mode {
+            TraceMode::Full => Ok(()),
+            TraceMode::StatsOnly => Err(TraceModeError),
+        }
+    }
+
     /// Time-sequence points for data flowing out of `from`: one
     /// `(seconds, sequence-end)` pair per data-bearing segment, in
     /// departure order — the series Shepard's `xplot` draws and the paper
-    /// used to find its implementation bugs. Requires [`TraceMode::Full`].
-    pub fn time_sequence(&self, from: HostId) -> Vec<(f64, u64)> {
-        self.records
+    /// used to find its implementation bugs.
+    ///
+    /// # Errors
+    /// [`TraceModeError`] when the capture ran in [`TraceMode::StatsOnly`],
+    /// which retains no records — the result would be silently empty.
+    pub fn time_sequence(&self, from: HostId) -> Result<Vec<(f64, u64)>, TraceModeError> {
+        self.require_full()?;
+        Ok(self
+            .records
             .iter()
             .filter(|r| r.segment.src.host == from && r.segment.has_payload())
             .map(|r| (r.sent.as_secs_f64(), r.segment.seq_end()))
-            .collect()
+            .collect())
     }
 
     /// Serialize the capture in xplot(1) format: data segments from
     /// `from` as green lines (retransmissions in red) and the returning
-    /// ACK series as yellow ticks. Requires [`TraceMode::Full`].
-    pub fn xplot(&self, from: HostId, title: &str) -> String {
+    /// ACK series as yellow ticks.
+    ///
+    /// # Errors
+    /// [`TraceModeError`] when the capture ran in [`TraceMode::StatsOnly`]
+    /// (no records: the plot would be an empty frame).
+    pub fn xplot(&self, from: HostId, title: &str) -> Result<String, TraceModeError> {
+        self.require_full()?;
         use std::collections::HashSet;
         let mut out = String::new();
         out.push_str("timeval unsigned\n");
@@ -416,9 +436,26 @@ impl Trace {
             }
         }
         out.push_str("go\n");
-        out
+        Ok(out)
     }
 }
+
+/// A record-backed trace rendering was requested from a capture that ran
+/// in [`TraceMode::StatsOnly`] and therefore retained no records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceModeError;
+
+impl fmt::Display for TraceModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace was captured in TraceMode::StatsOnly and retains no \
+             per-packet records; re-run with TraceMode::Full"
+        )
+    }
+}
+
+impl std::error::Error for TraceModeError {}
 
 /// Aggregate statistics for one client/server pair — the paper's metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -447,6 +484,12 @@ pub struct TraceStats {
     pub first: Option<SimTime>,
     /// Arrival time of the last packet.
     pub last: Option<SimTime>,
+    /// Arrival time of the first payload-bearing packet travelling
+    /// client→server.
+    pub first_payload_c2s: Option<SimTime>,
+    /// Arrival time of the first payload-bearing packet travelling
+    /// server→client — the first response byte the user perceives.
+    pub first_payload_s2c: Option<SimTime>,
     /// Packets discarded by the loss model (never reached the wire).
     pub drops_loss: u64,
     /// Packets discarded during scheduled link outages.
@@ -497,6 +540,14 @@ impl TraceStats {
         }
         self.first = Some(self.first.map_or(sent, |f: SimTime| f.min(sent)));
         self.last = Some(self.last.map_or(received, |l: SimTime| l.max(received)));
+        if !seg.payload.is_empty() {
+            let slot = if c2s {
+                &mut self.first_payload_c2s
+            } else {
+                &mut self.first_payload_s2c
+            };
+            *slot = Some(slot.map_or(received, |t: SimTime| t.min(received)));
+        }
     }
 
     /// Packets in both directions.
@@ -523,6 +574,16 @@ impl TraceStats {
     pub fn elapsed_secs(&self) -> f64 {
         match (self.first, self.last) {
             (Some(f), Some(l)) => l.since(f).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Seconds from the first departure to the arrival of the first
+    /// response payload byte (server→client) — the perceived latency the
+    /// paper reports alongside totals. Zero when no payload ever flowed.
+    pub fn first_byte_secs(&self) -> f64 {
+        match (self.first, self.first_payload_s2c) {
+            (Some(f), Some(b)) => b.since(f).as_secs_f64(),
             _ => 0.0,
         }
     }
@@ -615,7 +676,7 @@ mod tests {
         for (i, len) in [(0u64, 100usize), (1, 200), (2, 300)] {
             t.record(rec(0, 1, TcpFlags::ACK, len, i * 1000));
         }
-        let ts = t.time_sequence(HostId(0));
+        let ts = t.time_sequence(HostId(0)).unwrap();
         assert_eq!(ts.len(), 3);
         assert!(ts.windows(2).all(|w| w[0].0 <= w[1].0));
     }
@@ -628,7 +689,7 @@ mod tests {
         t.record(seg.clone());
         seg.sent = SimTime::from_nanos(5_000_000);
         t.record(seg); // identical sequence range: a retransmission
-        let plot = t.xplot(HostId(0), "demo");
+        let plot = t.xplot(HostId(0), "demo").unwrap();
         assert!(plot.contains("green\n"));
         assert!(plot.contains("red\n"), "{plot}");
         assert!(plot.starts_with("timeval unsigned\n"));
@@ -764,6 +825,61 @@ mod tests {
             "a network duplicate is not a TCP retransmission"
         );
         assert_eq!(s.total_packets(), 2, "both copies crossed the wire");
+    }
+
+    /// Record-backed renderings must refuse to produce silently-empty
+    /// output when the capture kept no records.
+    #[test]
+    fn stats_only_rejects_record_backed_renderings() {
+        let mut t = Trace::with_mode(TraceMode::StatsOnly);
+        let r = rec(0, 1, TcpFlags::ACK, 100, 0);
+        t.observe(r.sent, r.received, &r.segment, r.physical_bytes);
+        assert_eq!(t.time_sequence(HostId(0)), Err(TraceModeError));
+        assert_eq!(t.xplot(HostId(0), "demo"), Err(TraceModeError));
+        let msg = TraceModeError.to_string();
+        assert!(msg.contains("StatsOnly"), "{msg}");
+        // Full mode still succeeds on the same traffic.
+        let mut full = Trace::with_mode(TraceMode::Full);
+        full.record(r);
+        assert!(full.time_sequence(HostId(0)).is_ok());
+        assert!(full.xplot(HostId(0), "demo").is_ok());
+    }
+
+    #[test]
+    fn first_byte_tracks_first_server_payload() {
+        for mode in [TraceMode::Full, TraceMode::StatsOnly] {
+            let mut t = Trace::with_mode(mode);
+            let traffic = [
+                rec(0, 1, TcpFlags::SYN, 0, 0),
+                rec(1, 0, TcpFlags::SYN_ACK, 0, 1_000),
+                rec(0, 1, TcpFlags::ACK, 120, 2_000),  // request
+                rec(1, 0, TcpFlags::ACK, 1460, 5_000), // first response byte
+                rec(1, 0, TcpFlags::ACK, 1460, 9_000),
+            ];
+            for r in &traffic {
+                t.observe(r.sent, r.received, &r.segment, r.physical_bytes);
+            }
+            let s = t.stats(HostId(0), HostId(1));
+            assert_eq!(s.first_payload_c2s, Some(SimTime::from_nanos(2_100)));
+            assert_eq!(s.first_payload_s2c, Some(SimTime::from_nanos(5_100)));
+            // first departure at t=0, first response payload arrives 5_100.
+            assert!(
+                (s.first_byte_secs() - 5_100e-9).abs() < 1e-15,
+                "mode {mode:?}"
+            );
+            // Swapped query direction swaps the payload marks too.
+            let rev = t.stats(HostId(1), HostId(0));
+            assert_eq!(rev.first_payload_c2s, Some(SimTime::from_nanos(5_100)));
+            assert_eq!(rev.first_payload_s2c, Some(SimTime::from_nanos(2_100)));
+        }
+    }
+
+    #[test]
+    fn first_byte_zero_without_payload() {
+        let mut t = Trace::new();
+        t.record(rec(0, 1, TcpFlags::SYN, 0, 0));
+        assert_eq!(t.stats(HostId(0), HostId(1)).first_byte_secs(), 0.0);
+        assert_eq!(TraceStats::default().first_byte_secs(), 0.0);
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! * `unwrap-impair` — `.unwrap()` in the impairment pipeline
 //!   (`netsim/src/impair.rs`): a panic mid-impairment tears down a cell
 //!   asymmetrically and poisons the shared thread pool.
+//! * `probe-determinism` — any wall-clock read or hash collection in the
+//!   flight recorder (`netsim/src/probe.rs`), *including* bare imports:
+//!   probe output is digest-compared byte-for-byte in CI, so even a
+//!   lookup-only hash map or a host timestamp in its analysis path would
+//!   eventually leak nondeterminism into the PROBE documents. No
+//!   suppressions — use `Vec`/`BTreeMap` and `SimTime`.
 //!
 //! Suppression: a `xtask: allow(<rule>)` comment on the flagged line or
 //! in the comment block immediately above it, or a `<rule> <path>` line
@@ -97,6 +103,14 @@ const RULES: &[Rule] = &[
         also: &[],
         crates: None,
         file: Some("crates/netsim/src/impair.rs"),
+        skip_use_lines: false,
+    },
+    Rule {
+        name: "probe-determinism",
+        needles: &["HashMap", "HashSet", "Instant::now", "SystemTime"],
+        also: &[],
+        crates: None,
+        file: Some("crates/netsim/src/probe.rs"),
         skip_use_lines: false,
     },
 ];
