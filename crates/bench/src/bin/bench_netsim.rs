@@ -1,26 +1,62 @@
-//! `bench_netsim` — wall-clock timing of the full Tables 4–9 protocol
-//! matrix (44 cells), comparing the serial and parallel executors and
-//! the full versus stats-only trace modes.
+//! `bench_netsim` — the simulator kernel's performance suite.
+//!
+//! Times the full Tables 4–9 protocol matrix (44 cells) across the
+//! serial/parallel executors and full/stats-only trace modes, derives
+//! the two headline hot-path metrics — **packets per second** and
+//! **allocations per packet** (counted by the `counting-alloc` global
+//! allocator, installed in bench builds only) — and runs a set of
+//! microbenchmarks over the kernel's individual hot paths: event-queue
+//! push/pop, pooled segment alloc/free, HTTP header serialize+parse,
+//! the impairment-pipeline pass-through, and a probe-off/probe-on cell
+//! pair.
 //!
 //! ```text
-//! cargo run --release -p httpipe-bench --bin bench_netsim
+//! cargo run --release -p httpipe-bench --bin bench_netsim            # measure + write JSON
+//! cargo run --release -p httpipe-bench --bin bench_netsim -- --check # regression gate
 //! ```
 //!
-//! Writes machine-readable results to `BENCH_netsim.json` in the
-//! current directory and prints a human summary to stdout. The JSON is
-//! hand-rolled (the workspace carries no serde) — one object per
-//! configuration plus the derived speedups; see DESIGN.md for the
-//! schema.
+//! The default mode writes machine-readable results to
+//! `BENCH_netsim.json` in the current directory and prints a human
+//! summary. `--check` re-measures the gated metrics and compares them
+//! against the *committed* `BENCH_netsim.json`, exiting nonzero on a
+//! packets/sec regression of more than 25% or on any
+//! allocations-per-packet increase (compared at the recorded 0.1
+//! granularity). The JSON is hand-rolled and hand-scanned (the
+//! workspace carries no serde) — one object per configuration plus the
+//! derived metrics; see DESIGN.md for the schema.
+//!
+//! Single-core honesty: executor configurations that would run their
+//! "parallel" pool with one worker prove nothing about parallelism, so
+//! on a 1-core host they are marked `"skipped_single_core"` (still run
+//! once for the cell-equality check, never timed) and the parallel
+//! speedup figures are omitted.
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::protocol_matrix::matrix_setups;
 use httpipe_core::experiments::robustness;
-use httpipe_core::harness::{matrix_spec, run_cells_threaded, worker_threads, CellSpec};
+use httpipe_core::harness::{matrix_spec, run_cells_threaded, run_spec, CellSpec};
 use httpipe_core::result::CellResult;
 use httpserver::ServerKind;
-use netsim::TraceMode;
+use netsim::queue::EventQueue;
+use netsim::{
+    HostId, ImpairConfig, Link, LinkConfig, Segment, SimDuration, SimTime, SockAddr, TcpFlags,
+    TraceMode, Transmit,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Count every heap allocation the process makes (bench builds only —
+/// the library crates never see this).
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc::new();
+
+/// Timed iterations for the matrix configurations (first arg overrides).
+const DEFAULT_ITERS: u32 = 3;
+/// Timed iterations for each microbenchmark.
+const MICRO_ITERS: u32 = 5;
+/// Throughput gate: fail `--check` when packets/sec falls below this
+/// fraction of the committed value.
+const CHECK_MIN_THROUGHPUT_RATIO: f64 = 0.75;
 
 /// Every cell of Tables 4–9, in table order.
 fn matrix_specs(mode: TraceMode) -> Vec<CellSpec> {
@@ -42,6 +78,20 @@ fn matrix_specs(mode: TraceMode) -> Vec<CellSpec> {
     specs
 }
 
+/// FNV-1a over the `Debug` rendering of every cell, in order — the same
+/// digest discipline the smoke binaries use, recorded in the JSON so a
+/// perf change that drifts the physics is caught at bench time too.
+fn cells_digest(cells: &[CellResult]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for c in cells {
+        for &b in format!("{c:?}").as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
 struct Config {
     name: &'static str,
     threads: Option<usize>,
@@ -55,13 +105,38 @@ struct Timing {
     iters: u32,
     mean_secs: f64,
     min_secs: f64,
+    skipped_single_core: bool,
     cells: Vec<CellResult>,
 }
 
-fn run_config(cfg: &Config, iters: u32) -> Timing {
+fn mode_name(mode: TraceMode) -> &'static str {
+    match mode {
+        TraceMode::Full => "full",
+        TraceMode::StatsOnly => "stats_only",
+    }
+}
+
+fn run_config(cfg: &Config, iters: u32, cores: usize) -> Timing {
     // One untimed warmup also produces the cells used for the
     // cross-config equality check.
     let cells = run_cells_threaded(matrix_specs(cfg.mode), cfg.threads);
+    let threads = cfg
+        .threads
+        .unwrap_or_else(|| httpipe_core::harness::worker_threads(cells.len()));
+    // A "parallel" configuration timed with one worker would just be a
+    // slower serial run — mark it honestly instead of timing it.
+    if cfg.threads.is_none() && (cores <= 1 || threads <= 1) {
+        return Timing {
+            name: cfg.name,
+            threads,
+            mode: mode_name(cfg.mode),
+            iters: 0,
+            mean_secs: 0.0,
+            min_secs: 0.0,
+            skipped_single_core: true,
+            cells,
+        };
+    }
     let mut total = 0.0f64;
     let mut min = f64::INFINITY;
     for _ in 0..iters {
@@ -77,23 +152,361 @@ fn run_config(cfg: &Config, iters: u32) -> Timing {
     }
     Timing {
         name: cfg.name,
-        threads: cfg.threads.unwrap_or_else(|| worker_threads(cells.len())),
-        mode: match cfg.mode {
-            TraceMode::Full => "full",
-            TraceMode::StatsOnly => "stats_only",
-        },
+        threads,
+        mode: mode_name(cfg.mode),
         iters,
         mean_secs: total / iters as f64,
         min_secs: min,
+        skipped_single_core: false,
         cells,
     }
 }
 
+// ---------------------------------------------------------------------
+// Hot-path metrics: packets/sec and allocations/packet
+// ---------------------------------------------------------------------
+
+struct HotPath {
+    packets: u64,
+    min_secs: f64,
+    packets_per_sec: f64,
+    allocs: u64,
+    allocs_per_packet: f64,
+    digest: u64,
+}
+
+/// The headline measurement: the 44-cell matrix, stats-only, on one
+/// thread — pure kernel throughput with no tracing or executor noise.
+fn measure_hot_path(iters: u32) -> HotPath {
+    // Warmup primes code paths and the thread-local buffer pools so the
+    // allocation count reflects steady state.
+    let cells = run_cells_threaded(matrix_specs(TraceMode::StatsOnly), Some(1));
+    let packets: u64 = cells.iter().map(|c| c.packets()).sum();
+    let digest = cells_digest(&cells);
+
+    let a0 = counting_alloc::allocations();
+    let out = run_cells_threaded(matrix_specs(TraceMode::StatsOnly), Some(1));
+    let allocs = counting_alloc::allocations() - a0;
+    assert_eq!(out, cells, "nondeterministic hot-path run");
+
+    let mut min = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let specs = matrix_specs(TraceMode::StatsOnly);
+        let start = Instant::now();
+        let out = run_cells_threaded(specs, Some(1));
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(out, cells, "nondeterministic hot-path run");
+        if secs < min {
+            min = secs;
+        }
+    }
+    HotPath {
+        packets,
+        min_secs: min,
+        packets_per_sec: packets as f64 / min,
+        allocs,
+        allocs_per_packet: allocs as f64 / packets as f64,
+        digest,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks
+// ---------------------------------------------------------------------
+
+struct Micro {
+    name: &'static str,
+    ops: u64,
+    ns_per_op: f64,
+    allocs_per_op: f64,
+}
+
+/// Time `body` (which performs `ops` operations per call): one warmup
+/// call, one allocation-counted call, then `MICRO_ITERS` timed calls
+/// keeping the minimum.
+fn micro(name: &'static str, ops: u64, mut body: impl FnMut()) -> Micro {
+    body();
+    let a0 = counting_alloc::allocations();
+    body();
+    let allocs = counting_alloc::allocations() - a0;
+    let mut min = f64::INFINITY;
+    for _ in 0..MICRO_ITERS {
+        let start = Instant::now();
+        body();
+        let secs = start.elapsed().as_secs_f64();
+        if secs < min {
+            min = secs;
+        }
+    }
+    Micro {
+        name,
+        ops,
+        ns_per_op: min * 1e9 / ops as f64,
+        allocs_per_op: allocs as f64 / ops as f64,
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 step) for event times.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Timer-wheel push/pop with the arrival pattern the kernel produces:
+/// mostly near-future times with an RTO-like far tail.
+fn micro_event_queue() -> Micro {
+    const N: u64 = 1 << 16;
+    micro("event_queue_push_pop", 2 * N, || {
+        let mut q: EventQueue<u64> = EventQueue::wheel();
+        let mut state = 7u64;
+        let mut now = 0u64;
+        for i in 0..N {
+            let r = mix(&mut state);
+            // ~1/64 of events are far-future retransmission timers.
+            let delta = if r % 64 == 0 {
+                3_000_000_000 + r % 1_000_000_000
+            } else {
+                r % 2_000_000
+            };
+            q.push(SimTime::from_nanos(now + delta), i);
+            // Drain roughly half as we go, advancing the clock.
+            if i % 2 == 0 {
+                if let Some((at, _)) = q.pop_before(SimTime::MAX) {
+                    now = at.as_nanos();
+                }
+            }
+        }
+        while q.pop_before(SimTime::MAX).is_some() {}
+        assert!(q.is_empty());
+    })
+}
+
+/// Pooled payload buffer alloc/free at MSS size.
+fn micro_segment_pool() -> Micro {
+    const N: u64 = 1 << 14;
+    let payload = vec![0xA5u8; 1460];
+    micro("segment_alloc_free", N, move || {
+        for _ in 0..N {
+            let b = bytes::Bytes::pooled_copy_from_slice(&payload);
+            std::hint::black_box(&b);
+        }
+    })
+}
+
+/// Serialize + incrementally parse a typical response.
+fn micro_header_wire() -> Micro {
+    use httpwire::{Method, Response, ResponseParser, StatusCode, Version};
+    const N: u64 = 1 << 12;
+    let resp = Response::new(Version::Http11, StatusCode::OK)
+        .with_header("Date", "Mon, 27 Oct 1997 12:00:00 GMT")
+        .with_header("Server", "Jigsaw/1.0beta2")
+        .with_header("Content-Type", "image/gif")
+        .with_header("ETag", "\"697-1761566400\"")
+        .with_header("Last-Modified", "Fri, 24 Oct 1997 12:00:00 GMT")
+        .with_header("Content-Length", "697")
+        .with_body(vec![0u8; 697]);
+    micro("header_serialize_parse", N, move || {
+        for _ in 0..N {
+            let wire = resp.to_bytes();
+            let mut parser = ResponseParser::new();
+            parser.expect(Method::Get);
+            parser.feed(&wire);
+            let out = parser.next().expect("parse").expect("complete");
+            std::hint::black_box(&out);
+        }
+    })
+}
+
+/// Full-size segments through a link whose impairment pipeline is
+/// configured but inert — the per-packet cost every matrix cell pays.
+fn micro_impair_passthrough() -> Micro {
+    const N: u64 = 1 << 14;
+    let a = HostId(0);
+    let b = HostId(1);
+    let seg = Segment {
+        src: SockAddr::new(a, 40_000),
+        dst: SockAddr::new(b, 80),
+        seq: 1,
+        ack: 1,
+        flags: TcpFlags::ACK,
+        window: 65_535,
+        payload: bytes::Bytes::pooled_copy_from_slice(&[0u8; 1460]),
+    };
+    micro("impair_passthrough", N, move || {
+        let mut link = Link::new(
+            a,
+            b,
+            LinkConfig::lan().with_impairment(ImpairConfig::none()),
+        );
+        let mut now = SimTime::ZERO;
+        for _ in 0..N {
+            let (outcome, _) = link.transmit(now, a, &seg);
+            match outcome {
+                Transmit::Arrives(at) => now = at,
+                other => panic!("pass-through link dropped a packet: {other:?}"),
+            }
+            now += SimDuration::from_micros(1);
+        }
+    })
+}
+
+/// One representative cell (LAN/Jigsaw/pipelined/first-time) end to
+/// end, per packet, with the probe flight recorder off or on. "Off" is
+/// how every matrix cell runs; the on/off spread bounds what the probe
+/// hooks cost when disarmed.
+fn micro_probe_cell(name: &'static str, probe: bool) -> Micro {
+    let build = || {
+        let setup = matrix_setups(NetEnv::Lan)
+            .iter()
+            .copied()
+            .find(|s| matches!(s, httpipe_core::harness::ProtocolSetup::Http11Pipelined))
+            .expect("pipelined setup in LAN matrix");
+        let mut spec = matrix_spec(
+            NetEnv::Lan,
+            ServerKind::Jigsaw,
+            setup,
+            httpipe_core::harness::Scenario::FirstTime,
+        );
+        spec.trace_mode = TraceMode::StatsOnly;
+        spec.probe = probe;
+        spec
+    };
+    let packets = run_spec(build()).cell.packets();
+    micro(name, packets, move || {
+        let out = run_spec(build());
+        std::hint::black_box(&out.cell);
+    })
+}
+
+// ---------------------------------------------------------------------
+// --check: regression gate against the committed JSON
+// ---------------------------------------------------------------------
+
+/// Scan a hand-rolled JSON document for `"key": <number>` at any depth.
+/// Good enough for the flat schema this binary writes.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run_check() -> i32 {
+    let committed = match std::fs::read_to_string("BENCH_netsim.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_netsim --check: cannot read BENCH_netsim.json: {e}");
+            return 2;
+        }
+    };
+    let (Some(want_pps), Some(want_app)) = (
+        json_number(&committed, "packets_per_sec"),
+        json_number(&committed, "allocs_per_packet"),
+    ) else {
+        eprintln!(
+            "bench_netsim --check: committed BENCH_netsim.json predates the hot-path \
+             metrics (missing packets_per_sec / allocs_per_packet); regenerate it \
+             with `cargo run --release -p httpipe-bench --bin bench_netsim`"
+        );
+        return 2;
+    };
+
+    let hot = measure_hot_path(DEFAULT_ITERS);
+    println!(
+        "bench_netsim --check: measured {:.0} packets/sec ({:.1} allocs/packet) \
+         vs committed {want_pps:.0} ({want_app:.1})",
+        hot.packets_per_sec, hot.allocs_per_packet
+    );
+
+    let mut failed = false;
+    if hot.packets_per_sec < want_pps * CHECK_MIN_THROUGHPUT_RATIO {
+        eprintln!(
+            "FAIL: packets/sec regressed more than {:.0}%: {:.0} < {:.0} (committed {want_pps:.0})",
+            (1.0 - CHECK_MIN_THROUGHPUT_RATIO) * 100.0,
+            hot.packets_per_sec,
+            want_pps * CHECK_MIN_THROUGHPUT_RATIO,
+        );
+        failed = true;
+    }
+    // Allocations are deterministic; compare at the 0.1/packet
+    // granularity the JSON records.
+    let measured_app = (hot.allocs_per_packet * 10.0).round() / 10.0;
+    if measured_app > want_app + 1e-9 {
+        eprintln!(
+            "FAIL: allocations/packet increased: {measured_app:.1} > committed {want_app:.1}"
+        );
+        failed = true;
+    }
+    if failed {
+        eprintln!("bench_netsim --check: FAILED");
+        1
+    } else {
+        println!("bench_netsim --check: OK");
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// --smoke: CI determinism gate — two passes of the stats-only matrix
+// under both executors must produce bit-identical digests, and every
+// microbench must run. No timing, nothing written.
+// ---------------------------------------------------------------------
+
+fn run_smoke() -> i32 {
+    let digest_of = |threads: Option<usize>| {
+        cells_digest(&run_cells_threaded(
+            matrix_specs(TraceMode::StatsOnly),
+            threads,
+        ))
+    };
+    let serial = [digest_of(Some(1)), digest_of(Some(1))];
+    let threaded = [digest_of(None), digest_of(None)];
+    println!(
+        "bench_netsim --smoke: serial digests {:#018x} {:#018x}, threaded {:#018x} {:#018x}",
+        serial[0], serial[1], threaded[0], threaded[1]
+    );
+    if serial[0] != serial[1] || threaded[0] != threaded[1] || serial[0] != threaded[0] {
+        eprintln!("bench_netsim --smoke: FAILED — matrix digests diverge across passes/executors");
+        return 1;
+    }
+    for m in [
+        micro_event_queue(),
+        micro_segment_pool(),
+        micro_header_wire(),
+        micro_impair_passthrough(),
+        micro_probe_cell("probe_off_cell", false),
+        micro_probe_cell("probe_on_cell", true),
+    ] {
+        println!(
+            "bench_netsim --smoke: {} ok ({} ops, {:.2} allocs/op)",
+            m.name, m.ops, m.allocs_per_op
+        );
+    }
+    println!("bench_netsim --smoke: OK");
+    0
+}
+
+// ---------------------------------------------------------------------
+
 fn main() {
-    let iters: u32 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        std::process::exit(run_check());
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(run_smoke());
+    }
+    let iters: u32 = args
+        .first()
         .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
+        .unwrap_or(DEFAULT_ITERS);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let configs = [
         Config {
@@ -119,9 +532,15 @@ fn main() {
     ];
 
     let n_cells = matrix_specs(TraceMode::StatsOnly).len();
-    println!("netsim matrix bench: {n_cells} cells (Tables 4-9), {iters} timed iterations each");
+    println!(
+        "netsim matrix bench: {n_cells} cells (Tables 4-9), {iters} timed iterations each, \
+         {cores} core(s)"
+    );
 
-    let timings: Vec<Timing> = configs.iter().map(|c| run_config(c, iters)).collect();
+    let timings: Vec<Timing> = configs
+        .iter()
+        .map(|c| run_config(c, iters, cores))
+        .collect();
 
     // Trace mode must not change the measurements, and the parallel
     // executor must agree with the serial one cell-for-cell.
@@ -134,22 +553,60 @@ fn main() {
     }
 
     for t in &timings {
-        println!(
-            "  {:<16} threads={:<2} trace={:<10} mean {:.3}s  min {:.3}s",
-            t.name, t.threads, t.mode, t.mean_secs, t.min_secs
-        );
+        if t.skipped_single_core {
+            println!(
+                "  {:<16} threads={:<2} trace={:<10} skipped (single core)",
+                t.name, t.threads, t.mode
+            );
+        } else {
+            println!(
+                "  {:<16} threads={:<2} trace={:<10} mean {:.3}s  min {:.3}s",
+                t.name, t.threads, t.mode, t.mean_secs, t.min_secs
+            );
+        }
     }
 
     let by_name = |name: &str| timings.iter().find(|t| t.name == name).unwrap();
     let serial_full = by_name("serial_full");
     let serial_stats = by_name("serial_stats");
     let parallel_stats = by_name("parallel_stats");
-    let speedup_parallel = serial_stats.min_secs / parallel_stats.min_secs;
+    let parallel_ok = !parallel_stats.skipped_single_core;
     let speedup_stats = serial_full.min_secs / serial_stats.min_secs;
-    let speedup_combined = serial_full.min_secs / parallel_stats.min_secs;
-    println!("  parallel over serial (stats-only): {speedup_parallel:.2}x");
     println!("  stats-only over full (serial):     {speedup_stats:.2}x");
-    println!("  combined over serial full:         {speedup_combined:.2}x");
+    let (speedup_parallel, speedup_combined) = if parallel_ok {
+        let p = serial_stats.min_secs / parallel_stats.min_secs;
+        let c = serial_full.min_secs / parallel_stats.min_secs;
+        println!("  parallel over serial (stats-only): {p:.2}x");
+        println!("  combined over serial full:         {c:.2}x");
+        (Some(p), Some(c))
+    } else {
+        println!("  parallel speedups: skipped_single_core");
+        (None, None)
+    };
+
+    // ---- Hot-path headline metrics ----------------------------------
+    let hot = measure_hot_path(iters);
+    println!(
+        "  hot path (serial, stats-only): {} packets in {:.3}s = {:.0} packets/sec, \
+         {:.1} allocs/packet, digest {:#018x}",
+        hot.packets, hot.min_secs, hot.packets_per_sec, hot.allocs_per_packet, hot.digest
+    );
+
+    // ---- Microbenchmarks --------------------------------------------
+    let micros = [
+        micro_event_queue(),
+        micro_segment_pool(),
+        micro_header_wire(),
+        micro_impair_passthrough(),
+        micro_probe_cell("probe_off_cell", false),
+        micro_probe_cell("probe_on_cell", true),
+    ];
+    for m in &micros {
+        println!(
+            "  micro {:<24} {:>8} ops  {:>9.1} ns/op  {:>6.2} allocs/op",
+            m.name, m.ops, m.ns_per_op, m.allocs_per_op
+        );
+    }
 
     // ---- Robustness grid: impaired-link cells through both executors ----
     let rob_points = robustness::full_grid();
@@ -172,51 +629,83 @@ fn main() {
         "robustness grid: parallel disagrees with serial"
     );
     let rob_digest = robustness::report_digest(&mk_cells(rob_serial));
-    let rob_speedup = rob_serial_secs / rob_parallel_secs;
-    println!(
-        "  robustness grid ({} impaired cells): serial {rob_serial_secs:.3}s, \
-         parallel {rob_parallel_secs:.3}s ({rob_speedup:.2}x), digest {rob_digest:#018x}",
-        rob_points.len()
-    );
+    if parallel_ok {
+        let rob_speedup = rob_serial_secs / rob_parallel_secs;
+        println!(
+            "  robustness grid ({} impaired cells): serial {rob_serial_secs:.3}s, \
+             parallel {rob_parallel_secs:.3}s ({rob_speedup:.2}x), digest {rob_digest:#018x}",
+            rob_points.len()
+        );
+    } else {
+        println!(
+            "  robustness grid ({} impaired cells): serial {rob_serial_secs:.3}s, \
+             digest {rob_digest:#018x} (parallel timing skipped, single core)",
+            rob_points.len()
+        );
+    }
 
+    // ---- JSON --------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"netsim_matrix\",");
     let _ = writeln!(json, "  \"cells\": {n_cells},");
-    let _ = writeln!(
-        json,
-        "  \"available_parallelism\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
     json.push_str("  \"configs\": [\n");
     for (i, t) in timings.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"threads\": {}, \"trace_mode\": \"{}\", \
-             \"iters\": {}, \"mean_secs\": {:.6}, \"min_secs\": {:.6}}}",
-            t.name, t.threads, t.mode, t.iters, t.mean_secs, t.min_secs
-        );
+        if t.skipped_single_core {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"threads\": {}, \"trace_mode\": \"{}\", \
+                 \"status\": \"skipped_single_core\"}}",
+                t.name, t.threads, t.mode
+            );
+        } else {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"threads\": {}, \"trace_mode\": \"{}\", \
+                 \"iters\": {}, \"mean_secs\": {:.6}, \"min_secs\": {:.6}, \"status\": \"ok\"}}",
+                t.name, t.threads, t.mode, t.iters, t.mean_secs, t.min_secs
+            );
+        }
         json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"matrix_packets\": {},", hot.packets);
+    let _ = writeln!(json, "  \"matrix_digest\": \"{:#018x}\",", hot.digest);
+    let _ = writeln!(json, "  \"hot_path_min_secs\": {:.6},", hot.min_secs);
+    let _ = writeln!(json, "  \"packets_per_sec\": {:.0},", hot.packets_per_sec);
+    let _ = writeln!(json, "  \"matrix_allocs\": {},", hot.allocs);
     let _ = writeln!(
         json,
-        "  \"speedup_parallel_over_serial_stats\": {speedup_parallel:.4},"
+        "  \"allocs_per_packet\": {:.1},",
+        hot.allocs_per_packet
     );
     let _ = writeln!(
         json,
         "  \"speedup_stats_over_full_serial\": {speedup_stats:.4},"
     );
-    let _ = writeln!(
-        json,
-        "  \"speedup_combined_over_serial_full\": {speedup_combined:.4},"
-    );
+    if let (Some(p), Some(c)) = (speedup_parallel, speedup_combined) {
+        let _ = writeln!(json, "  \"speedup_parallel_over_serial_stats\": {p:.4},");
+        let _ = writeln!(json, "  \"speedup_combined_over_serial_full\": {c:.4},");
+    }
+    json.push_str("  \"microbench\": [\n");
+    for (i, m) in micros.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}}}",
+            m.name, m.ops, m.ns_per_op, m.allocs_per_op
+        );
+        json.push_str(if i + 1 < micros.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(json, "  \"robustness_cells\": {},", rob_points.len());
     let _ = writeln!(json, "  \"robustness_serial_secs\": {rob_serial_secs:.6},");
-    let _ = writeln!(
-        json,
-        "  \"robustness_parallel_secs\": {rob_parallel_secs:.6},"
-    );
+    if parallel_ok {
+        let _ = writeln!(
+            json,
+            "  \"robustness_parallel_secs\": {rob_parallel_secs:.6},"
+        );
+    }
     let _ = writeln!(json, "  \"robustness_digest\": \"{rob_digest:#018x}\"");
     json.push_str("}\n");
 

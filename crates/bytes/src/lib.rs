@@ -6,23 +6,112 @@
 //! [`BytesMut`] (a growable buffer that can be drained from the front and
 //! frozen). Semantics match the real crate for this surface; `clone` and
 //! `slice` are O(1) and share the underlying allocation.
+//!
+//! # Pooled buffers
+//!
+//! On top of the `bytes` API this stand-in adds an allocation pool for
+//! the simulator's per-segment hot path: [`Bytes::pooled_copy_from_slice`]
+//! and [`BytesMut::split_to_pooled`] back the returned `Bytes` with a
+//! `Vec<u8>` taken from a bounded thread-local free list, and the vector
+//! returns to the list when the last reference drops. Pooled and shared
+//! buffers are observationally identical (equality, hashing, ordering and
+//! iteration all go through the byte contents), so pooling can never
+//! change simulation results — it only recycles storage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Buffers kept per thread; beyond this, returned vectors are freed.
+const POOL_MAX_BUFS: usize = 256;
+/// Buffers with more capacity than this are never pooled (one giant
+/// reassembled body must not pin memory for the rest of the run).
+const POOL_MAX_CAP: usize = 1 << 16;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take a cleared vector from this thread's pool (empty if none).
+fn pool_take() -> Vec<u8> {
+    POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Return a vector to this thread's pool, subject to the size bounds.
+fn pool_put(mut v: Vec<u8>) {
+    if v.capacity() == 0 || v.capacity() > POOL_MAX_CAP {
+        return;
+    }
+    v.clear();
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_MAX_BUFS {
+            p.push(v);
+        }
+    });
+}
+
+/// A pooled allocation: hands its vector back to the free list of
+/// whichever thread drops the last reference.
+struct PoolChunk {
+    buf: Vec<u8>,
+}
+
+impl Drop for PoolChunk {
+    fn drop(&mut self) {
+        pool_put(std::mem::take(&mut self.buf));
+    }
+}
+
+/// Backing storage of a [`Bytes`].
+#[derive(Clone)]
+enum Repr {
+    /// A plain shared slice.
+    Shared(Arc<[u8]>),
+    /// A pool-recycled vector (see the module docs).
+    Pooled(Arc<PoolChunk>),
+}
+
+impl Repr {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Shared(a) => a,
+            Repr::Pooled(c) => &c.buf,
+        }
+    }
+}
+
+/// The process-wide empty buffer: `Bytes::new` bumps a refcount instead
+/// of allocating a fresh zero-length `Arc` header per call.
+fn empty_shared() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
 
 /// A cheaply cloneable, immutable slice of bytes.
 ///
 /// Clones and sub-slices share one reference-counted allocation.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Repr,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes {
+            data: Repr::Shared(empty_shared()),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -34,6 +123,27 @@ impl Bytes {
     /// Copy `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes::from(data.to_vec())
+    }
+
+    /// Copy `data` into a pool-recycled buffer: the backing storage
+    /// comes from (and on final drop returns to) a bounded thread-local
+    /// free list. Indistinguishable from [`Bytes::copy_from_slice`]
+    /// except for allocator traffic; meant for per-segment payloads.
+    pub fn pooled_copy_from_slice(data: &[u8]) -> Bytes {
+        let mut buf = pool_take();
+        buf.extend_from_slice(data);
+        Bytes::from_pooled_vec(buf)
+    }
+
+    /// Wrap an existing vector as a pooled buffer without copying; the
+    /// vector joins the free list when the last reference drops.
+    pub fn from_pooled_vec(buf: Vec<u8>) -> Bytes {
+        let end = buf.len();
+        Bytes {
+            data: Repr::Pooled(Arc::new(PoolChunk { buf })),
+            start: 0,
+            end,
+        }
     }
 
     /// Wrap a static slice (copied here; the real crate borrows it, but
@@ -70,7 +180,7 @@ impl Bytes {
             "slice {lo}..{hi} out of range"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -87,7 +197,7 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -101,7 +211,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Repr::Shared(v.into()),
             start: 0,
             end,
         }
@@ -240,6 +350,29 @@ impl BytesMut {
         BytesMut { vec: head }
     }
 
+    /// Discard the first `at` bytes in place — the allocation-free
+    /// alternative to `split_to(at)` when the head is not needed.
+    pub fn advance(&mut self, at: usize) {
+        self.vec.drain(..at);
+    }
+
+    /// Remove and return the first `at` bytes as a pool-backed
+    /// [`Bytes`]. Equivalent to `split_to(at).freeze()` but allocation
+    /// free in steady state: taking everything moves the whole vector
+    /// into the pooled buffer (the replacement comes from the free
+    /// list); taking a prefix copies it into a pooled buffer and drains
+    /// in place.
+    pub fn split_to_pooled(&mut self, at: usize) -> Bytes {
+        if at == self.vec.len() {
+            let buf = std::mem::replace(&mut self.vec, pool_take());
+            Bytes::from_pooled_vec(buf)
+        } else {
+            let head = Bytes::pooled_copy_from_slice(&self.vec[..at]);
+            self.vec.drain(..at);
+            head
+        }
+    }
+
     /// Drop all accumulated contents.
     pub fn clear(&mut self) {
         self.vec.clear();
@@ -320,6 +453,41 @@ mod tests {
         assert_eq!(&m[..], b"world");
         assert_eq!(&head.freeze()[..], b"hello ");
         m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn pooled_bytes_behave_like_shared() {
+        let p = Bytes::pooled_copy_from_slice(b"hello world");
+        let s = Bytes::copy_from_slice(b"hello world");
+        assert_eq!(p, s);
+        let mid = p.slice(6..);
+        assert_eq!(&mid[..], b"world");
+        let clone = p.clone();
+        drop(p);
+        assert_eq!(&clone[..], b"hello world");
+    }
+
+    #[test]
+    fn pool_recycles_buffers() {
+        // Drain whatever the pool holds, then verify round-tripping.
+        let b = Bytes::pooled_copy_from_slice(&[1u8; 1000]);
+        drop(b);
+        let b2 = Bytes::pooled_copy_from_slice(&[2u8; 500]);
+        assert_eq!(&b2[..], &[2u8; 500][..]);
+    }
+
+    #[test]
+    fn bytesmut_advance_and_split_to_pooled() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdef");
+        m.advance(2);
+        assert_eq!(&m[..], b"cdef");
+        let head = m.split_to_pooled(2);
+        assert_eq!(&head[..], b"cd");
+        assert_eq!(&m[..], b"ef");
+        let rest = m.split_to_pooled(2);
+        assert_eq!(&rest[..], b"ef");
         assert!(m.is_empty());
     }
 

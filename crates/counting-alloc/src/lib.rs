@@ -1,0 +1,101 @@
+//! A counting [`GlobalAlloc`] for benchmark builds.
+//!
+//! The simulator's determinism crates (`netsim`, `bytes`) forbid
+//! `unsafe`, so the one `unsafe impl` a counting allocator needs lives
+//! here, in a crate nothing links against except bench binaries:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc::new();
+//!
+//! let before = counting_alloc::allocations();
+//! run_workload();
+//! let allocs = counting_alloc::allocations() - before;
+//! ```
+//!
+//! Counters are process-global relaxed atomics: cheap enough to leave
+//! enabled (one `fetch_add` per malloc), and exact for single-threaded
+//! measured regions, which is how the microbench suite uses them
+//! (allocations/packet is defined on the serial matrix run).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting every allocation.
+///
+/// `realloc` counts as one allocation (it may move); `dealloc` is not
+/// counted — the suite measures allocation pressure, not live bytes.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const, for `#[global_allocator]`).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: pure pass-through to `System`, plus relaxed counter bumps
+// that cannot alias or unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total heap allocations since process start (monotonic).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start
+/// (monotonic; freed bytes are not subtracted).
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    // The counters only tick when this allocator is installed as
+    // `#[global_allocator]`, which a unit test inside the library can't
+    // do without imposing it on every dependent; install it here for the
+    // test binary only.
+    #[global_allocator]
+    static ALLOC: super::CountingAlloc = super::CountingAlloc::new();
+
+    #[test]
+    fn counts_allocations() {
+        let before = (super::allocations(), super::allocated_bytes());
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        std::hint::black_box(&v);
+        let after = (super::allocations(), super::allocated_bytes());
+        assert!(after.0 > before.0, "allocation not counted");
+        assert!(after.1 >= before.1 + 4096, "bytes not counted");
+    }
+}

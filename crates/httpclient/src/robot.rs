@@ -665,16 +665,33 @@ impl HttpClient {
 
     /// Queue fetches for newly discovered image references.
     fn discover_from_html(&mut self, partial_html: &[u8]) {
-        let text = String::from_utf8_lossy(partial_html);
-        for src in webcontent::html::inline_image_sources(&text) {
-            if self.discovered.insert(src.clone()) {
-                self.pending.push_back(Job {
-                    path: src,
+        Self::discover_sources(&mut self.discovered, &mut self.pending, partial_html);
+    }
+
+    /// Scan `html_bytes` for `<img src>` references and queue each one
+    /// not seen before. Takes the two fields it mutates (not `&mut
+    /// self`) so streaming discovery can run it while the connection's
+    /// parse buffer is still borrowed — that's what lets the hot path
+    /// scan the received prefix in place instead of copying it. Only a
+    /// genuinely new source allocates (its path `String`, at most once
+    /// per image on the page); a re-scan that finds nothing new is
+    /// allocation-free.
+    fn discover_sources(
+        discovered: &mut BTreeSet<String>,
+        pending: &mut VecDeque<Job>,
+        html_bytes: &[u8],
+    ) {
+        let text = String::from_utf8_lossy(html_bytes);
+        webcontent::html::for_each_inline_image_source(&text, |src| {
+            if !discovered.contains(src) {
+                discovered.insert(src.to_string());
+                pending.push_back(Job {
+                    path: src.to_string(),
                     method: Method::Get,
                     conditionals: Vec::new(),
                 });
             }
-        }
+        });
     }
 
     /// Streaming discovery: look at the in-progress HTML response and
@@ -683,31 +700,37 @@ impl HttpClient {
         if self.discovery_complete || !matches!(self.workload, Workload::Browse { .. }) {
             return;
         }
-        let Some(conn) = self.conns.get(&sock) else {
-            return;
-        };
         // Only the front-of-line response can be in progress; discovery
         // applies when that is the start page.
-        let Some(front) = conn.sent.front() else {
+        {
+            let Some(conn) = self.conns.get(&sock) else {
+                return;
+            };
+            let Some(front) = conn.sent.front() else {
+                return;
+            };
+            if !self.is_start_page(&front.path) {
+                return;
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&sock) else {
             return;
         };
-        if !self.is_start_page(&front.path) {
-            return;
-        }
         let Some((headers, partial)) = conn.parser.in_progress() else {
             return;
         };
-        let deflated = matches!(
-            coding::declared_coding(&headers),
-            Ok(ContentCoding::Deflate)
-        );
-        let visible = if deflated {
-            flate::zlib::decompress_prefix(partial).unwrap_or_default()
+        let deflated = matches!(coding::declared_coding(headers), Ok(ContentCoding::Deflate));
+        // A compressed prefix must be inflated into scratch, but a plain
+        // one is scanned in place — no per-chunk copy of the prefix.
+        let decompressed;
+        let visible: &[u8] = if deflated {
+            decompressed = flate::zlib::decompress_prefix(partial).unwrap_or_default();
+            &decompressed
         } else {
-            partial.to_vec()
+            partial
         };
         let before = self.pending.len();
-        self.discover_from_html(&visible);
+        Self::discover_sources(&mut self.discovered, &mut self.pending, visible);
         if self.pending.len() > before {
             self.pump(ctx);
         }

@@ -202,6 +202,20 @@ impl RequestParser {
 // Response parser (client side)
 // ---------------------------------------------------------------------
 
+/// A fully parsed head (status line + header block) whose message body
+/// has not finished arriving. Cached between polls so that feeding a
+/// large body chunk by chunk costs O(chunk) per poll instead of
+/// re-scanning and re-allocating the whole header block every time —
+/// the client polls once per arriving segment, so without this cache
+/// header parsing dominates the hot path.
+#[derive(Debug)]
+struct ParsedHead {
+    head_end: usize,
+    version: Version,
+    status: StatusCode,
+    headers: HeaderMap,
+}
+
 /// Incremental parser for a stream of responses on one connection.
 ///
 /// Pipelined HTTP requires the client to remember which request each
@@ -212,6 +226,10 @@ impl RequestParser {
 pub struct ResponseParser {
     buf: BytesMut,
     expectations: std::collections::VecDeque<Method>,
+    /// Head of the in-progress message, parsed once per message.
+    /// Invalidated when the message is consumed (`buf` is only ever
+    /// appended to otherwise, so the cached offsets stay valid).
+    head: Option<ParsedHead>,
 }
 
 impl ResponseParser {
@@ -241,7 +259,7 @@ impl ResponseParser {
         self.buf.len()
     }
 
-    fn classify(&self, status: StatusCode, headers: &HeaderMap, method: Method) -> BodyKind {
+    fn classify(status: StatusCode, headers: &HeaderMap, method: Method) -> BodyKind {
         if !method.response_has_body() || status.bodyless() {
             return BodyKind::None;
         }
@@ -263,15 +281,14 @@ impl ResponseParser {
 
     /// Peek at the *in-progress* response: its headers plus however much
     /// of its body has arrived. Returns `None` until the header block is
-    /// complete. This is what lets a streaming client start parsing HTML
-    /// (and issuing pipelined image requests) before the document
-    /// finishes arriving.
-    pub fn in_progress(&self) -> Option<(HeaderMap, &[u8])> {
-        let head_end = find_head_end(&self.buf)?;
-        let head = std::str::from_utf8(&self.buf[..head_end]).ok()?;
-        let rest = head.split_once('\n')?.1;
-        let headers = parse_headers(rest).ok()?;
-        Some((headers, &self.buf[head_end..]))
+    /// complete (or if the status line is malformed). This is what lets
+    /// a streaming client start parsing HTML (and issuing pipelined
+    /// image requests) before the document finishes arriving. Borrows
+    /// the cached head — repeated peeks are allocation-free.
+    pub fn in_progress(&mut self) -> Option<(&HeaderMap, &[u8])> {
+        self.ensure_head().ok()?;
+        let ph = self.head.as_ref()?;
+        Some((&ph.headers, &self.buf[ph.head_end..]))
     }
 
     /// The peer closed the connection: flush a close-delimited response if
@@ -280,9 +297,14 @@ impl ResponseParser {
         self.parse(true)
     }
 
-    fn parse(&mut self, at_eof: bool) -> Result<Option<Response>, ParseError> {
+    /// Parse the head once per message, caching it in `self.head`.
+    /// Returns `Ok(false)` while the header block is still incomplete.
+    fn ensure_head(&mut self) -> Result<bool, ParseError> {
+        if self.head.is_some() {
+            return Ok(true);
+        }
         let Some(head_end) = find_head_end(&self.buf) else {
-            return Ok(None);
+            return Ok(false);
         };
         let head =
             std::str::from_utf8(&self.buf[..head_end]).map_err(|_| ParseError::BadStatusLine)?;
@@ -303,9 +325,23 @@ impl ResponseParser {
             .map_err(|_| ParseError::BadStatusLine)?;
         let status = StatusCode(code);
         let headers = parse_headers(rest)?;
+        self.head = Some(ParsedHead {
+            head_end,
+            version,
+            status,
+            headers,
+        });
+        Ok(true)
+    }
 
+    fn parse(&mut self, at_eof: bool) -> Result<Option<Response>, ParseError> {
+        if !self.ensure_head()? {
+            return Ok(None);
+        }
+        let ph = self.head.as_ref().expect("ensure_head filled the cache");
+        let head_end = ph.head_end;
         let method = self.expectations.front().copied().unwrap_or(Method::Get);
-        let body_kind = self.classify(status, &headers, method);
+        let body_kind = Self::classify(ph.status, &ph.headers, method);
 
         let (body, consumed) = match body_kind {
             BodyKind::None => (Bytes::new(), head_end),
@@ -314,7 +350,7 @@ impl ResponseParser {
                     return Ok(None);
                 }
                 (
-                    Bytes::copy_from_slice(&self.buf[head_end..head_end + n]),
+                    Bytes::pooled_copy_from_slice(&self.buf[head_end..head_end + n]),
                     head_end + n,
                 )
             }
@@ -333,18 +369,19 @@ impl ResponseParser {
                     return Ok(None);
                 }
                 (
-                    Bytes::copy_from_slice(&self.buf[head_end..]),
+                    Bytes::pooled_copy_from_slice(&self.buf[head_end..]),
                     self.buf.len(),
                 )
             }
         };
 
+        let ph = self.head.take().expect("checked above");
         let _ = self.buf.split_to(consumed);
         self.expectations.pop_front();
         Ok(Some(Response {
-            version,
-            status,
-            headers,
+            version: ph.version,
+            status: ph.status,
+            headers: ph.headers,
             body,
         }))
     }

@@ -78,7 +78,9 @@ pub mod impair;
 pub mod link;
 pub mod modem;
 pub mod packet;
+pub mod pool;
 pub mod probe;
+pub mod queue;
 pub mod sim;
 pub mod tcp;
 pub mod time;
@@ -88,6 +90,7 @@ pub use impair::{DropReason, ImpairConfig, JitterModel, LossModel, Outage};
 pub use link::{Link, LinkCodec, LinkConfig, Pumped, QueueDiscipline, Transmit};
 pub use modem::ModemCompressor;
 pub use packet::{HostId, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
+pub use pool::Slab;
 pub use probe::{
     Diagnosis, FlushCause, ProbeAnalysis, ProbeEventKind, ProbeRecord, ProbeReport, ProbeSink,
     SpanEvent, StallBuckets,

@@ -1,0 +1,210 @@
+//! Pooled storage with generation-checked handles.
+//!
+//! A [`Slab`] hands out stable [`Handle`]s to values while reusing
+//! vacated slots through an intrusive free list, so a churning
+//! population (armed timers, in-flight buffers) stops allocating once
+//! the slab reaches its high-water mark. Each slot carries a generation
+//! counter bumped on every removal; a handle embeds the generation it
+//! was issued under, so a stale handle to a recycled slot is detected
+//! (`get` returns `None`) instead of silently aliasing the new
+//! occupant — the classic slab-ABA hazard.
+//!
+//! Determinism note: slot assignment depends only on the sequence of
+//! `insert`/`remove` calls, never on addresses or hashes, so pooling is
+//! invisible to digest-gated runs.
+
+/// A generation-checked reference to a value in a [`Slab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Handle {
+    index: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// The raw slot index (stable for the value's lifetime).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+enum Slot<T> {
+    /// Next free slot index, or `u32::MAX` for the list end.
+    Vacant {
+        next_free: u32,
+        generation: u32,
+    },
+    Occupied {
+        value: T,
+        generation: u32,
+    },
+}
+
+/// A slab allocator: `Vec`-backed storage with O(1) insert/remove and
+/// generation-checked handles. See the module docs.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab (no allocation until the first insert).
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slots ever created (live + pooled); the slab's high-water mark.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store `value`, reusing a vacated slot when one exists.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.len += 1;
+        if self.free_head != NIL {
+            let index = self.free_head;
+            let slot = &mut self.slots[index as usize];
+            let Slot::Vacant {
+                next_free,
+                generation,
+            } = *slot
+            else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free_head = next_free;
+            *slot = Slot::Occupied { value, generation };
+            Handle { index, generation }
+        } else {
+            let index = self.slots.len() as u32;
+            assert!(index != NIL, "slab exhausted u32 index space");
+            self.slots.push(Slot::Occupied {
+                value,
+                generation: 0,
+            });
+            Handle {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// The value behind `handle`, or `None` if it was removed (stale
+    /// generation) or never existed.
+    pub fn get(&self, handle: Handle) -> Option<&T> {
+        match self.slots.get(handle.index as usize) {
+            Some(Slot::Occupied { value, generation }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `handle`, with the same
+    /// staleness check as [`Slab::get`].
+    pub fn get_mut(&mut self, handle: Handle) -> Option<&mut T> {
+        match self.slots.get_mut(handle.index as usize) {
+            Some(Slot::Occupied { value, generation }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Remove and return the value behind `handle`; the slot joins the
+    /// free list with a bumped generation. Stale handles return `None`
+    /// and change nothing.
+    pub fn remove(&mut self, handle: Handle) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == handle.generation => {
+                let vacant = Slot::Vacant {
+                    next_free: self.free_head,
+                    generation: handle.generation.wrapping_add(1),
+                };
+                let Slot::Occupied { value, .. } = std::mem::replace(slot, vacant) else {
+                    unreachable!("matched occupied above");
+                };
+                self.free_head = handle.index;
+                self.len -= 1;
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None);
+    }
+
+    #[test]
+    fn stale_handle_detected_after_reuse() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        // Slot reused, generation bumped: the old handle is dead.
+        assert_eq!(b.index(), a.index());
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn slots_reused_lifo_without_growth() {
+        let mut s = Slab::new();
+        let handles: Vec<_> = (0..8).map(|i| s.insert(i)).collect();
+        for h in &handles {
+            s.remove(*h);
+        }
+        let cap = s.capacity();
+        for i in 0..8 {
+            s.insert(i * 10);
+        }
+        assert_eq!(s.capacity(), cap, "churn must not grow the slab");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s = Slab::new();
+        let h = s.insert(5);
+        *s.get_mut(h).unwrap() += 1;
+        assert_eq!(s.get(h), Some(&6));
+    }
+}

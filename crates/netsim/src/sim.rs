@@ -10,13 +10,13 @@
 use crate::link::{Link, LinkConfig, Transmit};
 use crate::packet::{HostId, Segment, SockAddr};
 use crate::probe::{ProbeEventKind, ProbeRecord, ProbeSink, SpanEvent};
+use crate::queue::EventQueue;
 use crate::tcp::{Effects, SockNotify, State, Tcb, TcpConfig, TimerKind};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceMode, TraceStats};
 use bytes::Bytes;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Identifies one socket on one host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,9 +93,9 @@ enum QueuedKind {
     },
 }
 
+/// The payload of one queued event. Its delivery time and FIFO tie-break
+/// live in the [`EventQueue`]; the payload carries everything else.
 struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
     host: HostId,
     kind: QueuedKind,
     /// Only for arrivals.
@@ -104,23 +104,6 @@ struct QueuedEvent {
     physical: usize,
     /// True for the second copy of a network-duplicated packet.
     dup: bool,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 struct HostState {
@@ -161,8 +144,7 @@ impl HostState {
 /// The simulation kernel: owns hosts, links, the event queue and the trace.
 pub struct Kernel {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: EventQueue<QueuedEvent>,
     hosts: Vec<HostState>,
     links: Vec<Link>,
     // xtask: allow(hash-collections): keyed lookup only; never iterated.
@@ -170,6 +152,10 @@ pub struct Kernel {
     trace: Trace,
     probe: ProbeSink,
     pending: VecDeque<(HostId, AppEvent)>,
+    /// Recycled [`Effects`] scratch: every event handler borrows one and
+    /// returns it drained, so the per-event effect lists keep their
+    /// capacities instead of re-allocating.
+    fx_pool: Vec<Effects>,
     events_processed: u64,
     /// Safety valve against runaway simulations.
     max_events: u64,
@@ -179,14 +165,14 @@ impl Kernel {
     fn new() -> Self {
         Kernel {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            hosts: Vec::new(),
-            links: Vec::new(),
+            queue: EventQueue::wheel(),
+            hosts: Vec::new(),          // xtask: allow(hot-path-alloc) kernel setup
+            links: Vec::new(),          // xtask: allow(hot-path-alloc) kernel setup
             link_index: HashMap::new(), // xtask: allow(hash-collections)
             trace: Trace::new(),
             probe: ProbeSink::default(),
             pending: VecDeque::new(),
+            fx_pool: Vec::new(), // xtask: allow(hot-path-alloc) kernel setup
             events_processed: 0,
             max_events: 200_000_000,
         }
@@ -198,17 +184,17 @@ impl Kernel {
     }
 
     fn push(&mut self, at: SimTime, host: HostId, kind: QueuedKind) {
-        self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent {
+        self.queue.push(
             at,
-            seq: self.seq,
-            host,
-            kind,
-            segment: None,
-            sent: SimTime::ZERO,
-            physical: 0,
-            dup: false,
-        }));
+            QueuedEvent {
+                host,
+                kind,
+                segment: None,
+                sent: SimTime::ZERO,
+                physical: 0,
+                dup: false,
+            },
+        );
     }
 
     fn push_arrival(
@@ -220,21 +206,34 @@ impl Kernel {
         physical: usize,
         dup: bool,
     ) {
-        self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent {
+        self.queue.push(
             at,
-            seq: self.seq,
-            host,
-            kind: QueuedKind::Arrival,
-            segment: Some(segment),
-            sent,
-            physical,
-            dup,
-        }));
+            QueuedEvent {
+                host,
+                kind: QueuedKind::Arrival,
+                segment: Some(segment),
+                sent,
+                physical,
+                dup,
+            },
+        );
     }
 
     fn host(&mut self, id: HostId) -> &mut HostState {
         &mut self.hosts[id.0 as usize]
+    }
+
+    /// Borrow a drained [`Effects`] from the pool (capacities retained).
+    fn take_fx(&mut self) -> Effects {
+        self.fx_pool.pop().unwrap_or_default()
+    }
+
+    /// Return an [`Effects`] to the pool. `apply_effects` drains every
+    /// list, but clear anyway so a partially-used scratch can't leak
+    /// stale effects into its next borrower.
+    fn recycle_fx(&mut self, mut fx: Effects) {
+        fx.clear();
+        self.fx_pool.push(fx);
     }
 
     /// Record a wire-transmit probe event for a segment the link accepted.
@@ -437,10 +436,11 @@ impl Kernel {
         let key = (seg.dst.port, seg.src);
         let h = &self.hosts[host.0 as usize];
         if let Some(&slot) = h.demux.get(&key) {
-            let mut fx = Effects::default();
+            let mut fx = self.take_fx();
             let now = self.now;
             self.host(host).sockets[slot as usize].on_segment(now, &seg, &mut fx);
             self.apply_effects(host, slot, &mut fx);
+            self.recycle_fx(fx);
             self.update_peak(host);
             return;
         }
@@ -460,7 +460,7 @@ impl Kernel {
                 let local = SockAddr::new(host, seg.dst.port);
                 let remote = seg.src;
                 let cfg = h.tcp_config.clone();
-                let mut fx = Effects::default();
+                let mut fx = self.take_fx();
                 let now = self.now;
                 let mut tcb = Tcb::open_passive(local, remote, cfg, &seg, now, &mut fx);
                 if self.probe.enabled() {
@@ -486,6 +486,7 @@ impl Kernel {
                 h.stats.sockets_used += 1;
                 self.count_socket_open(host);
                 self.apply_effects(host, slot, &mut fx);
+                self.recycle_fx(fx);
                 self.update_peak(host);
                 return;
             }
@@ -500,10 +501,11 @@ impl Kernel {
     }
 
     fn handle_tcp_timer(&mut self, host: HostId, slot: u32, kind: TimerKind, epoch: u64) {
-        let mut fx = Effects::default();
+        let mut fx = self.take_fx();
         let now = self.now;
         self.host(host).sockets[slot as usize].on_timer(now, kind, epoch, &mut fx);
         self.apply_effects(host, slot, &mut fx);
+        self.recycle_fx(fx);
     }
 
     // --- socket syscalls used by Ctx -----------------------------------
@@ -536,7 +538,7 @@ impl Kernel {
         }
         h.next_ephemeral = Self::next_ephemeral_after(port);
         let local = SockAddr::new(host, port);
-        let mut fx = Effects::default();
+        let mut fx = self.take_fx();
         let now = self.now;
         let mut tcb = Tcb::open_active(local, remote, cfg, now, &mut fx);
         if self.probe.enabled() {
@@ -560,6 +562,7 @@ impl Kernel {
         h.stats.sockets_used += 1;
         self.count_socket_open(host);
         self.apply_effects(host, slot, &mut fx);
+        self.recycle_fx(fx);
         self.update_peak(host);
         SocketId { host, slot }
     }
@@ -610,18 +613,20 @@ impl<'a> Ctx<'a> {
     /// by the socket send buffer).
     pub fn send(&mut self, sock: SocketId, data: &[u8]) -> usize {
         debug_assert_eq!(sock.host, self.host, "cannot use another host's socket");
-        let mut fx = Effects::default();
+        let mut fx = self.kernel.take_fx();
         let now = self.kernel.now;
         let n = self.kernel.sock(sock).app_send(now, data, &mut fx);
         self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.recycle_fx(fx);
         n
     }
 
     /// Read up to `max` buffered bytes.
     pub fn recv(&mut self, sock: SocketId, max: usize) -> Bytes {
-        let mut fx = Effects::default();
+        let mut fx = self.kernel.take_fx();
         let data = self.kernel.sock(sock).app_recv(max, &mut fx);
         self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.recycle_fx(fx);
         data
     }
 
@@ -632,28 +637,31 @@ impl<'a> Ctx<'a> {
 
     /// Half-close the sending direction (graceful FIN after queued data).
     pub fn shutdown_write(&mut self, sock: SocketId) {
-        let mut fx = Effects::default();
+        let mut fx = self.kernel.take_fx();
         let now = self.kernel.now;
         self.kernel.sock(sock).app_shutdown_write(now, &mut fx);
         self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.recycle_fx(fx);
         self.kernel.update_peak(sock.host);
     }
 
     /// Full close: also declares the application will never read again, so
     /// late-arriving data triggers a RST (the naive-close hazard).
     pub fn close(&mut self, sock: SocketId) {
-        let mut fx = Effects::default();
+        let mut fx = self.kernel.take_fx();
         let now = self.kernel.now;
         self.kernel.sock(sock).app_close(now, &mut fx);
         self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.recycle_fx(fx);
         self.kernel.update_peak(sock.host);
     }
 
     /// Abortive close: RST immediately.
     pub fn abort(&mut self, sock: SocketId) {
-        let mut fx = Effects::default();
+        let mut fx = self.kernel.take_fx();
         self.kernel.sock(sock).app_abort(&mut fx);
         self.kernel.apply_effects(sock.host, sock.slot, &mut fx);
+        self.kernel.recycle_fx(fx);
         self.kernel.update_peak(sock.host);
     }
 
@@ -719,7 +727,7 @@ impl Simulator {
     pub fn new() -> Self {
         Simulator {
             kernel: Kernel::new(),
-            apps: Vec::new(),
+            apps: Vec::new(), // xtask: allow(hot-path-alloc) sim setup
             started: false,
         }
     }
@@ -730,13 +738,13 @@ impl Simulator {
         self.kernel.hosts.push(HostState {
             name: name.to_string(),
             tcp_config: TcpConfig::default(),
-            sockets: Vec::new(),
-            demux: HashMap::new(),     // xtask: allow(hash-collections)
+            sockets: Vec::new(),   // xtask: allow(hot-path-alloc) per-host setup
+            demux: HashMap::new(), // xtask: allow(hash-collections)
             listeners: HashMap::new(), // xtask: allow(hash-collections)
             next_ephemeral: 40_000,
             stats: SocketStats::default(),
             open_now: 0,
-            open_flags: Vec::new(),
+            open_flags: Vec::new(), // xtask: allow(hot-path-alloc) per-host setup
         });
         self.apps.push(None);
         id
@@ -804,6 +812,18 @@ impl Simulator {
     /// The packet capture of the run so far.
     pub fn trace(&self) -> &Trace {
         &self.kernel.trace
+    }
+
+    /// Swap the kernel's timer wheel for the reference binary-heap event
+    /// queue (differential testing only — the two pop in identical order
+    /// by contract). Call before any traffic flows; queued events do not
+    /// migrate.
+    pub fn use_reference_queue(&mut self) {
+        assert!(
+            self.kernel.queue.is_empty(),
+            "switch event queues before scheduling any events"
+        );
+        self.kernel.queue = EventQueue::heap();
     }
 
     /// Select how much of each packet the trace retains. Set this before
@@ -883,12 +903,8 @@ impl Simulator {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
         let mut processed = 0;
-        while let Some(Reverse(head)) = self.kernel.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            let Reverse(ev) = self.kernel.queue.pop().unwrap();
-            self.kernel.now = ev.at;
+        while let Some((at, ev)) = self.kernel.queue.pop_before(deadline) {
+            self.kernel.now = at;
             self.kernel.events_processed += 1;
             processed += 1;
             assert!(

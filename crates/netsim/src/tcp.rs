@@ -498,7 +498,7 @@ impl Tcb {
     pub fn app_recv(&mut self, max: usize, fx: &mut Effects) -> Bytes {
         let take = self.recv_buf.len().min(max);
         let before = self.advertised_window();
-        let data = self.recv_buf.split_to(take).freeze();
+        let data = self.recv_buf.split_to_pooled(take);
         // If the window had effectively closed and reading reopened it,
         // send a window update so the sender does not stall.
         let after = self.advertised_window();
@@ -626,7 +626,7 @@ impl Tcb {
             let data_acked = ack.min(self.send_limit());
             if data_acked > self.buf_base {
                 let drop = (data_acked - self.buf_base) as usize;
-                let _ = self.send_buf.split_to(drop);
+                self.send_buf.advance(drop);
                 self.buf_base = data_acked;
             }
             if self.send_blocked && self.unacked_bytes() < self.cfg.send_buffer {
@@ -691,6 +691,8 @@ impl Tcb {
 
     fn handle_data(&mut self, now: SimTime, seg: &Segment, fx: &mut Effects) {
         let mut seq = seg.seq;
+        // xtask: allow(hot-path-alloc) -- `Bytes` clone is a refcount
+        // bump sharing the pooled buffer, not a copy.
         let mut payload = seg.payload.clone();
 
         // Trim any portion we already have.
@@ -839,7 +841,7 @@ impl Tcb {
                 if self.peer_window == 0 && self.send_limit() > self.snd_nxt {
                     // One-byte window probe.
                     let off = (self.snd_nxt - self.buf_base) as usize;
-                    let payload = Bytes::copy_from_slice(&self.send_buf[off..off + 1]);
+                    let payload = Bytes::pooled_copy_from_slice(&self.send_buf[off..off + 1]);
                     self.emit_data_segment(self.snd_nxt, payload, false, fx);
                     self.arm_timer(TimerKind::Persist, now + self.cc.rto, fx);
                 }
@@ -1010,7 +1012,7 @@ impl Tcb {
             }
 
             let off = (self.snd_nxt - self.buf_base) as usize;
-            let payload = Bytes::copy_from_slice(&self.send_buf[off..off + len]);
+            let payload = Bytes::pooled_copy_from_slice(&self.send_buf[off..off + len]);
             if self.cc.rtt_sample.is_none() && (len > 0 || fin_now) {
                 self.cc.rtt_sample = Some((self.snd_nxt + len as u64 + u64::from(fin_now), now));
             }
@@ -1072,7 +1074,7 @@ impl Tcb {
                 if data_start < data_end {
                     let off = (data_start - self.buf_base) as usize;
                     let len = ((data_end - data_start) as usize).min(self.cfg.mss);
-                    let payload = Bytes::copy_from_slice(&self.send_buf[off..off + len]);
+                    let payload = Bytes::pooled_copy_from_slice(&self.send_buf[off..off + len]);
                     let fin = self.fin_sent && self.fin_seq == Some(data_start + len as u64);
                     self.emit_data_segment(data_start, payload, fin, fx);
                 } else if self.fin_sent && self.fin_seq == Some(self.snd_una) {

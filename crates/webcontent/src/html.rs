@@ -115,20 +115,32 @@ pub fn serialize(tokens: &[HtmlToken]) -> String {
     out
 }
 
+/// Byte offset of the first case-insensitive occurrence of `needle=`
+/// in `haystack`, starting at `from`. ASCII case folding only, so byte
+/// offsets are valid `str` indices.
+fn find_attr_needle(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    let end = haystack.len().checked_sub(needle.len() + 1)?;
+    (from..=end).find(|&i| {
+        haystack[i + needle.len()] == b'='
+            && haystack[i..i + needle.len()].eq_ignore_ascii_case(needle)
+    })
+}
+
 /// Extract one attribute's value from a raw attribute string. Handles
-/// quoted and unquoted values, case-insensitive names.
+/// quoted and unquoted values, case-insensitive names. Allocation-free:
+/// the returned slice borrows from `attrs`.
 pub fn attr_value<'a>(attrs: &'a str, name: &str) -> Option<&'a str> {
-    let lower = attrs.to_ascii_lowercase();
-    let needle = format!("{}=", name.to_ascii_lowercase());
+    let bytes = attrs.as_bytes();
+    let needle = name.as_bytes();
     let mut search = 0;
     loop {
-        let idx = lower[search..].find(&needle)? + search;
+        let idx = find_attr_needle(bytes, needle, search)?;
         // Must be preceded by whitespace (or start).
-        if idx > 0 && !lower.as_bytes()[idx - 1].is_ascii_whitespace() {
-            search = idx + needle.len();
+        if idx > 0 && !bytes[idx - 1].is_ascii_whitespace() {
+            search = idx + needle.len() + 1;
             continue;
         }
-        let after = idx + needle.len();
+        let after = idx + needle.len() + 1;
         let rest = &attrs[after..];
         return Some(if let Some(stripped) = rest.strip_prefix('"') {
             let end = stripped.find('"').unwrap_or(stripped.len());
@@ -148,19 +160,65 @@ pub fn attr_value<'a>(attrs: &'a str, name: &str) -> Option<&'a str> {
 /// The `src` of every `<img>` tag, in document order — exactly what a
 /// browser fetches after parsing the base document.
 pub fn inline_image_sources(html: &str) -> Vec<String> {
-    tokenize(html)
-        .iter()
-        .filter_map(|t| match t {
-            HtmlToken::Tag {
-                name,
-                attrs,
-                closing,
-            } if !closing && name.eq_ignore_ascii_case("img") => {
-                attr_value(attrs, "src").map(|s| s.to_string())
+    let mut out = Vec::new();
+    for_each_inline_image_source(html, |src| out.push(src.to_string()));
+    out
+}
+
+/// Visit the `src` of every `<img>` tag in document order without
+/// building a token list — the hot path for streaming discovery, which
+/// re-scans the received prefix on every arriving chunk. Mirrors
+/// [`tokenize`]'s control flow exactly (comments and declarations are
+/// skipped whole, an unterminated trailing tag is text) so it yields
+/// precisely the sources [`inline_image_sources`] returns, with zero
+/// allocations.
+pub fn for_each_inline_image_source(html: &str, mut f: impl FnMut(&str)) {
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comment / declaration: skipped whole, images inside don't count.
+        if bytes[i..].starts_with(b"<!--") {
+            if let Some(end) = html[i..].find("-->") {
+                i += end + 3;
+                continue;
             }
-            _ => None,
-        })
-        .collect()
+        }
+        if bytes[i..].starts_with(b"<!") {
+            if let Some(end) = html[i..].find('>') {
+                i += end + 1;
+                continue;
+            }
+        }
+        // Ordinary tag.
+        let Some(end) = html[i..].find('>') else {
+            // Unterminated: the remainder is text.
+            return;
+        };
+        let inner = &html[i + 1..i + end];
+        let (closing, inner) = match inner.strip_prefix('/') {
+            Some(rest) => (true, rest),
+            None => (false, inner),
+        };
+        let name_end = inner
+            .find(|c: char| c.is_ascii_whitespace())
+            .unwrap_or(inner.len());
+        let name = &inner[..name_end];
+        if name.is_empty() {
+            // "<>" or "< " — treat as text.
+            i += 1;
+            continue;
+        }
+        if !closing && name.eq_ignore_ascii_case("img") {
+            if let Some(src) = attr_value(&inner[name_end..], "src") {
+                f(src);
+            }
+        }
+        i += end + 1;
+    }
 }
 
 /// Rewrite every tag and attribute name to the given case. Attribute

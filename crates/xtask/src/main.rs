@@ -36,6 +36,15 @@
 //!   lookup-only hash map or a host timestamp in its analysis path would
 //!   eventually leak nondeterminism into the PROBE documents. No
 //!   suppressions — use `Vec`/`BTreeMap` and `SimTime`.
+//! * `hot-path-alloc` — `Box::new`, `Vec::new` / `vec![`, or a
+//!   `payload.clone()` in the per-segment kernel paths (`netsim`'s
+//!   `tcp.rs`, `link.rs`, `sim.rs`). These files run once per simulated
+//!   packet; the microbench suite gates allocations/packet, and a stray
+//!   allocation in a segment path is a throughput regression the type
+//!   system won't catch. Use the segment pool (`Bytes::pooled_*`), the
+//!   kernel's `Effects` pool, or reuse a scratch buffer. Cold paths
+//!   (constructors, setup) carry an `xtask: allow(hot-path-alloc)`
+//!   comment stating why they are off the per-segment path.
 //!
 //! Suppression: a `xtask: allow(<rule>)` comment on the flagged line or
 //! in the comment block immediately above it, or a `<rule> <path>` line
@@ -56,9 +65,10 @@ struct Rule {
     /// And, when non-empty, all of these.
     also: &'static [&'static str],
     crates: Option<&'static [&'static str]>,
-    /// Restrict to one file (workspace-relative), e.g. the impairment
-    /// pipeline.
-    file: Option<&'static str>,
+    /// Restrict to specific files (workspace-relative), e.g. the
+    /// impairment pipeline or the per-segment kernel paths. Empty =
+    /// every file.
+    files: &'static [&'static str],
     /// Skip `use` declarations — an import alone creates nothing; every
     /// actual use of the type still triggers.
     skip_use_lines: bool,
@@ -70,7 +80,7 @@ const RULES: &[Rule] = &[
         needles: &["HashMap", "HashSet"],
         also: &[],
         crates: Some(&["netsim", "core", "httpserver", "httpclient"]),
-        file: None,
+        files: &[],
         skip_use_lines: true,
     },
     Rule {
@@ -78,7 +88,7 @@ const RULES: &[Rule] = &[
         needles: &["Instant::now", "SystemTime"],
         also: &[],
         crates: None,
-        file: None,
+        files: &[],
         skip_use_lines: true,
     },
     Rule {
@@ -86,7 +96,7 @@ const RULES: &[Rule] = &[
         needles: &["thread_rng"],
         also: &[],
         crates: None,
-        file: None,
+        files: &[],
         skip_use_lines: false,
     },
     Rule {
@@ -94,7 +104,7 @@ const RULES: &[Rule] = &[
         needles: &["==", "!="],
         also: &["as_secs_f64"],
         crates: None,
-        file: None,
+        files: &[],
         skip_use_lines: false,
     },
     Rule {
@@ -102,7 +112,7 @@ const RULES: &[Rule] = &[
         needles: &[".unwrap("],
         also: &[],
         crates: None,
-        file: Some("crates/netsim/src/impair.rs"),
+        files: &["crates/netsim/src/impair.rs"],
         skip_use_lines: false,
     },
     Rule {
@@ -110,7 +120,19 @@ const RULES: &[Rule] = &[
         needles: &["HashMap", "HashSet", "Instant::now", "SystemTime"],
         also: &[],
         crates: None,
-        file: Some("crates/netsim/src/probe.rs"),
+        files: &["crates/netsim/src/probe.rs"],
+        skip_use_lines: false,
+    },
+    Rule {
+        name: "hot-path-alloc",
+        needles: &["Box::new", "Vec::new", "vec![", "payload.clone()"],
+        also: &[],
+        crates: None,
+        files: &[
+            "crates/netsim/src/tcp.rs",
+            "crates/netsim/src/link.rs",
+            "crates/netsim/src/sim.rs",
+        ],
         skip_use_lines: false,
     },
 ];
@@ -313,10 +335,8 @@ fn lint_file(rel: &str, text: &str, allows: &mut [FileAllow], findings: &mut Vec
                     continue;
                 }
             }
-            if let Some(file) = rule.file {
-                if rel != file {
-                    continue;
-                }
+            if !rule.files.is_empty() && !rule.files.contains(&rel) {
+                continue;
             }
             if rule.skip_use_lines && trimmed.starts_with("use ") {
                 continue;
