@@ -7,8 +7,8 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, nagle, probe, protocol_matrix, ranges,
-    robustness, scale, summary, verbosity,
+    ablations, browsers, closemgmt, compression, content, mux, nagle, probe, protocol_matrix,
+    ranges, robustness, scale, summary, verbosity,
 };
 use httpipe_core::harness::ProtocolSetup;
 use httpipe_core::result::CellResult;
@@ -589,6 +589,58 @@ fn main() {
         probe::report_digest(&probe_cells)
     ));
 
+    // ---- Multiplexing and server push ------------------------------------
+    out.push_str("\n## Multiplexing and server push (`repro mux`)\n\n");
+    out.push_str(
+        "Beyond the paper, twenty years forward: a binary-framed multiplexed\n\
+         transport (HEADERS / DATA / SETTINGS / WINDOW_UPDATE / RST_STREAM /\n\
+         PUSH_PROMISE over one connection, HTTP/2-style but simplified — see\n\
+         DESIGN.md) joins HTTP/1.0\u{d7}4, persistent and pipelined as a fourth\n\
+         setup, with an optional server push policy (inline images and CSS\n\
+         discovered in served HTML are pushed alongside it). `FT`/`CV`\n\
+         columns are the first-time and cache-validation scenarios; `PushB`\n\
+         is pushed payload bytes. The shapes to notice: on the unimpaired\n\
+         matrix mux tracks pipelining closely (framing overhead is noise)\n\
+         and push pays only on first-time retrieval, where it collapses the\n\
+         HTML-parse discovery round trip; under loss the single multiplexed\n\
+         connection shares fate — every stream stalls behind each drop, so\n\
+         its elapsed-time inflation exceeds HTTP/1.0\u{d7}4's at 2%+ loss in\n\
+         the shared-fate tables (the SPDY-era finding, and the gated\n\
+         `shared_fate_mux_degrades_more_than_parallel_connections` test);\n\
+         and in fleets one connection per client holds server state at ~N\n\
+         while matching pipelining's aggregate packet economy.\n\n",
+    );
+    out.push_str("```\n");
+    for env in [NetEnv::Lan, NetEnv::Wan, NetEnv::Ppp] {
+        for server in [ServerKind::Jigsaw, ServerKind::Apache] {
+            out.push_str(&mux::matrix_table(env, server).render());
+            out.push('\n');
+        }
+    }
+    let mux_loss = robustness::run_points(&mux::loss_grid());
+    for t in robustness::report(&mux_loss) {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    for env in [NetEnv::Lan, NetEnv::Wan, NetEnv::Ppp] {
+        out.push_str(&mux::shared_fate_table(&mux_loss, env).render());
+        out.push('\n');
+    }
+    let mux_fleets = scale::run_points(&mux::fleet_grid());
+    for t in scale::report(&mux_fleets) {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    let mux_probes = probe::run_points(&mux::probe_grid());
+    out.push_str(&probe::report(&mux_probes).render());
+    out.push_str("```\n");
+    let mux_reduced = mux::reduced_report();
+    out.push_str(&format!(
+        "\nReport digest (two identical runs of the reduced grid required by\n\
+         CI's mux-smoke gate): `{:#018x}`.\n",
+        mux::report_digest(&mux_reduced)
+    ));
+
     // ---- Kernel throughput -----------------------------------------------
     // Cited from the committed BENCH_netsim.json rather than re-measured:
     // wall-clock numbers vary run to run, and regenerating this file must
@@ -602,8 +654,9 @@ fn main() {
          every heap allocation in that run via a counting global allocator\n\
          compiled into the bench binary. Values are quoted from the committed\n\
          `BENCH_netsim.json` (regenerate with `cargo run --release -p\n\
-         httpipe-bench --bin bench_netsim`; CI fails on >25% throughput\n\
-         regression or any allocations/packet increase via `-- --check`).\n\n",
+         httpipe-bench --bin bench_netsim`; on both the matrix and the\n\
+         fleet path, CI fails on >25% throughput regression or an\n\
+         allocations/packet rise beyond pool-warmth noise via `-- --check`).\n\n",
     );
     match std::fs::read_to_string("BENCH_netsim.json") {
         Ok(json) => out.push_str(&kernel_throughput_table(&json)),
@@ -653,6 +706,17 @@ fn kernel_throughput_table(json: &str) -> String {
     if let Some(d) = json_string(json, "matrix_digest") {
         out.push_str(&format!("| Matrix digest | `{d}` |\n"));
     }
+    if let Some(v) = json_number(json, "fleet_packets_per_sec") {
+        out.push_str(&format!(
+            "| Fleet packets/sec (16-client WAN, pipelined + mux) | {v:.0} |\n"
+        ));
+    }
+    if let Some(v) = json_number(json, "fleet_allocs_per_packet") {
+        out.push_str(&format!("| Fleet allocations/packet | {v:.1} |\n"));
+    }
+    if let Some(d) = json_string(json, "fleet_digest") {
+        out.push_str(&format!("| Fleet digest | `{d}` |\n"));
+    }
     if let Some(v) = json_number(json, "available_parallelism") {
         out.push_str(&format!("| Host cores at measurement | {v:.0} |\n"));
     }
@@ -685,7 +749,11 @@ fn kernel_throughput_table(json: &str) -> String {
          allocation-free (the timer wheel and pooled effect lists at work),\n\
          segment alloc/free costs exactly the one `Arc` header the pooled\n\
          buffer design promises, and the probe-on cell pays within ~10% of\n\
-         probe-off — the flight recorder is cheap enough to leave on.\n",
+         probe-off — the flight recorder is cheap enough to leave on. The\n\
+         fleet row measures the many-client kernel end to end (two 16-client\n\
+         WAN fleets, pipelined and multiplexed), and the mux engine micro\n\
+         shuttles 64 concurrent 8 KiB streams sans-IO: pooled DATA payloads\n\
+         keep both within a whisker of the single-client matrix cost.\n",
     );
     out
 }

@@ -1,0 +1,49 @@
+//! `mux_smoke` — CI determinism gate for the multiplexed transport.
+//!
+//! Runs the reduced mux report (LAN matrix, reduced WAN loss grid with
+//! its shared-fate extract, LAN stall probe) twice through the parallel
+//! executor (thread count from `HTTPIPE_THREADS`, as in CI) and asserts
+//! that both passes render bit-identical tables. Any nondeterminism in
+//! the frame scheduler, the push pipeline or the flow-control windows
+//! shows up as a digest mismatch and a nonzero exit.
+//!
+//! ```text
+//! HTTPIPE_THREADS=8 cargo run --release -p httpipe-bench --bin mux_smoke
+//! ```
+
+use httpipe_core::experiments::mux;
+use std::time::Instant;
+
+fn main() {
+    let start = Instant::now();
+    let first = mux::reduced_report();
+    let first_digest = mux::report_digest(&first);
+    let second = mux::reduced_report();
+    let second_digest = mux::report_digest(&second);
+    let secs = start.elapsed().as_secs_f64();
+
+    println!("mux smoke: {} tables, 2 passes", first.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "nondeterministic table '{}'",
+            a.title
+        );
+    }
+    assert_eq!(
+        first_digest, second_digest,
+        "report digests differ between passes"
+    );
+
+    // The push column must be live: the LAN matrix table's push row
+    // reports nonzero pushed bytes.
+    let matrix = first[0].render();
+    assert!(
+        matrix.contains("HTTP/mux + push"),
+        "matrix table lost its push row:\n{matrix}"
+    );
+
+    println!("  digest {first_digest:#018x} on both passes ({secs:.2}s total)");
+    println!("mux smoke: OK");
+}

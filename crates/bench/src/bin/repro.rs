@@ -8,8 +8,8 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, nagle, protocol_matrix, ranges,
-    robustness, scale, summary, verbosity,
+    ablations, browsers, closemgmt, compression, content, mux, nagle, probe, protocol_matrix,
+    ranges, robustness, scale, summary, verbosity,
 };
 use httpserver::ServerKind;
 
@@ -202,6 +202,30 @@ fn experiments() -> Vec<Experiment> {
                 for t in scale::report(&cells) {
                     println!("{}", t.render());
                 }
+            },
+        },
+        Experiment {
+            id: "mux",
+            what: "Multiplexing + server push: matrix, loss shared fate, fleets, stall probe",
+            run: || {
+                for env in NetEnv::ALL {
+                    for server in [ServerKind::Jigsaw, ServerKind::Apache] {
+                        println!("{}", mux::matrix_table(env, server).render());
+                    }
+                }
+                let cells = robustness::run_points(&mux::loss_grid());
+                for t in robustness::report(&cells) {
+                    println!("{}", t.render());
+                }
+                for env in NetEnv::ALL {
+                    println!("{}", mux::shared_fate_table(&cells, env).render());
+                }
+                let fleets = scale::run_points(&mux::fleet_grid());
+                for t in scale::report(&fleets) {
+                    println!("{}", t.render());
+                }
+                let probes = probe::run_points(&mux::probe_grid());
+                println!("{}", probe::report(&probes).render());
             },
         },
         Experiment {

@@ -665,7 +665,14 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
 
     if cfg.http {
         if let Some((req, resp)) = http_sides(key, &ends, cfg.server_port) {
-            crate::http::check_http(key, req, resp, first_rst, report);
+            // A multiplexed connection announces itself with the httpmux
+            // preface; everything else is judged as HTTP/1.x.
+            if req.stream.len() >= httpmux::PREFACE.len() && httpmux::preface_candidate(req.stream)
+            {
+                crate::mux::check_mux(key, req, resp, first_rst, report);
+            } else {
+                crate::http::check_http(key, req, resp, first_rst, report);
+            }
         }
     }
 }

@@ -25,6 +25,7 @@
 
 mod check;
 mod http;
+mod mux;
 
 pub use check::check_trace;
 
@@ -103,11 +104,28 @@ pub enum InvariantKind {
     /// After a `Connection: close` response arrives, the client sends no
     /// further request on that connection.
     ConnectionCloseRespected,
+    /// A multiplexed connection's byte streams parse as well-formed
+    /// `httpmux` frames (preface, length prefixes, payload shapes), with
+    /// no trailing bytes at a clean close.
+    MuxFrameParse,
+    /// Stream identifiers are monotonic per initiator: client-opened
+    /// streams are odd and strictly increasing, server-promised streams
+    /// are even and strictly increasing.
+    MuxStreamIdMonotonic,
+    /// Flow-control windows never go negative: no DATA departs beyond
+    /// the per-stream or connection credit its sender has received.
+    MuxWindowNonNegative,
+    /// No DATA or HEADERS departs on a stream after its sender signalled
+    /// END_STREAM (reset streams exempt).
+    MuxDataAfterEndStream,
+    /// PUSH_PROMISE only travels server→client and must reference an
+    /// open client-initiated stream.
+    MuxPushPromiseInvalid,
 }
 
 impl InvariantKind {
     /// Every invariant, for enumeration in reports and tests.
-    pub const ALL: [InvariantKind; 26] = [
+    pub const ALL: [InvariantKind; 31] = [
         InvariantKind::SynFirst,
         InvariantKind::HandshakeOrdering,
         InvariantKind::SynAckAcksIss,
@@ -134,6 +152,11 @@ impl InvariantKind {
         InvariantKind::PipelineOrder,
         InvariantKind::StreamLeftover,
         InvariantKind::ConnectionCloseRespected,
+        InvariantKind::MuxFrameParse,
+        InvariantKind::MuxStreamIdMonotonic,
+        InvariantKind::MuxWindowNonNegative,
+        InvariantKind::MuxDataAfterEndStream,
+        InvariantKind::MuxPushPromiseInvalid,
     ];
 
     /// Short stable identifier for reports.
@@ -165,6 +188,11 @@ impl InvariantKind {
             InvariantKind::PipelineOrder => "pipeline-order",
             InvariantKind::StreamLeftover => "stream-leftover",
             InvariantKind::ConnectionCloseRespected => "connection-close-respected",
+            InvariantKind::MuxFrameParse => "mux-frame-parse",
+            InvariantKind::MuxStreamIdMonotonic => "mux-stream-id-monotonic",
+            InvariantKind::MuxWindowNonNegative => "mux-window-non-negative",
+            InvariantKind::MuxDataAfterEndStream => "mux-data-after-end-stream",
+            InvariantKind::MuxPushPromiseInvalid => "mux-push-promise-invalid",
         }
     }
 }

@@ -160,7 +160,7 @@ fn clean_baseline_has_no_violations() {
 
 #[test]
 fn every_invariant_kind_is_enumerated() {
-    assert_eq!(InvariantKind::ALL.len(), 26);
+    assert_eq!(InvariantKind::ALL.len(), 31);
 }
 
 #[test]
@@ -790,4 +790,256 @@ fn mutation_connection_close_respected() {
         ),
     ));
     assert_fires(&check(&recs), InvariantKind::ConnectionCloseRespected);
+}
+
+// --- Multiplexed (httpmux) invariants -----------------------------------
+//
+// The same synthetic-trace machinery, with frame-encoded payloads: the
+// client segment carries the preface plus its frames, the server segment
+// carries its frames, and the TCP envelope mirrors `baseline()` exactly.
+
+use httpmux::{
+    Frame, FramePayload, FLAG_END_STREAM, PREFACE, SETTING_ENABLE_PUSH, SETTING_INITIAL_WINDOW,
+};
+
+fn fr(stream: u32, flags: u8, payload: FramePayload) -> Vec<u8> {
+    Frame {
+        stream,
+        flags,
+        payload,
+    }
+    .encode()
+}
+
+fn headers(fields: &[(&str, &str)]) -> FramePayload {
+    FramePayload::Headers(
+        fields
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect(),
+    )
+}
+
+/// Client bytes: preface + SETTINGS + the given frames.
+fn mux_client(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut v = PREFACE.to_vec();
+    v.extend(fr(
+        0,
+        0,
+        FramePayload::Settings(vec![
+            (SETTING_ENABLE_PUSH, 1),
+            (SETTING_INITIAL_WINDOW, 65_535),
+        ]),
+    ));
+    for f in frames {
+        v.extend_from_slice(f);
+    }
+    v
+}
+
+/// Server bytes: SETTINGS + the given frames.
+fn mux_server(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut v = fr(
+        0,
+        0,
+        FramePayload::Settings(vec![(SETTING_INITIAL_WINDOW, 65_535)]),
+    );
+    for f in frames {
+        v.extend_from_slice(f);
+    }
+    v
+}
+
+/// A clean TCP envelope around one client payload and one server payload:
+/// `baseline()` with the HTTP messages swapped for frame bytes.
+fn mux_trace(client_bytes: &[u8], server_bytes: &[u8]) -> Vec<TraceRecord> {
+    let r = client_bytes.len() as u64;
+    let p = server_bytes.len() as u64;
+    let mut v = handshake();
+    v.push(rec(
+        2500,
+        3500,
+        seg(true, 1, 1, fl(false, true, false, false), client_bytes, WIN),
+    ));
+    v.push(rec(
+        4000,
+        5000,
+        seg(
+            false,
+            1,
+            1 + r,
+            fl(false, true, false, false),
+            server_bytes,
+            WIN,
+        ),
+    ));
+    v.push(rec(
+        5500,
+        6500,
+        seg(true, 1 + r, 1 + p, fl(false, true, false, false), &[], WIN),
+    ));
+    v.push(rec(
+        6500,
+        7500,
+        seg(true, 1 + r, 1 + p, fl(false, true, true, false), &[], WIN),
+    ));
+    v.push(rec(
+        8000,
+        9000,
+        seg(false, 1 + p, 2 + r, fl(false, true, true, false), &[], WIN),
+    ));
+    v.push(rec(
+        9000,
+        10000,
+        seg(true, 2 + r, 2 + p, fl(false, true, false, false), &[], WIN),
+    ));
+    v
+}
+
+#[test]
+fn clean_mux_exchange_has_no_violations() {
+    let client = mux_client(&[fr(
+        1,
+        FLAG_END_STREAM,
+        headers(&[(":method", "GET"), (":path", "/")]),
+    )]);
+    let server = mux_server(&[
+        fr(1, 0, headers(&[(":status", "200")])),
+        fr(
+            1,
+            FLAG_END_STREAM,
+            FramePayload::Data(b"hello".to_vec().into()),
+        ),
+    ]);
+    let report = check(&mux_trace(&client, &server));
+    assert!(
+        report.is_clean(),
+        "clean mux violations:\n{:#?}",
+        report.violations
+    );
+    assert_eq!(report.http_requests, 1, "HEADERS counted as a request");
+}
+
+#[test]
+fn mutation_mux_frame_parse() {
+    // Nine 0xFF bytes after the preface: an impossible length prefix.
+    let mut client = PREFACE.to_vec();
+    client.extend_from_slice(&[0xFF; 9]);
+    let server = mux_server(&[]);
+    assert_fires(
+        &check(&mux_trace(&client, &server)),
+        InvariantKind::MuxFrameParse,
+    );
+}
+
+#[test]
+fn mutation_mux_stream_id_monotonic() {
+    // Client opens stream 3, then stream 1: ids must increase.
+    let client = mux_client(&[
+        fr(3, FLAG_END_STREAM, headers(&[(":path", "/a")])),
+        fr(1, FLAG_END_STREAM, headers(&[(":path", "/b")])),
+    ]);
+    let server = mux_server(&[]);
+    assert_fires(
+        &check(&mux_trace(&client, &server)),
+        InvariantKind::MuxStreamIdMonotonic,
+    );
+}
+
+#[test]
+fn mutation_mux_even_stream_from_client() {
+    let client = mux_client(&[fr(2, FLAG_END_STREAM, headers(&[(":path", "/a")]))]);
+    let server = mux_server(&[]);
+    assert_fires(
+        &check(&mux_trace(&client, &server)),
+        InvariantKind::MuxStreamIdMonotonic,
+    );
+}
+
+#[test]
+fn mutation_mux_window_non_negative() {
+    // The client's SETTINGS allow only 10 bytes per stream; the server
+    // sends a 100-byte DATA frame regardless.
+    let mut client = PREFACE.to_vec();
+    client.extend(fr(
+        0,
+        0,
+        FramePayload::Settings(vec![(SETTING_INITIAL_WINDOW, 10)]),
+    ));
+    client.extend(fr(1, FLAG_END_STREAM, headers(&[(":path", "/")])));
+    let server = mux_server(&[
+        fr(1, 0, headers(&[(":status", "200")])),
+        fr(
+            1,
+            FLAG_END_STREAM,
+            FramePayload::Data(vec![0u8; 100].into()),
+        ),
+    ]);
+    assert_fires(
+        &check(&mux_trace(&client, &server)),
+        InvariantKind::MuxWindowNonNegative,
+    );
+}
+
+#[test]
+fn mutation_mux_data_after_end_stream() {
+    let client = mux_client(&[fr(1, FLAG_END_STREAM, headers(&[(":path", "/")]))]);
+    let server = mux_server(&[
+        fr(1, 0, headers(&[(":status", "200")])),
+        fr(
+            1,
+            FLAG_END_STREAM,
+            FramePayload::Data(b"hi".to_vec().into()),
+        ),
+        fr(
+            1,
+            FLAG_END_STREAM,
+            FramePayload::Data(b"more".to_vec().into()),
+        ),
+    ]);
+    assert_fires(
+        &check(&mux_trace(&client, &server)),
+        InvariantKind::MuxDataAfterEndStream,
+    );
+}
+
+#[test]
+fn mutation_mux_push_promise_invalid() {
+    // PUSH_PROMISE tied to stream 5, which the client never opened.
+    let client = mux_client(&[fr(1, FLAG_END_STREAM, headers(&[(":path", "/")]))]);
+    let server = mux_server(&[
+        fr(
+            5,
+            0,
+            FramePayload::PushPromise {
+                promised: 2,
+                fields: vec![(":path".to_string(), "/a.gif".to_string())],
+            },
+        ),
+        fr(1, FLAG_END_STREAM, headers(&[(":status", "200")])),
+    ]);
+    assert_fires(
+        &check(&mux_trace(&client, &server)),
+        InvariantKind::MuxPushPromiseInvalid,
+    );
+}
+
+#[test]
+fn mutation_mux_push_promise_from_client() {
+    let client = mux_client(&[
+        fr(1, FLAG_END_STREAM, headers(&[(":path", "/")])),
+        fr(
+            1,
+            0,
+            FramePayload::PushPromise {
+                promised: 2,
+                fields: vec![(":path".to_string(), "/a.gif".to_string())],
+            },
+        ),
+    ]);
+    let server = mux_server(&[]);
+    assert_fires(
+        &check(&mux_trace(&client, &server)),
+        InvariantKind::MuxPushPromiseInvalid,
+    );
 }

@@ -5,6 +5,7 @@ pub mod browsers;
 pub mod closemgmt;
 pub mod compression;
 pub mod content;
+pub mod mux;
 pub mod nagle;
 pub mod probe;
 pub mod protocol_matrix;

@@ -43,6 +43,8 @@ impl ProbePoint {
             ProtocolSetup::Http11 => "persistent",
             ProtocolSetup::Http11Pipelined => "pipelined",
             ProtocolSetup::Http11PipelinedDeflate => "pipelined_deflate",
+            ProtocolSetup::Multiplexed => "mux",
+            ProtocolSetup::MultiplexedPush => "mux_push",
         };
         let scenario = match self.scenario {
             Scenario::FirstTime => "first",

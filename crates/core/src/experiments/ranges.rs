@@ -112,27 +112,7 @@ pub fn run_revisit_cell(env: NetEnv, idiom: RevisitIdiom) -> CellResult {
         .expect("client app")
         .stats
         .clone();
-    CellResult {
-        packets_c2s: stats.packets_c2s,
-        packets_s2c: stats.packets_s2c,
-        bytes: stats.bytes,
-        physical_bytes: stats.physical_bytes,
-        secs: stats.elapsed_secs(),
-        overhead_pct: stats.overhead_pct(),
-        sockets_used: socket_stats.sockets_used,
-        max_sockets: socket_stats.max_simultaneous,
-        fetched: cs.fetched.len() as u64,
-        validated: cs.validated() as u64,
-        body_bytes: cs.body_bytes() as u64,
-        retries: cs.retries,
-        resets: cs.resets,
-        retransmits: stats.retransmitted_packets,
-        drops: stats.drops(),
-        dups: stats.dup_packets,
-        reorders: stats.reordered_packets,
-        first_byte_secs: stats.first_byte_secs(),
-        probe: None,
-    }
+    crate::harness::cell_result(&stats, socket_stats, &cs)
 }
 
 /// Render the comparison.

@@ -74,7 +74,9 @@ impl ScalePoint {
             n_clients: self.n_clients,
             env: self.env,
             setup: self.setup,
-            server: ServerConfig::apache(80).with_listen_backlog(LISTEN_BACKLOG),
+            server: ServerConfig::apache(80)
+                .with_listen_backlog(LISTEN_BACKLOG)
+                .with_mux_push(self.setup.push()),
             store: microscape_store(site),
             workload: Workload::Browse {
                 start: site.html_path().into(),

@@ -29,16 +29,28 @@ pub enum ProtocolSetup {
     Http11Pipelined,
     /// Pipelining plus deflate transport compression of the HTML.
     Http11PipelinedDeflate,
+    /// Framed stream multiplexing over one connection (the "what HTTP
+    /// could do beyond pipelining" setup; not in the paper's tables).
+    Multiplexed,
+    /// Multiplexing with server push of inline images and stylesheets.
+    MultiplexedPush,
 }
 
 impl ProtocolSetup {
-    /// Every setup, in the paper's row order.
+    /// The paper's setups, in the paper's row order. The multiplexed
+    /// setups are deliberately not in this list: the paper's tables are
+    /// reproduced byte-identically from these four rows, and mux results
+    /// are appended as separate sections via [`ProtocolSetup::MUX`].
     pub const ALL: [ProtocolSetup; 4] = [
         ProtocolSetup::Http10,
         ProtocolSetup::Http11,
         ProtocolSetup::Http11Pipelined,
         ProtocolSetup::Http11PipelinedDeflate,
     ];
+
+    /// The beyond-the-paper multiplexed setups.
+    pub const MUX: [ProtocolSetup; 2] =
+        [ProtocolSetup::Multiplexed, ProtocolSetup::MultiplexedPush];
 
     /// The paper's row label.
     pub fn label(self) -> &'static str {
@@ -47,6 +59,8 @@ impl ProtocolSetup {
             ProtocolSetup::Http11 => "HTTP/1.1",
             ProtocolSetup::Http11Pipelined => "HTTP/1.1 Pipelined",
             ProtocolSetup::Http11PipelinedDeflate => "HTTP/1.1 Pipelined w. compression",
+            ProtocolSetup::Multiplexed => "HTTP/mux",
+            ProtocolSetup::MultiplexedPush => "HTTP/mux + push",
         }
     }
 
@@ -55,6 +69,8 @@ impl ProtocolSetup {
         match self {
             ProtocolSetup::Http10 => ProtocolMode::Http10Parallel { max_connections: 4 },
             ProtocolSetup::Http11 => ProtocolMode::Http11Persistent,
+            ProtocolSetup::Multiplexed => ProtocolMode::Multiplexed { push: false },
+            ProtocolSetup::MultiplexedPush => ProtocolMode::Multiplexed { push: true },
             _ => ProtocolMode::Http11Pipelined,
         }
     }
@@ -62,6 +78,11 @@ impl ProtocolSetup {
     /// Whether this setup negotiates deflate compression.
     pub fn deflate(self) -> bool {
         matches!(self, ProtocolSetup::Http11PipelinedDeflate)
+    }
+
+    /// Whether this setup accepts server push.
+    pub fn push(self) -> bool {
+        matches!(self, ProtocolSetup::MultiplexedPush)
     }
 }
 
@@ -199,8 +220,9 @@ pub struct RunOutput {
 }
 
 /// Assemble one client's [`CellResult`] from the raw trace, socket and
-/// application counters (shared by [`run_spec`] and [`run_fleet`]).
-fn cell_result(
+/// application counters (shared by [`run_spec`], [`run_fleet`] and the
+/// revisit-idiom experiment).
+pub(crate) fn cell_result(
     stats: &netsim::TraceStats,
     socket_stats: netsim::SocketStats,
     client_stats: &httpclient::ClientStats,
@@ -224,6 +246,10 @@ fn cell_result(
         dups: stats.dup_packets,
         reorders: stats.reordered_packets,
         first_byte_secs: stats.first_byte_secs(),
+        pushed_responses: client_stats.pushed_responses,
+        pushed_bytes: client_stats.pushed_bytes,
+        cancelled_pushes: client_stats.cancelled_pushes,
+        cancelled_push_bytes: client_stats.cancelled_push_bytes,
         probe: None,
     }
 }
@@ -263,7 +289,7 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
     );
     sim.run_until_idle();
 
-    let stats = sim.stats(client_host, server_host);
+    let mut stats = sim.stats(client_host, server_host);
     let socket_stats = sim.socket_stats(client_host);
     let client_stats = sim
         .app_mut::<HttpClient>(client_host)
@@ -274,6 +300,12 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
         .app_mut::<HttpServer>(server_host)
         .expect("server app")
         .stats;
+    stats.record_push_counters(
+        client_stats.pushed_responses,
+        client_stats.pushed_bytes,
+        client_stats.cancelled_pushes,
+        client_stats.cancelled_push_bytes,
+    );
 
     let mut cell = cell_result(&stats, socket_stats, &client_stats);
     let probe = if spec.probe {
@@ -381,13 +413,19 @@ pub fn run_fleet(spec: FleetSpec) -> FleetOutput {
     let per_client = client_hosts
         .iter()
         .map(|&c| {
-            let stats = sim.stats(c, server_host);
+            let mut stats = sim.stats(c, server_host);
             let socket_stats = sim.socket_stats(c);
             let client_stats = sim
                 .app_mut::<HttpClient>(c)
                 .expect("client app")
                 .stats
                 .clone();
+            stats.record_push_counters(
+                client_stats.pushed_responses,
+                client_stats.pushed_bytes,
+                client_stats.cancelled_pushes,
+                client_stats.cancelled_push_bytes,
+            );
             cell_result(&stats, socket_stats, &client_stats)
         })
         .collect();
@@ -443,7 +481,8 @@ pub fn matrix_spec(
         ServerKind::Jigsaw => ServerConfig::jigsaw(80),
         ServerKind::Apache => ServerConfig::apache(80),
     }
-    .with_deflate(setup.deflate());
+    .with_deflate(setup.deflate())
+    .with_mux_push(setup.push());
 
     // The server address is fixed by construction: host 1, port 80.
     let addr = SockAddr::new(netsim::HostId(1), 80);

@@ -41,6 +41,15 @@ pub struct CellResult {
     /// Seconds from the first packet to the first response payload byte
     /// reaching the client — perceived first-render latency.
     pub first_byte_secs: f64,
+    /// Responses that arrived as unsolicited server pushes (multiplexed
+    /// setups only; zero elsewhere).
+    pub pushed_responses: u64,
+    /// Entity bytes delivered by those pushes.
+    pub pushed_bytes: u64,
+    /// Pushes the client refused with a reset.
+    pub cancelled_pushes: u64,
+    /// Push DATA bytes already in flight when cancelled — wire waste.
+    pub cancelled_push_bytes: u64,
     /// Stall-attribution summary, present when the cell ran with the
     /// flight recorder enabled ([`CellSpec::probe`]).
     ///

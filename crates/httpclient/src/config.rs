@@ -18,6 +18,14 @@ pub enum ProtocolMode {
     Http11Persistent,
     /// HTTP/1.1 with buffered pipelining on a single connection.
     Http11Pipelined,
+    /// Binary-framed stream multiplexing over one connection
+    /// (`crates/httpmux`): every request is a concurrent stream. With
+    /// `push` the client advertises ENABLE_PUSH and accepts pushed
+    /// subresources into the cache instead of requesting them.
+    Multiplexed {
+        /// Accept server push.
+        push: bool,
+    },
 }
 
 impl ProtocolMode {
@@ -32,6 +40,16 @@ impl ProtocolMode {
     /// Whether this mode pipelines requests.
     pub fn is_pipelined(self) -> bool {
         matches!(self, ProtocolMode::Http11Pipelined)
+    }
+
+    /// Whether this mode multiplexes streams over one framed connection.
+    pub fn is_multiplexed(self) -> bool {
+        matches!(self, ProtocolMode::Multiplexed { .. })
+    }
+
+    /// Whether the client accepts server push.
+    pub fn push_enabled(self) -> bool {
+        matches!(self, ProtocolMode::Multiplexed { push: true })
     }
 }
 

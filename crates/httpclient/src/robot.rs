@@ -33,6 +33,8 @@ use netsim::sim::{App, AppEvent, Ctx};
 use netsim::{FlushCause, SimTime, SocketId, SpanEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+mod mux;
+
 /// Flush-timer token (CPU-op tokens start at 1).
 const FLUSH_TOKEN: u64 = 0;
 
@@ -71,6 +73,14 @@ pub struct ClientStats {
     pub retries: u64,
     /// Connection resets observed.
     pub resets: u64,
+    /// Pushed responses accepted into the cache (multiplexed mode).
+    pub pushed_responses: u64,
+    /// Entity bytes that arrived via accepted pushes.
+    pub pushed_bytes: u64,
+    /// PUSH_PROMISEs refused with RST_STREAM.
+    pub cancelled_pushes: u64,
+    /// Wasted wire bytes: push DATA that arrived after we cancelled.
+    pub cancelled_push_bytes: u64,
     /// All work completed.
     pub done: bool,
 }
@@ -165,6 +175,8 @@ pub struct HttpClient {
     conns: BTreeMap<SocketId, Conn>,
     /// The single connection used by the 1.1 modes.
     main_conn: Option<SocketId>,
+    /// The single framed connection used by the multiplexed mode.
+    mux: Option<mux::MuxState>,
     /// Image paths discovered in the HTML so far.
     discovered: BTreeSet<String>,
     /// The HTML page has fully arrived and been parsed.
@@ -210,6 +222,7 @@ impl HttpClient {
             completed: BTreeSet::new(),
             conns: BTreeMap::new(),
             main_conn: None,
+            mux: None,
             discovered: BTreeSet::new(),
             discovery_complete: false,
             flush_armed: false,
@@ -386,6 +399,12 @@ impl HttpClient {
                 // reused.
                 self.active_conns() < max_connections || self.has_idle_conn()
             }
+            ProtocolMode::Multiplexed { .. } => {
+                // Streams are concurrent; open the connection early so the
+                // handshake overlaps request generation.
+                self.mux_ensure_conn(ctx);
+                self.mux_may_issue()
+            }
         };
         if allowed {
             let job = self.pending.pop_front().unwrap();
@@ -455,6 +474,9 @@ impl HttpClient {
                 let sock = idle.unwrap_or_else(|| self.open_conn(ctx));
                 self.queue_request(ctx, sock, job);
                 self.flush_requests(ctx, sock, FlushCause::App);
+            }
+            ProtocolMode::Multiplexed { .. } => {
+                self.mux_place(ctx, job);
             }
         }
     }
@@ -573,12 +595,16 @@ impl HttpClient {
             || !self.pending.is_empty()
             || !self.discovery_complete
             || self.conns.values().any(|c| !c.sent.is_empty())
+            || self.mux_outstanding()
         {
             return;
         }
         self.stats.done = true;
         let socks: Vec<SocketId> = self.conns.keys().copied().collect();
         for s in socks {
+            ctx.shutdown_write(s);
+        }
+        if let Some(s) = self.mux_sock() {
             ctx.shutdown_write(s);
         }
     }
@@ -838,6 +864,10 @@ impl App for HttpClient {
                 self.pump(ctx);
             }
             AppEvent::Connected(s) => {
+                if self.mux_sock() == Some(s) {
+                    self.mux_on_connected(ctx);
+                    return;
+                }
                 if let Some(conn) = self.conns.get_mut(&s) {
                     conn.connected = true;
                 }
@@ -847,6 +877,10 @@ impl App for HttpClient {
                 self.push_out(ctx, s);
             }
             AppEvent::Readable(s) => {
+                if self.mux_sock() == Some(s) {
+                    self.mux_on_readable(ctx);
+                    return;
+                }
                 self.on_readable(ctx, s);
             }
             AppEvent::Timer(FLUSH_TOKEN) if self.flush_armed => {
@@ -877,7 +911,22 @@ impl App for HttpClient {
                 }
                 None => {}
             },
-            AppEvent::SendSpace(s) => self.push_out(ctx, s),
+            AppEvent::SendSpace(s) => {
+                if self.mux_sock() == Some(s) {
+                    self.mux_push_out(ctx);
+                } else {
+                    self.push_out(ctx, s);
+                }
+            }
+            AppEvent::PeerFin(s) if self.mux_sock() == Some(s) => {
+                // Server half-closed the framed connection.
+                ctx.shutdown_write(s);
+                if self.mux_outstanding() {
+                    // Streams died unanswered: retry on a fresh connection.
+                    self.mux_recover(ctx);
+                }
+                self.maybe_finish(ctx);
+            }
             AppEvent::PeerFin(s) => {
                 // Flush any close-delimited response.
                 let flushed = self
@@ -927,7 +976,19 @@ impl App for HttpClient {
                     self.backoff_armed = true;
                     ctx.set_timer(BACKOFF_TOKEN, self.config.reset_backoff);
                 }
-                self.recover_outstanding(ctx, s);
+                if self.mux_sock() == Some(s) {
+                    self.mux_recover(ctx);
+                } else {
+                    self.recover_outstanding(ctx, s);
+                }
+            }
+            AppEvent::Closed(s) if self.mux_sock() == Some(s) => {
+                if self.mux_outstanding() {
+                    self.mux_recover(ctx);
+                } else {
+                    self.mux = None;
+                    self.pump(ctx);
+                }
             }
             AppEvent::Closed(s) => {
                 let had_outstanding = self

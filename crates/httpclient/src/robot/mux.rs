@@ -1,0 +1,365 @@
+//! The robot's multiplexed transport: one framed connection
+//! (`crates/httpmux`), every request a concurrent stream, pushed
+//! subresources accepted straight into the cache.
+//!
+//! This is a child module of `robot` so it can drive the same CPU
+//! model, cache, discovery, and statistics machinery as the HTTP/1.x
+//! paths — a response that arrives on a stream is processed by exactly
+//! the same `handle_response` as one that arrives on a socket.
+
+use super::*;
+use httpmux::{MuxConn, MuxEvent, ERR_CANCEL};
+use httpwire::{StatusCode, Version};
+
+/// Per-stream response under assembly.
+#[derive(Debug, Default)]
+struct StreamResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+/// State of the single multiplexed connection.
+#[derive(Debug)]
+pub(super) struct MuxState {
+    pub(super) sock: SocketId,
+    engine: MuxConn,
+    connected: bool,
+    /// Wire bytes taken from the engine, waiting for socket space.
+    outbuf: Vec<u8>,
+    /// Our request streams awaiting responses.
+    jobs: BTreeMap<u32, Job>,
+    /// Accepted push streams (server-initiated, even ids).
+    promised: BTreeMap<u32, Job>,
+    /// Responses under assembly, ours and pushed.
+    resp: BTreeMap<u32, StreamResponse>,
+    /// The stream carrying the start page (streaming discovery).
+    html_stream: Option<u32>,
+    first_byte_seen: bool,
+}
+
+impl MuxState {
+    /// Anything still owed to us on this connection?
+    pub(super) fn outstanding(&self) -> bool {
+        !self.jobs.is_empty() || !self.promised.is_empty()
+    }
+}
+
+impl HttpClient {
+    pub(super) fn mux_outstanding(&self) -> bool {
+        self.mux.as_ref().is_some_and(|m| m.outstanding())
+    }
+
+    pub(super) fn mux_sock(&self) -> Option<SocketId> {
+        self.mux.as_ref().map(|m| m.sock)
+    }
+
+    /// In cautious (post-recovery) mode, serialize requests until one
+    /// response survives — mirroring the pipelined path.
+    pub(super) fn mux_may_issue(&self) -> bool {
+        !self.cautious || self.mux.as_ref().map_or(true, |m| m.jobs.is_empty())
+    }
+
+    pub(super) fn mux_ensure_conn(&mut self, ctx: &mut Ctx<'_>) {
+        if self.mux.is_some() {
+            return;
+        }
+        let sock = ctx.connect(self.config.server);
+        ctx.set_nodelay(sock, self.config.nodelay);
+        self.stats.connections_opened += 1;
+        self.mux = Some(MuxState {
+            sock,
+            engine: MuxConn::client(self.config.mode.push_enabled()),
+            connected: false,
+            outbuf: Vec::new(),
+            jobs: BTreeMap::new(),
+            promised: BTreeMap::new(),
+            resp: BTreeMap::new(),
+            html_stream: None,
+            first_byte_seen: false,
+        });
+    }
+
+    /// A generated request is ready: open a stream for it.
+    pub(super) fn mux_place(&mut self, ctx: &mut Ctx<'_>, job: Job) {
+        self.mux_ensure_conn(ctx);
+        let is_start = self.is_start_page(&job.path);
+        let mut fields = vec![
+            (":method".to_string(), job.method.as_str().to_string()),
+            (":path".to_string(), job.path.clone()),
+        ];
+        for (name, value) in &job.conditionals {
+            fields.push((name.clone(), value.clone()));
+        }
+        for (name, value) in &self.extra_headers {
+            fields.push((name.clone(), value.clone()));
+        }
+        let m = self.mux.as_mut().expect("mux conn just ensured");
+        if ctx.probe_enabled() {
+            ctx.probe_span(
+                m.sock,
+                SpanEvent::RequestQueued {
+                    path: job.path.clone(),
+                },
+            );
+        }
+        let stream = m.engine.open_stream(&fields, true);
+        ctx.probe_span(
+            m.sock,
+            SpanEvent::RequestWritten {
+                count: 1,
+                cause: FlushCause::App,
+            },
+        );
+        if is_start {
+            m.html_stream = Some(stream);
+        }
+        m.jobs.insert(stream, job);
+        self.stats.requests_sent += 1;
+        self.mux_push_out(ctx);
+    }
+
+    /// Drain engine output into the socket.
+    pub(super) fn mux_push_out(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(m) = self.mux.as_mut() else {
+            return;
+        };
+        if !m.connected {
+            return; // transmitted on Connected
+        }
+        loop {
+            if m.outbuf.is_empty() && m.engine.has_output() {
+                m.engine.take_output(64 * 1024, &mut m.outbuf);
+            }
+            if m.outbuf.is_empty() {
+                break;
+            }
+            let n = ctx.send(m.sock, &m.outbuf);
+            if n == 0 {
+                break;
+            }
+            m.outbuf.drain(..n);
+        }
+    }
+
+    pub(super) fn mux_on_connected(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(m) = self.mux.as_mut() {
+            m.connected = true;
+        }
+        self.mux_push_out(ctx);
+    }
+
+    pub(super) fn mux_on_readable(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(m) = self.mux.as_mut() else {
+            return;
+        };
+        let sock = m.sock;
+        let data = ctx.recv(sock, usize::MAX);
+        if !data.is_empty() && !m.first_byte_seen && m.outstanding() {
+            m.first_byte_seen = true;
+            ctx.probe_span(sock, SpanEvent::FirstByte);
+        }
+        m.engine.feed(&data);
+        loop {
+            let Some(ev) = self.mux.as_mut().and_then(|m| m.engine.poll_event()) else {
+                break;
+            };
+            match ev {
+                MuxEvent::Settings { .. } => {}
+                MuxEvent::Headers {
+                    stream,
+                    fields,
+                    end_stream,
+                } => {
+                    if let Some(m) = self.mux.as_mut() {
+                        let entry = m.resp.entry(stream).or_default();
+                        for (name, value) in fields {
+                            if name == ":status" {
+                                entry.status = value.parse().unwrap_or(200);
+                            } else if !name.starts_with(':') {
+                                entry.headers.push((name, value));
+                            }
+                        }
+                    }
+                    if end_stream {
+                        self.mux_complete_stream(ctx, stream);
+                    }
+                }
+                MuxEvent::Data {
+                    stream,
+                    data,
+                    end_stream,
+                } => {
+                    if let Some(m) = self.mux.as_mut() {
+                        m.resp
+                            .entry(stream)
+                            .or_default()
+                            .body
+                            .extend_from_slice(&data);
+                    }
+                    self.mux_streaming_discovery(ctx, stream);
+                    if end_stream {
+                        self.mux_complete_stream(ctx, stream);
+                    }
+                }
+                MuxEvent::PushPromise {
+                    promised, fields, ..
+                } => {
+                    self.mux_on_push_promise(promised, fields);
+                }
+                MuxEvent::CancelledData { len, .. } => {
+                    // Bytes the server had in flight on a push we refused.
+                    self.stats.cancelled_push_bytes += len as u64;
+                }
+                MuxEvent::Reset { stream, .. } => {
+                    // Server abandoned a stream: re-queue ours, drop pushes.
+                    let job = self.mux.as_mut().and_then(|m| {
+                        m.jobs
+                            .remove(&stream)
+                            .or_else(|| m.promised.remove(&stream))
+                    });
+                    if let Some(job) = job {
+                        self.stats.retries += 1;
+                        self.pending.push_back(job);
+                    }
+                }
+                MuxEvent::ProtocolError(_) => {
+                    ctx.abort(sock);
+                    self.mux_recover(ctx);
+                    return;
+                }
+            }
+        }
+        self.mux_push_out(ctx); // WINDOW_UPDATEs and SETTINGS acks
+        self.pump(ctx);
+        self.maybe_finish(ctx);
+    }
+
+    /// Decide whether to accept a promised subresource.
+    fn mux_on_push_promise(&mut self, promised: u32, fields: Vec<(String, String)>) {
+        let path = fields
+            .iter()
+            .find(|(n, _)| n == ":path")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let accept = self.config.mode.push_enabled()
+            && !path.is_empty()
+            && !self.completed.contains(&path)
+            && !self
+                .mux
+                .as_ref()
+                .is_some_and(|m| m.jobs.values().any(|j| j.path == path));
+        if !accept {
+            if let Some(m) = self.mux.as_mut() {
+                m.engine.reset_stream(promised, ERR_CANCEL);
+            }
+            self.stats.cancelled_pushes += 1;
+            return;
+        }
+        // The push replaces any fetch we were about to issue ourselves.
+        self.pending.retain(|j| j.path != path);
+        self.discovered.insert(path.clone());
+        if let Some(m) = self.mux.as_mut() {
+            m.promised.insert(
+                promised,
+                Job {
+                    path,
+                    method: Method::Get,
+                    conditionals: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// A stream finished: synthesize an `httpwire::Response` and run it
+    /// through the shared response-processing CPU path.
+    fn mux_complete_stream(&mut self, ctx: &mut Ctx<'_>, stream: u32) {
+        let Some(m) = self.mux.as_mut() else {
+            return;
+        };
+        let sock = m.sock;
+        let assembled = m.resp.remove(&stream).unwrap_or_default();
+        let pushed = m.promised.contains_key(&stream);
+        let Some(job) = m
+            .jobs
+            .remove(&stream)
+            .or_else(|| m.promised.remove(&stream))
+        else {
+            return; // completion of a stream we already cancelled
+        };
+        if m.html_stream == Some(stream) {
+            m.html_stream = None;
+        }
+        m.first_byte_seen = false;
+        if pushed {
+            self.stats.pushed_responses += 1;
+            self.stats.pushed_bytes += assembled.body.len() as u64;
+        }
+        let mut resp = Response::new(Version::Http11, StatusCode(assembled.status));
+        for (name, value) in &assembled.headers {
+            resp.headers.append(name, value.clone());
+        }
+        resp.body = bytes::Bytes::pooled_copy_from_slice(&assembled.body);
+        if ctx.probe_enabled() {
+            ctx.probe_span(
+                sock,
+                SpanEvent::BodyComplete {
+                    path: job.path.clone(),
+                },
+            );
+        }
+        self.schedule_cpu(
+            ctx,
+            CpuOp::Proc { job, resp },
+            self.config.response_proc_time,
+        );
+    }
+
+    /// Issue requests for subresources already visible in the partial
+    /// HTML body of the start-page stream.
+    fn mux_streaming_discovery(&mut self, ctx: &mut Ctx<'_>, stream: u32) {
+        if self.discovery_complete || !matches!(self.workload, Workload::Browse { .. }) {
+            return;
+        }
+        let before = self.pending.len();
+        {
+            let Some(m) = self.mux.as_ref() else {
+                return;
+            };
+            if m.html_stream != Some(stream) {
+                return;
+            }
+            let Some(r) = m.resp.get(&stream) else {
+                return;
+            };
+            // `discovered`/`pending` are disjoint fields from `mux`, so
+            // the partial body is scanned in place.
+            Self::discover_sources(&mut self.discovered, &mut self.pending, &r.body);
+        }
+        if self.pending.len() > before {
+            self.pump(ctx);
+        }
+    }
+
+    /// The mux connection died with work outstanding: re-queue it all on
+    /// a fresh connection.
+    pub(super) fn mux_recover(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(m) = self.mux.take() else {
+            return;
+        };
+        let outstanding = m.jobs.len() + m.promised.len();
+        if outstanding > 0 {
+            self.stats.retries += outstanding as u64;
+            self.cautious = true;
+            // Requests first (stream order), then interrupted pushes —
+            // those become ordinary fetches on the new connection.
+            for (_, job) in m.promised.into_iter().rev() {
+                self.pending.push_front(job);
+            }
+            for (_, job) in m.jobs.into_iter().rev() {
+                self.pending.push_front(job);
+            }
+        }
+        self.pump(ctx);
+    }
+}

@@ -484,6 +484,99 @@ fn fetch_list_workload() {
 }
 
 #[test]
+fn mux_browse_completes_with_one_connection() {
+    for push in [false, true] {
+        let mut r = browse(ProtocolMode::Multiplexed { push });
+        let stats = r.client().stats.clone();
+        assert!(stats.done, "push={push}: did not finish");
+        assert_eq!(stats.fetched.len(), 3, "push={push}: html + 2 images");
+        assert!(stats.fetched.iter().all(|f| f.status == 200));
+        assert_eq!(stats.connections_opened, 1, "push={push}");
+        let s = r.stats();
+        assert_eq!(s.syns, 2, "push={push}: one handshake");
+    }
+}
+
+#[test]
+fn mux_push_eliminates_image_requests() {
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80).with_mux_push(true),
+        small_store(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Multiplexed { push: true }, addr),
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done);
+    assert_eq!(stats.fetched.len(), 3, "html + 2 pushed images");
+    assert!(stats.fetched.iter().all(|f| f.status == 200));
+    assert_eq!(stats.pushed_responses, 2, "both images arrived as pushes");
+    assert_eq!(stats.pushed_bytes, 3500, "entity bytes of the two gifs");
+    assert_eq!(
+        stats.requests_sent, 1,
+        "only the HTML was explicitly requested"
+    );
+    assert_eq!(stats.cancelled_pushes, 0);
+}
+
+#[test]
+fn mux_push_respects_client_refusal() {
+    // Client does not advertise ENABLE_PUSH: a push-configured server
+    // must not push, and the client fetches the images itself.
+    let mut r = run(
+        LinkConfig::lan(),
+        ServerConfig::apache(80).with_mux_push(true),
+        small_store(),
+        |addr| {
+            HttpClient::new(
+                ClientConfig::robot(ProtocolMode::Multiplexed { push: false }, addr),
+                Workload::Browse {
+                    start: "/index.html".into(),
+                },
+            )
+        },
+    );
+    let stats = r.client().stats.clone();
+    assert!(stats.done);
+    assert_eq!(stats.fetched.len(), 3);
+    assert_eq!(stats.pushed_responses, 0, "nothing pushed");
+    assert_eq!(stats.requests_sent, 3, "client fetched everything itself");
+}
+
+#[test]
+fn mux_concurrency_beats_persistent_on_wan() {
+    let elapsed = |mode| {
+        run(
+            LinkConfig::wan(),
+            ServerConfig::apache(80),
+            wide_store(16),
+            |addr| {
+                HttpClient::new(
+                    ClientConfig::robot(mode, addr),
+                    Workload::Browse {
+                        start: "/index.html".into(),
+                    },
+                )
+            },
+        )
+        .stats()
+        .elapsed_secs()
+    };
+    let pers = elapsed(ProtocolMode::Http11Persistent);
+    let mux = elapsed(ProtocolMode::Multiplexed { push: false });
+    assert!(
+        mux < pers,
+        "concurrent streams ({mux:.3}s) must beat serialized persistent ({pers:.3}s)"
+    );
+}
+
+#[test]
 fn missing_object_reported_as_404() {
     let mut r = run(
         LinkConfig::lan(),

@@ -89,6 +89,9 @@ pub struct ServerConfig {
     pub max_connections: Option<u32>,
     /// What to do with connections accepted past `max_connections`.
     pub admission_policy: AdmissionPolicy,
+    /// On multiplexed connections from push-enabled clients, push inline
+    /// images and stylesheets discovered in served HTML.
+    pub mux_push: bool,
 }
 
 impl ServerConfig {
@@ -111,6 +114,7 @@ impl ServerConfig {
             listen_backlog: None,
             max_connections: None,
             admission_policy: AdmissionPolicy::Rst,
+            mux_push: false,
         }
     }
 
@@ -143,6 +147,7 @@ impl ServerConfig {
             listen_backlog: None,
             max_connections: None,
             admission_policy: AdmissionPolicy::Rst,
+            mux_push: false,
         }
     }
 
@@ -186,6 +191,12 @@ impl ServerConfig {
     pub fn with_max_connections(mut self, cap: u32, policy: AdmissionPolicy) -> Self {
         self.max_connections = Some(cap);
         self.admission_policy = policy;
+        self
+    }
+
+    /// Builder-style server-push toggle for multiplexed connections.
+    pub fn with_mux_push(mut self, on: bool) -> Self {
+        self.mux_push = on;
         self
     }
 }

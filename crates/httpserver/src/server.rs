@@ -16,6 +16,8 @@
 //! * **conditional requests, HEAD, byte ranges, and pre-deflated
 //!   entities**.
 
+mod mux;
+
 use crate::config::{AdmissionPolicy, ServerConfig, ServerKind};
 use crate::store::SiteStore;
 use bytes::Bytes;
@@ -62,6 +64,15 @@ pub struct ServerStats {
     /// Largest aggregate buffer footprint across all connections, in
     /// bytes.
     pub peak_total_memory: u64,
+    /// Responses pushed unsolicited on multiplexed connections.
+    pub pushed_responses: u64,
+    /// Entity bytes in pushed responses.
+    pub pushed_bytes: u64,
+    /// Pushes the client refused with RST_STREAM.
+    pub cancelled_pushes: u64,
+    /// DATA bytes already emitted on pushes the client cancelled (pure
+    /// wire waste).
+    pub cancelled_push_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -81,6 +92,13 @@ struct Conn {
     /// Buffer bytes (output + parser backlog) currently charged to this
     /// connection in the server's memory accounting.
     mem: u64,
+    /// First bytes received, held until we know whether they are an HTTP
+    /// request line or the `httpmux` connection preface.
+    pre: Vec<u8>,
+    /// The HTTP-or-mux decision has been made.
+    decided: bool,
+    /// Framed-transport state once the mux preface has been seen.
+    mux: Option<Box<mux::MuxServerConn>>,
 }
 
 impl Conn {
@@ -94,6 +112,9 @@ impl Conn {
             draining: false,
             peer_closed: false,
             mem: 0,
+            pre: Vec::new(),
+            decided: false,
+            mux: None,
         }
     }
 }
@@ -108,8 +129,9 @@ pub struct HttpServer {
     parked: VecDeque<SocketId>,
     /// Aggregate buffer bytes across all serviced connections.
     total_mem: u64,
-    /// Service-completion timers: token → (connection, request).
-    pending: BTreeMap<u64, (SocketId, Request)>,
+    /// Service-completion timers: token → (connection, request, mux
+    /// stream if framed, whether this is a server push).
+    pending: BTreeMap<u64, (SocketId, Request, Option<u32>, bool)>,
     next_token: u64,
     /// The single-CPU service queue.
     cpu_busy_until: SimTime,
@@ -149,7 +171,12 @@ impl HttpServer {
         let Some(conn) = self.conns.get_mut(&sock) else {
             return;
         };
-        let mem = conn.outbuf.len() as u64 + conn.parser.buffered() as u64;
+        let mem = conn.outbuf.len() as u64
+            + conn.parser.buffered() as u64
+            + conn.pre.len() as u64
+            + conn.mux.as_ref().map_or(0, |m| {
+                (m.engine.output_len() + m.engine.pending_send_bytes()) as u64
+            });
         self.total_mem = self.total_mem - conn.mem + mem;
         conn.mem = mem;
         self.stats.peak_conn_memory = self.stats.peak_conn_memory.max(mem);
@@ -191,7 +218,14 @@ impl HttpServer {
         }
     }
 
-    fn schedule_request(&mut self, ctx: &mut Ctx<'_>, sock: SocketId, req: Request) {
+    fn schedule_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        sock: SocketId,
+        req: Request,
+        stream: Option<u32>,
+        is_push: bool,
+    ) {
         let service = match req.method {
             Method::Head => self.config.service_time_validate,
             _ if req.headers.contains("If-None-Match")
@@ -208,7 +242,7 @@ impl HttpServer {
         ctx.probe_span(sock, netsim::SpanEvent::ServerThink { start, end: done });
         let token = self.next_token;
         self.next_token += 1;
-        self.pending.insert(token, (sock, req));
+        self.pending.insert(token, (sock, req, stream, is_push));
         ctx.set_timer(token, done.since(now));
     }
 
@@ -373,6 +407,11 @@ impl HttpServer {
         let Some(conn) = self.conns.get_mut(&sock) else {
             return;
         };
+        if conn.mux.is_some() {
+            // Framed connections have their own drain/close policy.
+            self.mux_flush(ctx, sock);
+            return;
+        }
         let idle = conn.in_service == 0;
         if conn.outbuf.len() < self.config.output_buffer && !idle && !conn.closing {
             return;
@@ -413,10 +452,33 @@ impl HttpServer {
         }
         let data = ctx.recv(sock, usize::MAX);
         let conn = self.conns.get_mut(&sock).expect("checked above");
-        if conn.draining {
-            return; // reading only to drain; requests beyond the limit are dropped
+        if conn.mux.is_some() {
+            self.mux_on_data(ctx, sock, &data);
+            return;
         }
-        conn.parser.feed(&data);
+        if !conn.decided {
+            // We cannot tell an HTTP request line from the mux preface
+            // until enough bytes arrive: stash and compare.
+            conn.pre.extend_from_slice(&data);
+            if httpmux::preface_candidate(&conn.pre) {
+                if conn.pre.len() < httpmux::PREFACE.len() {
+                    self.account(sock);
+                    return; // could still be either; wait for more bytes
+                }
+                conn.decided = true;
+                let pre = std::mem::take(&mut conn.pre);
+                self.mux_start(ctx, sock, &pre);
+                return;
+            }
+            conn.decided = true;
+            let pre = std::mem::take(&mut conn.pre);
+            conn.parser.feed(&pre);
+        } else {
+            if conn.draining {
+                return; // reading only to drain; requests beyond the limit are dropped
+            }
+            conn.parser.feed(&data);
+        }
         self.account(sock);
         loop {
             match self.conns.get_mut(&sock).unwrap().parser.next() {
@@ -426,7 +488,7 @@ impl HttpServer {
                         continue; // arrived after the limit: dropped
                     }
                     conn.in_service += 1;
-                    self.schedule_request(ctx, sock, req);
+                    self.schedule_request(ctx, sock, req, None, false);
                 }
                 Ok(None) => break,
                 Err(_) => {
@@ -476,9 +538,14 @@ impl App for HttpServer {
             }
             AppEvent::Readable(s) => self.on_readable(ctx, s),
             AppEvent::Timer(token) => {
-                if let Some((sock, req)) = self.pending.remove(&token) {
+                if let Some((sock, req, stream, is_push)) = self.pending.remove(&token) {
                     if self.conns.contains_key(&sock) {
-                        self.queue_response(ctx, sock, req);
+                        match stream {
+                            Some(stream) => {
+                                self.queue_mux_response(ctx, sock, stream, req, is_push)
+                            }
+                            None => self.queue_response(ctx, sock, req),
+                        }
                     }
                 }
             }

@@ -503,9 +503,38 @@ pub struct TraceStats {
     /// Data-bearing segments re-covering already-sent sequence space —
     /// TCP retransmissions observed on the wire.
     pub retransmitted_packets: u64,
+    /// Responses the server pushed unsolicited on a multiplexed
+    /// connection. Application-reported: a packet trace cannot tell a
+    /// pushed entity from a requested one, so harnesses fold the
+    /// client's counters in via [`TraceStats::record_push_counters`];
+    /// zero on stats derived from the trace alone.
+    pub pushed_responses: u64,
+    /// Entity bytes in pushed responses (application-reported).
+    pub pushed_bytes: u64,
+    /// Pushes the client refused with a reset (application-reported).
+    pub cancelled_pushes: u64,
+    /// DATA bytes already in flight on cancelled pushes — pure wire
+    /// waste (application-reported).
+    pub cancelled_push_bytes: u64,
 }
 
 impl TraceStats {
+    /// Fold application-level server-push counters into the trace
+    /// aggregates (the wire cannot attribute bytes to pushes on its
+    /// own).
+    pub fn record_push_counters(
+        &mut self,
+        pushed_responses: u64,
+        pushed_bytes: u64,
+        cancelled_pushes: u64,
+        cancelled_push_bytes: u64,
+    ) {
+        self.pushed_responses = pushed_responses;
+        self.pushed_bytes = pushed_bytes;
+        self.cancelled_pushes = cancelled_pushes;
+        self.cancelled_push_bytes = cancelled_push_bytes;
+    }
+
     /// Fold one packet into the aggregates. `c2s` says whether it travels
     /// in the client→server direction. Both trace modes funnel through
     /// this, so their statistics agree by construction.

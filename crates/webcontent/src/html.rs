@@ -221,6 +221,64 @@ pub fn for_each_inline_image_source(html: &str, mut f: impl FnMut(&str)) {
     }
 }
 
+/// Visit every pushable subresource reference in document order: the
+/// `src` of `<img>` tags plus the `href` of `<link rel=stylesheet>`
+/// tags. This is the server-push discovery scan — same walk as
+/// [`for_each_inline_image_source`], zero allocations.
+pub fn for_each_subresource(html: &str, mut f: impl FnMut(&str)) {
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        if bytes[i..].starts_with(b"<!--") {
+            if let Some(end) = html[i..].find("-->") {
+                i += end + 3;
+                continue;
+            }
+        }
+        if bytes[i..].starts_with(b"<!") {
+            if let Some(end) = html[i..].find('>') {
+                i += end + 1;
+                continue;
+            }
+        }
+        let Some(end) = html[i..].find('>') else {
+            return;
+        };
+        let inner = &html[i + 1..i + end];
+        let (closing, inner) = match inner.strip_prefix('/') {
+            Some(rest) => (true, rest),
+            None => (false, inner),
+        };
+        let name_end = inner
+            .find(|c: char| c.is_ascii_whitespace())
+            .unwrap_or(inner.len());
+        let name = &inner[..name_end];
+        if name.is_empty() {
+            i += 1;
+            continue;
+        }
+        if !closing {
+            let attrs = &inner[name_end..];
+            if name.eq_ignore_ascii_case("img") {
+                if let Some(src) = attr_value(attrs, "src") {
+                    f(src);
+                }
+            } else if name.eq_ignore_ascii_case("link")
+                && attr_value(attrs, "rel").is_some_and(|r| r.eq_ignore_ascii_case("stylesheet"))
+            {
+                if let Some(href) = attr_value(attrs, "href") {
+                    f(href);
+                }
+            }
+        }
+        i += end + 1;
+    }
+}
+
 /// Rewrite every tag and attribute name to the given case. Attribute
 /// *values* are untouched. The paper found all-lowercase tags compress
 /// noticeably better (ratio ≈ .27 vs ≈ .35).
@@ -319,6 +377,15 @@ mod tests {
     #[test]
     fn closing_img_not_counted() {
         assert!(inline_image_sources("</img><imgx src=a.gif>").is_empty());
+    }
+
+    #[test]
+    fn subresources_include_stylesheets_in_order() {
+        let html = r#"<LINK REL="stylesheet" HREF="/site.css"><img src=a.gif>
+            <link rel=icon href=/fav.ico><link rel=StyleSheet href='/p.css'><img src=b.gif>"#;
+        let mut found = Vec::new();
+        for_each_subresource(html, |s| found.push(s.to_string()));
+        assert_eq!(found, vec!["/site.css", "a.gif", "/p.css", "b.gif"]);
     }
 
     #[test]

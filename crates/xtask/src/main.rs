@@ -79,7 +79,7 @@ const RULES: &[Rule] = &[
         name: "hash-collections",
         needles: &["HashMap", "HashSet"],
         also: &[],
-        crates: Some(&["netsim", "core", "httpserver", "httpclient"]),
+        crates: Some(&["netsim", "core", "httpserver", "httpclient", "httpmux"]),
         files: &[],
         skip_use_lines: true,
     },
@@ -132,6 +132,8 @@ const RULES: &[Rule] = &[
             "crates/netsim/src/tcp.rs",
             "crates/netsim/src/link.rs",
             "crates/netsim/src/sim.rs",
+            "crates/httpmux/src/frame.rs",
+            "crates/httpmux/src/conn.rs",
         ],
         skip_use_lines: false,
     },
