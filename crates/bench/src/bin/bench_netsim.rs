@@ -127,6 +127,7 @@ fn mode_name(mode: TraceMode) -> &'static str {
     }
 }
 
+// Times real runs on the host clock by design. simlint: allow(wall-clock)
 fn run_config(cfg: &Config, iters: u32, cores: usize) -> Timing {
     // One untimed warmup also produces the cells used for the
     // cross-config equality check.
@@ -188,6 +189,7 @@ struct HotPath {
 
 /// The headline measurement: the 44-cell matrix, stats-only, on one
 /// thread — pure kernel throughput with no tracing or executor noise.
+// Times real runs on the host clock by design. simlint: allow(wall-clock)
 fn measure_hot_path(iters: u32) -> HotPath {
     // Warmup primes code paths and the thread-local buffer pools so the
     // allocation count reflects steady state.
@@ -247,6 +249,7 @@ struct FleetPath {
 /// JSON gates the fleet kernel — per-source queueing, the link pump,
 /// and the mux frame scheduler — against throughput and allocation
 /// regressions.
+// Times real runs on the host clock by design. simlint: allow(wall-clock)
 fn measure_fleet_path(iters: u32) -> FleetPath {
     let run = || {
         let mut all: Vec<CellResult> = Vec::new();
@@ -304,6 +307,7 @@ struct Micro {
 /// Time `body` (which performs `ops` operations per call): one warmup
 /// call, one allocation-counted call, then `MICRO_ITERS` timed calls
 /// keeping the minimum.
+// Times real runs on the host clock by design. simlint: allow(wall-clock)
 fn micro(name: &'static str, ops: u64, mut body: impl FnMut()) -> Micro {
     body();
     let a0 = counting_alloc::allocations();
@@ -675,6 +679,7 @@ fn run_smoke() -> i32 {
 
 // ---------------------------------------------------------------------
 
+// Times real runs on the host clock by design. simlint: allow(wall-clock)
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {

@@ -45,6 +45,7 @@ fn impaired_sample() -> Vec<CellSpec> {
     specs
 }
 
+// Wall-clock progress reporting for the smoke harness. simlint: allow(wall-clock)
 fn main() {
     let mut specs = unimpaired_matrix();
     let unimpaired = specs.len();

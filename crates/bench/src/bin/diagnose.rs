@@ -90,6 +90,7 @@ fn print_cell(cell: &ProbeCell) {
     }
 }
 
+// Wall-clock progress reporting for the smoke harness. simlint: allow(wall-clock)
 fn smoke() {
     let points = probe::reduced_grid();
     let threads = worker_threads(points.len());

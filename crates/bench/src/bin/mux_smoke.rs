@@ -14,6 +14,7 @@
 use httpipe_core::experiments::mux;
 use std::time::Instant;
 
+// Wall-clock progress reporting for the smoke harness. simlint: allow(wall-clock)
 fn main() {
     let start = Instant::now();
     let first = mux::reduced_report();

@@ -23,6 +23,7 @@ fn run_once(points: &[robustness::RobustnessPoint]) -> Vec<RobustnessCell> {
         .collect()
 }
 
+// Wall-clock progress reporting for the smoke harness. simlint: allow(wall-clock)
 fn main() {
     let points = robustness::reduced_grid();
     let threads = worker_threads(points.len());

@@ -15,6 +15,7 @@ use httpipe_core::experiments::scale::{self, ScaleCell};
 use httpipe_core::harness::worker_threads;
 use std::time::Instant;
 
+// Wall-clock progress reporting for the smoke harness. simlint: allow(wall-clock)
 fn main() {
     let points = scale::reduced_grid();
     let threads = worker_threads(points.len());

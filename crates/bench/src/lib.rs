@@ -33,6 +33,7 @@ impl Measurement {
 /// Time `f` and report per-iteration statistics, Criterion-style but
 /// minimal: one warm-up call, then up to `max_iters` iterations or
 /// ~`budget` of wall clock, whichever comes first.
+// Host-clock timing is the product here, not simulation state. simlint: allow(wall-clock)
 pub fn bench_fn<T>(name: &str, max_iters: u32, mut f: impl FnMut() -> T) -> Measurement {
     // Warm-up (also forces lazy statics to initialise outside timing).
     std::hint::black_box(f());

@@ -404,6 +404,10 @@ impl ImpairState {
         (arrival, dup)
     }
 
+    // Inverse-transform sampling needs the mean in float ticks: the
+    // sampler IS the ns<->float boundary, and rewriting it through
+    // SimTime ops would change the sampled values and every seeded
+    // digest downstream. simlint: allow(time-unit)
     fn jitter_sample(&mut self, jitter: &JitterModel) -> SimDuration {
         match *jitter {
             JitterModel::None => SimDuration::ZERO,

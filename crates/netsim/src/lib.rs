@@ -81,6 +81,7 @@ pub mod packet;
 pub mod pool;
 pub mod probe;
 pub mod queue;
+pub mod seq;
 pub mod sim;
 pub mod tcp;
 pub mod time;

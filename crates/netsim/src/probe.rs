@@ -43,7 +43,7 @@
 
 use crate::packet::{HostId, SockAddr};
 use crate::tcp::TimerKind;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Why a sender with pending data did not emit a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -468,8 +468,6 @@ impl PendingMap {
     }
 }
 
-const NS_PER_SEC: f64 = 1e9;
-
 /// Decompose the window `[start, end]` of a finished run into
 /// [`StallBuckets`], request spans, connection summaries and
 /// [`Diagnosis`] findings. `records` must be in recording order (as
@@ -705,7 +703,7 @@ pub fn attribute(records: &[ProbeRecord], start: SimTime, end: SimTime) -> Probe
     for w in bounds.windows(2) {
         let (a, b) = (w[0], w[1]);
         let mid = a + (b - a) / 2;
-        let secs = (b - a) as f64 / NS_PER_SEC;
+        let secs = SimDuration::from_nanos(b - a).as_secs_f64();
         if rto.covers(mid) {
             buckets.rto_recovery += secs;
         } else if wire.covers(mid) {
@@ -753,19 +751,19 @@ pub fn attribute(records: &[ProbeRecord], start: SimTime, end: SimTime) -> Probe
         diagnoses.push(Diagnosis::NaglePipelining {
             local,
             remote,
-            stall_secs: total as f64 / NS_PER_SEC,
+            stall_secs: SimDuration::from_nanos(total).as_secs_f64(),
         });
     }
     if missed_flushes > 0 {
         diagnoses.push(Diagnosis::MissedFlushExtraRtt {
             count: missed_flushes,
-            worst_gap_secs: worst_missed_gap as f64 / NS_PER_SEC,
+            worst_gap_secs: SimDuration::from_nanos(worst_missed_gap).as_secs_f64(),
         });
     }
 
     let report = ProbeReport {
         buckets,
-        elapsed: (hi - lo) as f64 / NS_PER_SEC,
+        elapsed: SimDuration::from_nanos(hi - lo).as_secs_f64(),
         connections: connections.len() as u32,
         requests: requests.len() as u32,
         nagle_pipelining: diagnoses
@@ -804,7 +802,7 @@ fn json_secs(ns_based: f64) -> String {
 }
 
 fn json_time(t: SimTime) -> String {
-    json_secs(t.as_nanos() as f64 / NS_PER_SEC)
+    json_secs(t.as_secs_f64())
 }
 
 fn json_opt_time(t: Option<SimTime>) -> String {

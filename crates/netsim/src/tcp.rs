@@ -12,6 +12,7 @@
 
 use crate::packet::{Segment, SockAddr, TcpFlags};
 use crate::probe::{BlockReason, TcpProbeEvent};
+use crate::seq::{seq_ge, seq_gt, seq_lt, seq_sub};
 use crate::time::{SimDuration, SimTime};
 use bytes::{Bytes, BytesMut};
 use std::collections::BTreeMap;
@@ -379,7 +380,7 @@ impl Tcb {
                 ssthresh: self.cc.ssthresh as u64,
                 srtt_ns: self.cc.srtt_ns,
                 rto_ns: self.cc.rto.as_nanos(),
-                in_flight: self.snd_nxt - self.snd_una,
+                in_flight: seq_sub(self.snd_nxt, self.snd_una),
             });
         }
     }
@@ -411,7 +412,7 @@ impl Tcb {
 
     /// Bytes of payload queued but not yet acknowledged.
     pub fn unacked_bytes(&self) -> usize {
-        (self.buf_base + self.send_buf.len() as u64 - self.snd_una) as usize
+        seq_sub(self.buf_base + self.send_buf.len() as u64, self.snd_una) as usize
     }
 
     /// Bytes available for the application to read.
@@ -610,11 +611,11 @@ impl Tcb {
 
     fn handle_ack(&mut self, now: SimTime, seg: &Segment, fx: &mut Effects) {
         let ack = seg.ack;
-        if ack > self.snd_nxt {
+        if seq_gt(ack, self.snd_nxt) {
             return; // acks data we never sent; ignore
         }
-        if ack > self.snd_una {
-            let newly_acked = (ack - self.snd_una) as usize;
+        if seq_gt(ack, self.snd_una) {
+            let newly_acked = seq_sub(ack, self.snd_una) as usize;
             self.snd_una = ack;
             self.cc.dup_acks = 0;
             self.cc.rto_backoff = 0;
@@ -624,8 +625,8 @@ impl Tcb {
             // Trim acknowledged bytes from the retransmission buffer. The
             // FIN, if ours was acked, occupies one unit past the data.
             let data_acked = ack.min(self.send_limit());
-            if data_acked > self.buf_base {
-                let drop = (data_acked - self.buf_base) as usize;
+            if seq_gt(data_acked, self.buf_base) {
+                let drop = seq_sub(data_acked, self.buf_base) as usize;
                 self.send_buf.advance(drop);
                 self.buf_base = data_acked;
             }
@@ -634,7 +635,7 @@ impl Tcb {
                 fx.notifications.push(SockNotify::SendSpace);
             }
 
-            let fin_acked = self.fin_seq.is_some_and(|f| ack > f);
+            let fin_acked = self.fin_seq.is_some_and(|f| seq_gt(ack, f));
             if fin_acked {
                 match self.state {
                     State::FinWait1 => {
@@ -668,13 +669,13 @@ impl Tcb {
             && !seg.has_payload()
             && !seg.flags.syn
             && !seg.flags.fin
-            && self.snd_nxt > self.snd_una
+            && seq_gt(self.snd_nxt, self.snd_una)
         {
             // Duplicate ACK while data is outstanding.
             self.cc.dup_acks += 1;
             if self.cc.dup_acks == 3 {
                 // Fast retransmit (Reno without full recovery bookkeeping).
-                let in_flight = (self.snd_nxt - self.snd_una) as usize;
+                let in_flight = seq_sub(self.snd_nxt, self.snd_una) as usize;
                 self.cc.ssthresh = (in_flight / 2).max(2 * self.cfg.mss);
                 self.cc.cwnd = self.cc.ssthresh;
                 self.probe(fx, TcpProbeEvent::FastRetransmit);
@@ -683,7 +684,7 @@ impl Tcb {
         }
 
         // Zero-window handling: arm the persist timer if data waits.
-        if self.peer_window == 0 && self.send_limit() > self.snd_nxt {
+        if self.peer_window == 0 && seq_gt(self.send_limit(), self.snd_nxt) {
             self.probe(fx, TcpProbeEvent::ZeroWindow);
             self.arm_timer(TimerKind::Persist, now + self.cc.rto, fx);
         }
@@ -696,8 +697,8 @@ impl Tcb {
         let mut payload = seg.payload.clone();
 
         // Trim any portion we already have.
-        if seq < self.rcv_nxt {
-            let overlap = (self.rcv_nxt - seq) as usize;
+        if seq_lt(seq, self.rcv_nxt) {
+            let overlap = seq_sub(self.rcv_nxt, seq) as usize;
             if overlap >= payload.len() && !seg.flags.fin {
                 // Entirely a duplicate: re-ACK immediately to resync.
                 self.emit_ack(fx);
@@ -707,13 +708,13 @@ impl Tcb {
             seq = self.rcv_nxt;
         }
 
-        if seq > self.rcv_nxt {
+        if seq_gt(seq, self.rcv_nxt) {
             // Out of order: stash and send an immediate duplicate ACK.
             if !payload.is_empty() {
                 self.reassembly.entry(seq).or_insert(payload);
             }
             if seg.flags.fin {
-                self.peer_fin_seq = Some(seg.seq_end() - 1);
+                self.peer_fin_seq = Some(seq_sub(seg.seq_end(), 1));
             }
             self.emit_ack(fx);
             return;
@@ -728,16 +729,16 @@ impl Tcb {
             delivered = true;
         }
         if seg.flags.fin {
-            self.peer_fin_seq = Some(seg.seq_end() - 1);
+            self.peer_fin_seq = Some(seq_sub(seg.seq_end(), 1));
         }
 
         // Drain the reassembly queue.
         while let Some((&s, _)) = self.reassembly.first_key_value() {
-            if s > self.rcv_nxt {
+            if seq_gt(s, self.rcv_nxt) {
                 break;
             }
             let (s, data) = self.reassembly.pop_first().unwrap();
-            let skip = (self.rcv_nxt - s) as usize;
+            let skip = seq_sub(self.rcv_nxt, s) as usize;
             if skip < data.len() {
                 let fresh = &data[skip..];
                 self.bytes_received += fresh.len() as u64;
@@ -820,10 +821,10 @@ impl Tcb {
                 }
             }
             TimerKind::Rto => {
-                if self.snd_nxt > self.snd_una {
+                if seq_gt(self.snd_nxt, self.snd_una) {
                     // Timeout: multiplicative back-off, collapse cwnd, go
                     // back into slow start (RFC 2001).
-                    let in_flight = (self.snd_nxt - self.snd_una) as usize;
+                    let in_flight = seq_sub(self.snd_nxt, self.snd_una) as usize;
                     self.cc.ssthresh = (in_flight / 2).max(2 * self.cfg.mss);
                     self.cc.cwnd = self.cfg.mss;
                     self.cc.rto_backoff += 1;
@@ -838,9 +839,9 @@ impl Tcb {
                 fx.notifications.push(SockNotify::Closed);
             }
             TimerKind::Persist => {
-                if self.peer_window == 0 && self.send_limit() > self.snd_nxt {
+                if self.peer_window == 0 && seq_gt(self.send_limit(), self.snd_nxt) {
                     // One-byte window probe.
-                    let off = (self.snd_nxt - self.buf_base) as usize;
+                    let off = seq_sub(self.snd_nxt, self.buf_base) as usize;
                     let payload = Bytes::pooled_copy_from_slice(&self.send_buf[off..off + 1]);
                     self.emit_data_segment(self.snd_nxt, payload, false, fx);
                     self.arm_timer(TimerKind::Persist, now + self.cc.rto, fx);
@@ -884,7 +885,7 @@ impl Tcb {
 
     fn take_rtt_sample(&mut self, now: SimTime, ack: u64) {
         if let Some((seq, sent)) = self.cc.rtt_sample {
-            if ack >= seq {
+            if seq_ge(ack, seq) {
                 let sample = now.since(sent).as_nanos();
                 match self.cc.srtt_ns {
                     None => {
@@ -980,10 +981,10 @@ impl Tcb {
             if self.fin_sent {
                 break;
             }
-            let in_flight = (self.snd_nxt - self.snd_una) as usize;
+            let in_flight = seq_sub(self.snd_nxt, self.snd_una) as usize;
             let wnd = self.cc.cwnd.min(self.peer_window);
             let avail = wnd.saturating_sub(in_flight);
-            let unsent = (self.send_limit() - self.snd_nxt) as usize;
+            let unsent = seq_sub(self.send_limit(), self.snd_nxt) as usize;
             let len = unsent.min(self.cfg.mss).min(avail);
             let fin_now = self.fin_queued && (self.snd_nxt + len as u64) == self.send_limit();
 
@@ -1011,7 +1012,7 @@ impl Tcb {
                 break;
             }
 
-            let off = (self.snd_nxt - self.buf_base) as usize;
+            let off = seq_sub(self.snd_nxt, self.buf_base) as usize;
             let payload = Bytes::pooled_copy_from_slice(&self.send_buf[off..off + len]);
             if self.cc.rtt_sample.is_none() && (len > 0 || fin_now) {
                 self.cc.rtt_sample = Some((self.snd_nxt + len as u64 + u64::from(fin_now), now));
@@ -1072,7 +1073,7 @@ impl Tcb {
                 let data_start = self.snd_una.max(self.buf_base);
                 let data_end = self.send_limit();
                 if data_start < data_end {
-                    let off = (data_start - self.buf_base) as usize;
+                    let off = seq_sub(data_start, self.buf_base) as usize;
                     let len = ((data_end - data_start) as usize).min(self.cfg.mss);
                     let payload = Bytes::pooled_copy_from_slice(&self.send_buf[off..off + len]);
                     let fin = self.fin_sent && self.fin_seq == Some(data_start + len as u64);

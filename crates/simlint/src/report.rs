@@ -1,0 +1,158 @@
+//! Diagnostics and the machine-readable report.
+//!
+//! The JSON writer is hand-rolled (the build is fully offline, so no
+//! serde) and deterministic: diagnostics are sorted by path, line, col,
+//! rule before serialization.
+
+use std::fmt;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when nothing at severity >= warn fired (i.e. nothing at all:
+    /// warn is the lowest severity we emit).
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"diagnostic_count\": {},\n",
+            self.diagnostics.len()
+        ));
+        s.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+            s.push_str(&format!(
+                "\"severity\": {}, ",
+                json_str(d.severity.as_str())
+            ));
+            s.push_str(&format!("\"path\": {}, ", json_str(&d.path)));
+            s.push_str(&format!("\"line\": {}, ", d.line));
+            s.push_str(&format!("\"col\": {}, ", d.col));
+            s.push_str(&format!("\"message\": {}}}", json_str(&d.message)));
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_and_serialized() {
+        let mut r = Report {
+            files_scanned: 2,
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "b-rule",
+                    severity: Severity::Warn,
+                    path: "b.rs".into(),
+                    line: 1,
+                    col: 1,
+                    message: "second".into(),
+                },
+                Diagnostic {
+                    rule: "a-rule",
+                    severity: Severity::Error,
+                    path: "a.rs".into(),
+                    line: 9,
+                    col: 3,
+                    message: "first \"quoted\"".into(),
+                },
+            ],
+        };
+        r.sort();
+        assert_eq!(r.diagnostics[0].path, "a.rs");
+        let json = r.to_json();
+        assert!(json.contains("\"diagnostic_count\": 2"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.clean());
+        assert!(r.to_json().contains("\"diagnostics\": []"));
+    }
+}

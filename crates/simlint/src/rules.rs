@@ -1,0 +1,514 @@
+//! The rule catalog.
+//!
+//! Every rule walks the token stream of a [`ScopedFile`], so needles in
+//! comments and string literals can never fire, reformatting cannot hide
+//! a violation (`Instant::\n now()` still matches), and test-only code
+//! is skipped via the scoper's per-token mask.
+//!
+//! To add a rule: pick an id, add it to [`RULE_IDS`], emit diagnostics
+//! from [`lint_scoped`], and plant a violation for it in
+//! `tests/mutations.rs` so the rule is proven live.
+
+use crate::lexer::TokKind;
+use crate::report::{Diagnostic, Severity};
+use crate::scope::ScopedFile;
+use crate::spec;
+
+/// Every valid rule id. Allow markers naming anything else are treated
+/// as prose and ignored.
+pub const RULE_IDS: &[&str] = &[
+    "hash-collections",
+    "wall-clock",
+    "thread-rng",
+    "float-time-cmp",
+    "unwrap-impair",
+    "probe-determinism",
+    "hot-path-alloc",
+    "seq-wrap",
+    "time-unit",
+    "tcp-state-machine",
+    "stale-allow",
+];
+
+/// Rules that cannot be suppressed by allow markers or the file
+/// allowlist.
+pub const UNSUPPRESSIBLE: &[&str] = &["probe-determinism", "tcp-state-machine", "stale-allow"];
+
+/// Crates where nondeterministic hash iteration can change simulation
+/// results or output ordering.
+const HASH_CRATES: &[&str] = &["netsim", "core", "httpserver", "httpclient", "httpmux"];
+
+/// Crates where raw nanosecond arithmetic must go through SimTime ops.
+const TIME_CRATES: &[&str] = &["netsim", "httpmux"];
+
+/// Files that are on the per-segment hot path.
+const HOT_FILES: &[&str] = &["tcp.rs", "link.rs", "sim.rs", "frame.rs", "conn.rs"];
+
+/// Identifiers holding TCP sequence-space values in `tcp.rs`. Direct
+/// ordering or subtraction on these must go through the `netsim::seq`
+/// wrapping helpers.
+const SEQ_NAMES: &[&str] = &[
+    "seq",
+    "ack",
+    "snd_nxt",
+    "snd_una",
+    "rcv_nxt",
+    "buf_base",
+    "fin_seq",
+    "peer_fin_seq",
+    "seq_end",
+    "send_limit",
+    "data_acked",
+];
+
+/// Crate name from a workspace-relative path ("crates/netsim/src/…" ->
+/// "netsim"); empty when undeterminable (synthetic test inputs).
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+fn file_of(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// True when `path` belongs to one of `crates`, or the crate cannot be
+/// determined (keeps synthetic snippets lintable in tests).
+fn crate_in(path: &str, crates: &[&str]) -> bool {
+    let c = crate_of(path);
+    c.is_empty() || crates.contains(&c)
+}
+
+/// Run every rule over one scoped file. Allow markers are NOT applied
+/// here — the caller resolves suppression so it can also report stale
+/// markers.
+pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let path = sf.path.as_str();
+    let file = file_of(path);
+    let toks = &sf.toks;
+    let n = toks.len();
+
+    let mut push = |rule: &'static str, line: u32, col: u32, message: String| {
+        out.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line,
+            col,
+            message,
+        });
+    };
+
+    let is_probe = file == "probe.rs";
+
+    for i in 0..n {
+        if sf.is_test_tok(i) {
+            continue;
+        }
+        let t = &toks[i];
+
+        // --- probe-determinism: the flight recorder must be inert; even
+        // imports of nondeterministic types are banned there.
+        if is_probe {
+            let hit = (t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "HashMap" | "HashSet" | "SystemTime" | "thread_rng"
+                ))
+                || (t.is_ident("Instant")
+                    && i + 2 < n
+                    && toks[i + 1].is_op("::")
+                    && toks[i + 2].is_ident("now"));
+            if hit {
+                push(
+                    "probe-determinism",
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in the probe: the flight recorder must not perturb or reorder the simulation",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // --- hash-collections (probe.rs is covered by its own stricter
+        // rule above; skip the generic ones there to avoid duplicates)
+        if !is_probe
+            && t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "HashMap" | "HashSet")
+            && !sf.in_use[i]
+            && crate_in(path, HASH_CRATES)
+        {
+            push(
+                "hash-collections",
+                t.line,
+                t.col,
+                format!(
+                    "`{}` iteration order is nondeterministic; use BTreeMap/BTreeSet or a Vec",
+                    t.text
+                ),
+            );
+        }
+
+        // --- wall-clock
+        if !is_probe && !sf.in_use[i] {
+            if t.is_ident("Instant")
+                && i + 2 < n
+                && toks[i + 1].is_op("::")
+                && toks[i + 2].is_ident("now")
+            {
+                push(
+                    "wall-clock",
+                    t.line,
+                    t.col,
+                    "`Instant::now()` reads the wall clock; simulation code must use SimTime"
+                        .to_string(),
+                );
+            }
+            if t.is_ident("SystemTime") {
+                push(
+                    "wall-clock",
+                    t.line,
+                    t.col,
+                    "`SystemTime` reads the wall clock; simulation code must use SimTime"
+                        .to_string(),
+                );
+            }
+        }
+
+        // --- thread-rng
+        if !is_probe && t.is_ident("thread_rng") {
+            push(
+                "thread-rng",
+                t.line,
+                t.col,
+                "`thread_rng` is unseeded; use the run's seeded Rng".to_string(),
+            );
+        }
+
+        // --- float-time-cmp: exact equality where an operand is a
+        // float-seconds conversion, or a float literal compared in the
+        // same statement as one.
+        if t.kind == TokKind::Op && matches!(t.text.as_str(), "==" | "!=") {
+            let left_conv = left_operand_name(sf, i) == Some("as_secs_f64");
+            let right_conv = right_operand_name(sf, i) == Some("as_secs_f64");
+            let adj_float = (i > 0 && is_float_literal(&toks[i - 1]))
+                || (i + 1 < n && is_float_literal(&toks[i + 1]));
+            let stmt_has_conv = || {
+                let (lo, hi) = statement_bounds(sf, i);
+                toks[lo..hi].iter().any(|t| t.is_ident("as_secs_f64"))
+            };
+            if left_conv || right_conv || (adj_float && stmt_has_conv()) {
+                push(
+                    "float-time-cmp",
+                    t.line,
+                    t.col,
+                    "float equality on converted seconds; compare SimTime/SimDuration values instead"
+                        .to_string(),
+                );
+            }
+        }
+
+        // --- unwrap-impair
+        if file == "impair.rs" && t.is_ident("unwrap") && i + 1 < n && toks[i + 1].is_op("(") {
+            push(
+                "unwrap-impair",
+                t.line,
+                t.col,
+                "`unwrap()` in the impairment layer; degrade deterministically instead of panicking"
+                    .to_string(),
+            );
+        }
+
+        // --- hot-path-alloc
+        if HOT_FILES.contains(&file) {
+            let hit = (t.is_ident("Box")
+                && i + 2 < n
+                && toks[i + 1].is_op("::")
+                && toks[i + 2].is_ident("new"))
+                || (t.is_ident("Vec")
+                    && i + 2 < n
+                    && toks[i + 1].is_op("::")
+                    && toks[i + 2].is_ident("new"))
+                || (t.is_ident("vec") && i + 1 < n && toks[i + 1].is_op("!"))
+                || (t.is_ident("payload")
+                    && i + 2 < n
+                    && toks[i + 1].is_op(".")
+                    && toks[i + 2].is_ident("clone"));
+            if hit {
+                push(
+                    "hot-path-alloc",
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` allocates on the per-segment hot path; use the pools",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // --- seq-wrap: direct ordering/subtraction on sequence-space
+        // values must use the netsim::seq wrapping helpers.
+        if file == "tcp.rs"
+            && t.kind == TokKind::Op
+            && matches!(t.text.as_str(), "<" | ">" | "<=" | ">=" | "-")
+            && is_binary_op(sf, i)
+        {
+            let left = left_operand_name(sf, i);
+            let right = right_operand_name(sf, i);
+            let seq_left = left.map(|s| SEQ_NAMES.contains(&s)).unwrap_or(false);
+            let seq_right = right.map(|s| SEQ_NAMES.contains(&s)).unwrap_or(false);
+            if seq_left || seq_right {
+                push(
+                    "seq-wrap",
+                    t.line,
+                    t.col,
+                    format!(
+                        "direct `{}` on sequence-space value; use netsim::seq wrapping helpers",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // --- time-unit: raw nanosecond arithmetic mixed with float or
+        // seconds constants outside the SimTime ops module.
+        if file != "time.rs" && crate_in(path, TIME_CRATES) {
+            // `as_nanos() as f64` — converting ticks to float by hand.
+            if t.is_ident("as_nanos")
+                && i + 4 < n
+                && toks[i + 1].is_op("(")
+                && toks[i + 2].is_op(")")
+                && toks[i + 3].is_ident("as")
+                && toks[i + 4].is_ident("f64")
+            {
+                push(
+                    "time-unit",
+                    t.line,
+                    t.col,
+                    "raw ns-to-float conversion; use SimTime/SimDuration::as_secs_f64".to_string(),
+                );
+            }
+            // Float literal in the same statement as a tick extraction.
+            if t.is_ident("as_nanos") {
+                let (lo, hi) = statement_bounds(sf, i);
+                for tok in &toks[lo..hi] {
+                    if is_float_literal(tok) {
+                        push(
+                            "time-unit",
+                            tok.line,
+                            tok.col,
+                            "float constant mixed with raw nanosecond ticks; use SimTime ops"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            // A bare 10^9 literal is a hand-rolled seconds conversion.
+            if t.kind == TokKind::Num && is_ns_per_sec_literal(&t.text) {
+                push(
+                    "time-unit",
+                    t.line,
+                    t.col,
+                    "hand-rolled ns/sec constant; use SimTime/SimDuration conversions".to_string(),
+                );
+            }
+        }
+    }
+
+    // Dedup time-unit hits that fired via more than one sub-pattern on
+    // the same token position.
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
+
+    // --- tcp-state-machine
+    if file == "tcp.rs" {
+        let ex = spec::extract(sf);
+        if ex.has_state_paths {
+            out.extend(spec::check(path, &ex, spec::RFC793_SPEC));
+        }
+    }
+
+    out
+}
+
+/// Token range [lo, hi) of the statement containing token `i`, bounded
+/// by `;`, `{`, or `}`.
+fn statement_bounds(sf: &ScopedFile, i: usize) -> (usize, usize) {
+    let toks = &sf.toks;
+    let mut lo = i;
+    while lo > 0 {
+        let t = &toks[lo - 1];
+        if t.kind == TokKind::Op && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = i;
+    while hi < toks.len() {
+        let t = &toks[hi];
+        if t.kind == TokKind::Op && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        hi += 1;
+    }
+    (lo, hi)
+}
+
+fn is_float_literal(t: &crate::lexer::Tok) -> bool {
+    t.kind == TokKind::Num
+        && !t.text.starts_with("0x")
+        && (t.text.contains('.') || t.text.contains('e') || t.text.contains('E'))
+}
+
+fn is_ns_per_sec_literal(text: &str) -> bool {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    clean == "1000000000" || clean == "1e9" || clean == "1e9f64"
+}
+
+/// Is the operator at `i` binary (has a value-producing token on its
+/// left)? Filters out unary minus and generics-free noise.
+fn is_binary_op(sf: &ScopedFile, i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let p = &sf.toks[i - 1];
+    match p.kind {
+        TokKind::Ident | TokKind::Num | TokKind::Str | TokKind::Char => true,
+        TokKind::Op => matches!(p.text.as_str(), ")" | "]"),
+        TokKind::Lifetime => false,
+    }
+}
+
+/// Name of the value immediately left of operator `i`: a plain
+/// identifier, or for a call chain `foo(…) OP`, the called identifier.
+fn left_operand_name(sf: &ScopedFile, i: usize) -> Option<&str> {
+    let toks = &sf.toks;
+    let mut j = i.checked_sub(1)?;
+    if toks[j].is_op(")") {
+        // Walk back to the matching `(`, then the ident before it.
+        let mut depth = 0i32;
+        loop {
+            let t = &toks[j];
+            if t.is_op(")") {
+                depth += 1;
+            } else if t.is_op("(") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    if toks[j].kind == TokKind::Ident {
+        Some(toks[j].text.as_str())
+    } else {
+        None
+    }
+}
+
+/// Name of the value immediately right of operator `i`, walking
+/// through `self .`-style field chains to the final identifier.
+fn right_operand_name(sf: &ScopedFile, i: usize) -> Option<&str> {
+    let toks = &sf.toks;
+    let mut j = i + 1;
+    while j + 2 < toks.len() && toks[j].kind == TokKind::Ident && toks[j + 1].is_op(".") {
+        j += 2;
+    }
+    if j < toks.len() && toks[j].kind == TokKind::Ident {
+        Some(toks[j].text.as_str())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::scope_file;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_scoped(&scope_file(path, lex(src), RULE_IDS))
+    }
+
+    #[test]
+    fn needle_in_string_or_comment_never_fires() {
+        let src = "fn f() {\n    // HashMap and Instant::now in prose\n    let s = \"HashMap Instant::now thread_rng\";\n}\n";
+        assert!(diags("crates/netsim/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reformatted_call_still_fires() {
+        let src = "fn f() {\n    let t = Instant::\n        now();\n}\n";
+        let d = diags("crates/netsim/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "wall-clock");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let m = HashMap::new(); }\n}\n";
+        assert!(diags("crates/netsim/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn use_lines_are_exempt_except_in_probe() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(diags("crates/netsim/src/store.rs", src).is_empty());
+        let d = diags("crates/netsim/src/probe.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "probe-determinism");
+    }
+
+    #[test]
+    fn seq_wrap_sees_call_chain_and_field_chain() {
+        let src = "fn f(&self) {\n    let a = self.send_limit() - self.snd_nxt;\n    if seq < self.rcv_nxt {}\n}\n";
+        let d = diags("crates/netsim/src/tcp.rs", src);
+        let rules: Vec<&str> = d.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["seq-wrap", "seq-wrap"]);
+    }
+
+    #[test]
+    fn seq_wrap_ignores_unary_minus_and_generics() {
+        let src = "fn f(x: Option<u64>) {\n    let y = -(1i64);\n    let z: Vec<u64> = Vec::with_capacity(0);\n}\n";
+        assert!(diags("crates/netsim/src/tcp.rs", src)
+            .iter()
+            .all(|d| d.rule != "seq-wrap"));
+    }
+
+    #[test]
+    fn float_cmp_is_statement_bounded() {
+        // Conversion and comparison in different statements: clean.
+        let src =
+            "fn f(d: SimDuration) {\n    let secs = d.as_secs_f64();\n    if secs == 0.0 {}\n}\n";
+        assert!(diags("crates/bench/src/lib.rs", src).is_empty());
+        // Same statement: fires.
+        let src2 = "fn f(d: SimDuration) {\n    let b = d.as_secs_f64() == 0.0;\n}\n";
+        let d = diags("crates/bench/src/lib.rs", src2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "float-time-cmp");
+    }
+
+    #[test]
+    fn time_unit_subpatterns_fire_once_per_site() {
+        let src = "fn f(d: SimDuration) {\n    let x = d.as_nanos() as f64 / 1e9;\n}\n";
+        let d = diags("crates/netsim/src/impair.rs", src);
+        let tu: Vec<_> = d.iter().filter(|x| x.rule == "time-unit").collect();
+        // One hit at as_nanos (pattern A), one at the 1e9 literal.
+        assert_eq!(tu.len(), 2);
+    }
+
+    #[test]
+    fn time_unit_exempts_time_rs() {
+        let src = "fn f(self) -> f64 { self.0 as f64 / 1e9 }\n";
+        assert!(diags("crates/netsim/src/time.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Mutation tests: every rule is proven live by planting one violation
+//! in a synthetic snippet and asserting the exact diagnostic (rule id,
+//! file, line). A rule that silently stops firing fails here before it
+//! can fail to protect the tree.
+
+use simlint::{lint_sources, FileAllow, SourceFile};
+
+fn one(path: &str, text: &str) -> Vec<simlint::report::Diagnostic> {
+    lint_sources(
+        &[SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+        }],
+        &[],
+    )
+    .diagnostics
+}
+
+/// Assert exactly one diagnostic with the given rule, path and line.
+fn assert_fires(path: &str, text: &str, rule: &str, line: u32) {
+    let diags = one(path, text);
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one diagnostic for {rule}, got {diags:?}"
+    );
+    let d = &diags[0];
+    assert_eq!(d.rule, rule);
+    assert_eq!(d.path, path);
+    assert_eq!(d.line, line, "wrong line for {rule}: {d}");
+}
+
+#[test]
+fn hash_collections_fires() {
+    assert_fires(
+        "crates/netsim/src/store.rs",
+        "fn f() {\n    let m = HashMap::with_capacity(4);\n    let _ = m;\n}\n",
+        "hash-collections",
+        2,
+    );
+}
+
+#[test]
+fn wall_clock_fires() {
+    assert_fires(
+        "crates/core/src/robot.rs",
+        "fn f() {\n    let t = Instant::now();\n}\n",
+        "wall-clock",
+        2,
+    );
+}
+
+#[test]
+fn thread_rng_fires() {
+    assert_fires(
+        "crates/netsim/src/impair2.rs",
+        "fn f() {\n    let r = thread_rng();\n}\n",
+        "thread-rng",
+        2,
+    );
+}
+
+#[test]
+fn float_time_cmp_fires() {
+    assert_fires(
+        "crates/netsim/src/trace2.rs",
+        "fn f(d: SimDuration) {\n    if d.as_secs_f64() == 1.5 {}\n}\n",
+        "float-time-cmp",
+        2,
+    );
+}
+
+#[test]
+fn unwrap_impair_fires() {
+    assert_fires(
+        "crates/netsim/src/impair.rs",
+        "fn f(x: Option<u8>) {\n    let v = x.unwrap();\n}\n",
+        "unwrap-impair",
+        2,
+    );
+}
+
+#[test]
+fn probe_determinism_fires() {
+    assert_fires(
+        "crates/netsim/src/probe.rs",
+        "use std::collections::HashSet;\n",
+        "probe-determinism",
+        1,
+    );
+}
+
+#[test]
+fn hot_path_alloc_fires() {
+    assert_fires(
+        "crates/netsim/src/link.rs",
+        "fn f(seg: &Segment) {\n    let p = seg.payload.clone();\n}\n",
+        "hot-path-alloc",
+        2,
+    );
+}
+
+#[test]
+fn seq_wrap_fires() {
+    assert_fires(
+        "crates/netsim/src/tcp.rs",
+        "fn f(&self, ack: u64) -> bool {\n    ack > self.snd_una\n}\n",
+        "seq-wrap",
+        2,
+    );
+}
+
+#[test]
+fn time_unit_fires() {
+    assert_fires(
+        "crates/netsim/src/link.rs",
+        "fn f(d: SimDuration) -> f64 {\n    d.as_nanos() as f64\n}\n",
+        "time-unit",
+        2,
+    );
+}
+
+#[test]
+fn tcp_state_machine_fires() {
+    // An undeclared transition in a state-match over the TCB state.
+    assert_fires(
+        "crates/netsim/src/tcp.rs",
+        "fn f(&mut self) {\n    match self.state {\n        State::Established => self.state = State::SynSent,\n        _ => {}\n    }\n}\n",
+        "tcp-state-machine",
+        3,
+    );
+}
+
+#[test]
+fn stale_allow_fires_for_marker() {
+    assert_fires(
+        "crates/netsim/src/sim.rs",
+        "fn f() {\n    let x = 1; // simlint: allow(hot-path-alloc)\n}\n",
+        "stale-allow",
+        2,
+    );
+}
+
+#[test]
+fn stale_allow_fires_for_allowlist_entry() {
+    let diags = lint_sources(
+        &[SourceFile {
+            path: "crates/netsim/src/sim.rs".to_string(),
+            text: "fn f() {}\n".to_string(),
+        }],
+        &[FileAllow {
+            rule: "wall-clock".to_string(),
+            path: "crates/netsim/src/gone.rs".to_string(),
+            line: 7,
+        }],
+    )
+    .diagnostics;
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "stale-allow");
+    assert_eq!(diags[0].path, "xtask-allow.txt");
+    assert_eq!(diags[0].line, 7);
+}
+
+// --- Scoper precision: the properties the regex lint could not have ---
+
+#[test]
+fn violation_hidden_by_reformatting_still_fires() {
+    // Split across lines, extra whitespace, and a comment in between.
+    assert_fires(
+        "crates/netsim/src/sim.rs",
+        "fn f() {\n    let t = Instant\n        :: /* sneaky */\n        now();\n}\n",
+        "wall-clock",
+        2,
+    );
+}
+
+#[test]
+fn needle_inside_string_or_comment_is_silent() {
+    let diags = one(
+        "crates/netsim/src/sim.rs",
+        "fn f() {\n    // Instant::now() HashMap thread_rng\n    let s = \"Instant::now() HashMap\";\n    let r = r#\"SystemTime\"#;\n}\n",
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+#[test]
+fn fn_granular_allow_covers_body_but_not_neighbors() {
+    let text = "\
+// Timing the real run is this helper's purpose.
+// simlint: allow(wall-clock)
+fn timed() {
+    let a = Instant::now();
+    let b = Instant::now();
+}
+
+fn unblessed() {
+    let c = Instant::now();
+}
+";
+    let diags = one("crates/bench/src/lib.rs", text);
+    assert_eq!(
+        diags.len(),
+        1,
+        "only the unblessed fn should fire: {diags:?}"
+    );
+    assert_eq!(diags[0].rule, "wall-clock");
+    assert_eq!(diags[0].line, 9);
+}
+
+#[test]
+fn test_code_never_fires() {
+    let diags = one(
+        "crates/netsim/src/sim.rs",
+        "#[cfg(test)]\nmod tests {\n    fn t() {\n        let t = Instant::now();\n        let m = HashMap::new();\n    }\n}\n",
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}

@@ -1,0 +1,123 @@
+//! The state-machine check against the real TCB, with teeth tests: the
+//! extracted transition graph of `crates/netsim/src/tcp.rs` must match
+//! the embedded RFC 793 table exactly, and deliberately perturbing the
+//! table must make the rule fire on the real file — proving the check
+//! would catch a regression in either direction.
+
+use simlint::scope::scope_file;
+use simlint::spec::{self, SpecEntry, RFC793_SPEC};
+use simlint::{lexer, rules};
+
+fn real_tcp() -> (String, simlint::spec::Extraction) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../netsim/src/tcp.rs");
+    let text = std::fs::read_to_string(path).expect("read crates/netsim/src/tcp.rs");
+    let sf = scope_file(
+        "crates/netsim/src/tcp.rs",
+        lexer::lex(&text),
+        rules::RULE_IDS,
+    );
+    let ex = spec::extract(&sf);
+    ("crates/netsim/src/tcp.rs".to_string(), ex)
+}
+
+#[test]
+fn real_tcb_matches_the_spec_table() {
+    let (path, ex) = real_tcp();
+    assert!(ex.has_enum, "tcp.rs defines the State enum");
+    let diags = spec::check(&path, &ex, RFC793_SPEC);
+    assert!(
+        diags.is_empty(),
+        "tcp.rs diverges from RFC 793 table: {diags:?}"
+    );
+}
+
+#[test]
+fn real_tcb_implements_every_exact_transition() {
+    // Spot-check the extraction itself, not just the diff: all eleven
+    // state-dependent transitions plus the wildcard teardown edges.
+    let (_, ex) = real_tcp();
+    let has = |from: &str, to: &str| ex.edges.iter().any(|e| e.from == from && e.to == to);
+    for (from, to) in [
+        ("SynSent", "Established"),
+        ("SynRcvd", "Established"),
+        ("Established", "FinWait1"),
+        ("Established", "CloseWait"),
+        ("CloseWait", "LastAck"),
+        ("FinWait1", "FinWait2"),
+        ("FinWait1", "Closing"),
+        ("FinWait1", "TimeWait"),
+        ("FinWait2", "TimeWait"),
+        ("Closing", "TimeWait"),
+        ("LastAck", "Closed"),
+    ] {
+        assert!(has(from, to), "missing extracted edge {from} -> {to}");
+    }
+    // RST handling, local abort, and the 2MSL timer all tear down
+    // state-independently.
+    let wildcards = ex
+        .edges
+        .iter()
+        .filter(|e| e.from == "Any" && e.to == "Closed")
+        .count();
+    assert_eq!(
+        wildcards, 3,
+        "expected rst/abort/2msl wildcard teardown edges"
+    );
+    // Both open paths are declared start states.
+    let starts: Vec<&str> = ex.starts.iter().map(|(s, _, _)| s.as_str()).collect();
+    assert!(starts.contains(&"SynSent") && starts.contains(&"SynRcvd"));
+    assert!(
+        ex.terminal_sends.is_empty(),
+        "terminal states must not transmit"
+    );
+}
+
+#[test]
+fn removing_a_transition_from_the_table_fires_on_real_tcp() {
+    // Teeth: drop FinWait2 -> TimeWait from the spec. The implemented
+    // transition in tcp.rs is now undeclared and must be reported at its
+    // real location.
+    let (path, ex) = real_tcp();
+    let pruned: Vec<SpecEntry> = RFC793_SPEC
+        .iter()
+        .copied()
+        .filter(|e| !(e.from == "FinWait2" && e.to == "TimeWait"))
+        .collect();
+    let diags = spec::check(&path, &ex, &pruned);
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly the pruned edge: {diags:?}"
+    );
+    let d = &diags[0];
+    assert_eq!(d.rule, "tcp-state-machine");
+    assert_eq!(d.path, "crates/netsim/src/tcp.rs");
+    assert!(d
+        .message
+        .contains("undeclared transition FinWait2 -> TimeWait"));
+    assert!(d.line > 0, "diagnostic carries the real source line");
+}
+
+#[test]
+fn requiring_an_unimplemented_transition_fires_on_real_tcp() {
+    // Teeth in the other direction: demand a transition tcp.rs does not
+    // implement and the required-missing arm must fire.
+    let (path, ex) = real_tcp();
+    let mut extended: Vec<SpecEntry> = RFC793_SPEC.to_vec();
+    extended.push(SpecEntry {
+        from: "SynRcvd",
+        to: "FinWait1",
+        required: true,
+        wildcard_ok: false,
+        why: "close from SYN-RECEIVED (not modeled)",
+    });
+    let diags = spec::check(&path, &ex, &extended);
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly the missing requirement: {diags:?}"
+    );
+    assert!(diags[0]
+        .message
+        .contains("required transition SynRcvd -> FinWait1"));
+}

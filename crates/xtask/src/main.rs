@@ -1,405 +1,100 @@
-//! `xtask` — dependency-free repo maintenance tasks.
+//! Repo maintenance tasks.
 //!
-//! The one task so far is the determinism lint:
+//! `cargo run -p xtask -- lint [--json PATH]` runs the simlint static
+//! analysis pass over every crate and exits nonzero on any diagnostic
+//! at severity warn or above. This is the single lint entry point: CI
+//! invokes exactly the same command, with `--json` to capture the
+//! machine-readable report as a build artifact.
 //!
-//! ```text
-//! cargo run -p xtask -- lint
-//! ```
+//! The rules themselves live in `crates/simlint` — a scope-aware engine
+//! (minimal Rust lexer + brace/item scoper), so needles inside comments
+//! and string literals never fire, reformatting cannot hide a
+//! violation, and suppressions can be function-granular. See DESIGN.md
+//! ("Static analysis") for the rule catalog, the RFC 793 spec table,
+//! and how to add a rule.
 //!
-//! The whole simulation must be a pure function of its inputs: two runs
-//! of the same spec must agree bit-for-bit regardless of thread count,
-//! hash seeds or wall-clock. The type system can't enforce that, so this
-//! is a line/token lint over the workspace sources for the constructs
-//! that have historically broken it:
+//! Suppressions:
+//! - line-granular: a trailing comment on the offending line naming the
+//!   rule, e.g. `// simlint: allow(<rule-id>)` with a real rule id (the
+//!   legacy `xtask:` marker spelling still works);
+//! - function-granular: the same marker in the comment block above a
+//!   function signature covers the whole body;
+//! - file-granular: a `<rule-id> <path>` line in `xtask-allow.txt` at
+//!   the repo root.
 //!
-//! * `hash-collections` — `HashMap`/`HashSet` in the determinism-critical
-//!   crates (`netsim`, `core`, `httpserver`, `httpclient`). Rust's hash
-//!   maps use a random per-process seed; any iteration leaks that seed's
-//!   order into the run. Use `BTreeMap`/`BTreeSet`, or carry an
-//!   `xtask: allow(hash-collections)` comment arguing the map is
-//!   keyed-lookup-only.
-//! * `wall-clock` — `Instant::now` / `SystemTime` anywhere: simulated
-//!   code must read [`SimTime`] from the simulator, never the host clock.
-//!   (Benchmark timing is the legitimate exception, allowlisted in
-//!   `xtask-allow.txt`.)
-//! * `thread-rng` — `thread_rng` anywhere: all randomness must flow from
-//!   explicit seeds.
-//! * `float-time-cmp` — `==`/`!=` on the same line as `as_secs_f64`:
-//!   exact comparison of float-converted simulated time; compare the
-//!   integer nanosecond values instead.
-//! * `unwrap-impair` — `.unwrap()` in the impairment pipeline
-//!   (`netsim/src/impair.rs`): a panic mid-impairment tears down a cell
-//!   asymmetrically and poisons the shared thread pool.
-//! * `probe-determinism` — any wall-clock read or hash collection in the
-//!   flight recorder (`netsim/src/probe.rs`), *including* bare imports:
-//!   probe output is digest-compared byte-for-byte in CI, so even a
-//!   lookup-only hash map or a host timestamp in its analysis path would
-//!   eventually leak nondeterminism into the PROBE documents. No
-//!   suppressions — use `Vec`/`BTreeMap` and `SimTime`.
-//! * `hot-path-alloc` — `Box::new`, `Vec::new` / `vec![`, or a
-//!   `payload.clone()` in the per-segment kernel paths (`netsim`'s
-//!   `tcp.rs`, `link.rs`, `sim.rs`). These files run once per simulated
-//!   packet; the microbench suite gates allocations/packet, and a stray
-//!   allocation in a segment path is a throughput regression the type
-//!   system won't catch. Use the segment pool (`Bytes::pooled_*`), the
-//!   kernel's `Effects` pool, or reuse a scratch buffer. Cold paths
-//!   (constructors, setup) carry an `xtask: allow(hot-path-alloc)`
-//!   comment stating why they are off the per-segment path.
-//!
-//! Suppression: a `xtask: allow(<rule>)` comment on the flagged line or
-//! in the comment block immediately above it, or a `<rule> <path>` line
-//! in the committed `xtask-allow.txt` at the repo root. Test code
-//! (`tests/` directories and `#[cfg(test)]` items) is skipped.
+//! Every suppression must still fire: a marker or allowlist entry that
+//! no longer matches anything is itself reported (`stale-allow`), so
+//! dead exemptions cannot linger and mask future regressions.
 
-use std::collections::BTreeSet;
+use std::env;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// One lint rule: a name, the substrings that trigger it, and the crate
-/// directories (under `crates/`) it applies to (`None` = everywhere).
-struct Rule {
-    name: &'static str,
-    /// The line (comments stripped) triggers if it contains any of these.
-    needles: &'static [&'static str],
-    /// And, when non-empty, all of these.
-    also: &'static [&'static str],
-    crates: Option<&'static [&'static str]>,
-    /// Restrict to specific files (workspace-relative), e.g. the
-    /// impairment pipeline or the per-segment kernel paths. Empty =
-    /// every file.
-    files: &'static [&'static str],
-    /// Skip `use` declarations — an import alone creates nothing; every
-    /// actual use of the type still triggers.
-    skip_use_lines: bool,
-}
-
-const RULES: &[Rule] = &[
-    Rule {
-        name: "hash-collections",
-        needles: &["HashMap", "HashSet"],
-        also: &[],
-        crates: Some(&["netsim", "core", "httpserver", "httpclient", "httpmux"]),
-        files: &[],
-        skip_use_lines: true,
-    },
-    Rule {
-        name: "wall-clock",
-        needles: &["Instant::now", "SystemTime"],
-        also: &[],
-        crates: None,
-        files: &[],
-        skip_use_lines: true,
-    },
-    Rule {
-        name: "thread-rng",
-        needles: &["thread_rng"],
-        also: &[],
-        crates: None,
-        files: &[],
-        skip_use_lines: false,
-    },
-    Rule {
-        name: "float-time-cmp",
-        needles: &["==", "!="],
-        also: &["as_secs_f64"],
-        crates: None,
-        files: &[],
-        skip_use_lines: false,
-    },
-    Rule {
-        name: "unwrap-impair",
-        needles: &[".unwrap("],
-        also: &[],
-        crates: None,
-        files: &["crates/netsim/src/impair.rs"],
-        skip_use_lines: false,
-    },
-    Rule {
-        name: "probe-determinism",
-        needles: &["HashMap", "HashSet", "Instant::now", "SystemTime"],
-        also: &[],
-        crates: None,
-        files: &["crates/netsim/src/probe.rs"],
-        skip_use_lines: false,
-    },
-    Rule {
-        name: "hot-path-alloc",
-        needles: &["Box::new", "Vec::new", "vec![", "payload.clone()"],
-        also: &[],
-        crates: None,
-        files: &[
-            "crates/netsim/src/tcp.rs",
-            "crates/netsim/src/link.rs",
-            "crates/netsim/src/sim.rs",
-            "crates/httpmux/src/frame.rs",
-            "crates/httpmux/src/conn.rs",
-        ],
-        skip_use_lines: false,
-    },
-];
-
-/// A `<rule> <path>` entry from `xtask-allow.txt`.
-struct FileAllow {
-    rule: String,
-    path: String,
-    used: bool,
-}
-
-struct Finding {
-    path: String,
-    line_no: usize,
-    rule: &'static str,
-    text: String,
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
-            ExitCode::from(2)
+            eprintln!("usage: cargo run -p xtask -- lint [--json PATH]");
+            ExitCode::FAILURE
         }
     }
 }
 
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut allows = load_file_allows(&root);
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &root, &mut files);
-    files.sort();
-
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
-    for rel in &files {
-        // The linter's own rule table spells out the needles it hunts.
-        if rel.starts_with("crates/xtask/") {
-            continue;
-        }
-        scanned += 1;
-        let text = match fs::read_to_string(root.join(rel)) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("xtask lint: cannot read {rel}: {e}");
+fn lint(args: &[String]) -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint argument: {other}");
                 return ExitCode::FAILURE;
             }
-        };
-        lint_file(rel, &text, &mut allows, &mut findings);
+        }
     }
 
-    for f in &findings {
-        println!("{}:{}: [{}] {}", f.path, f.line_no, f.rule, f.text.trim());
+    // Run from the workspace root regardless of invocation directory.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf();
+
+    let report = match simlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: failed to read workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = json_path {
+        if let Err(e) = fs::write(&path, report.to_json()) {
+            eprintln!("lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
-    for a in allows.iter().filter(|a| !a.used) {
-        println!("xtask-allow.txt: unused entry `{} {}`", a.rule, a.path);
+
+    for d in &report.diagnostics {
+        eprintln!("{d}");
     }
-    let unused_allows = allows.iter().filter(|a| !a.used).count();
-    if findings.is_empty() && unused_allows == 0 {
-        println!("xtask lint: {scanned} files clean");
+    if report.clean() {
+        eprintln!("lint: {} files clean", report.files_scanned);
         ExitCode::SUCCESS
     } else {
-        println!(
-            "xtask lint: {} violation(s), {} stale allowlist entr(ies) in {} files",
-            findings.len(),
-            unused_allows,
-            scanned
+        eprintln!(
+            "lint: {} diagnostic(s) across {} files",
+            report.diagnostics.len(),
+            report.files_scanned
         );
         ExitCode::FAILURE
     }
-}
-
-/// The workspace root: walk up from this binary's manifest.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .expect("crates/xtask has a workspace root two levels up")
-        .to_path_buf()
-}
-
-fn load_file_allows(root: &Path) -> Vec<FileAllow> {
-    let mut out = Vec::new();
-    let Ok(text) = fs::read_to_string(root.join("xtask-allow.txt")) else {
-        return out;
-    };
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
-            out.push(FileAllow {
-                rule: rule.to_string(),
-                path: path.to_string(),
-                used: false,
-            });
-        }
-    }
-    out
-}
-
-/// Every `.rs` file under `dir` (recursively), as workspace-relative
-/// paths, skipping `target/` and `tests/` directories.
-fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name == "tests" {
-                continue;
-            }
-            collect_rs_files(&path, root, out);
-        } else if name.ends_with(".rs") {
-            let rel = path
-                .strip_prefix(root)
-                .expect("file under workspace root")
-                .to_string_lossy()
-                .replace('\\', "/");
-            out.push(rel);
-        }
-    }
-}
-
-/// The crate directory name of a workspace-relative path
-/// (`crates/netsim/src/tcp.rs` → `netsim`).
-fn crate_dir(rel: &str) -> &str {
-    rel.strip_prefix("crates/")
-        .and_then(|r| r.split('/').next())
-        .unwrap_or("")
-}
-
-fn lint_file(rel: &str, text: &str, allows: &mut [FileAllow], findings: &mut Vec<Finding>) {
-    let cdir = crate_dir(rel);
-    // Allow markers collected from the comment block directly above the
-    // current code line.
-    let mut pending_allows: BTreeSet<String> = BTreeSet::new();
-    // Brace depth of `#[cfg(test)]` items still open; while positive,
-    // everything is test code.
-    let mut test_depth: i64 = 0;
-    let mut in_test_item = false;
-    // Attribute seen, waiting for the item's first `{`.
-    let mut test_armed = false;
-
-    for (i, raw) in text.lines().enumerate() {
-        let trimmed = raw.trim_start();
-        let (code, comment) = split_comment(raw);
-
-        if in_test_item || test_armed {
-            // Track braces in code (strings with braces inside test code
-            // would miscount; none of the workspace sources do this in a
-            // way that unbalances an item).
-            for c in code.chars() {
-                match c {
-                    '{' => {
-                        test_depth += 1;
-                        test_armed = false;
-                        in_test_item = true;
-                    }
-                    '}' => test_depth -= 1,
-                    _ => {}
-                }
-            }
-            if in_test_item && test_depth <= 0 {
-                in_test_item = false;
-                test_depth = 0;
-            }
-            continue;
-        }
-        if trimmed.starts_with("#[cfg(test)]") {
-            test_armed = true;
-            continue;
-        }
-
-        // Collect allow markers: from a standalone comment line they
-        // apply to the next code line; from a trailing comment to this
-        // line only.
-        let mut line_allows: BTreeSet<String> = std::mem::take(&mut pending_allows);
-        for marker in allow_markers(comment) {
-            line_allows.insert(marker);
-        }
-        if code.trim().is_empty() {
-            // Pure comment (or blank) line: markers carry forward.
-            pending_allows = line_allows;
-            continue;
-        }
-
-        for rule in RULES {
-            if let Some(crates) = rule.crates {
-                if !crates.contains(&cdir) {
-                    continue;
-                }
-            }
-            if !rule.files.is_empty() && !rule.files.contains(&rel) {
-                continue;
-            }
-            if rule.skip_use_lines && trimmed.starts_with("use ") {
-                continue;
-            }
-            let hit = rule.needles.iter().any(|n| code.contains(n))
-                && rule.also.iter().all(|n| code.contains(n));
-            if !hit {
-                continue;
-            }
-            if line_allows.contains(rule.name) {
-                continue;
-            }
-            if let Some(a) = allows
-                .iter_mut()
-                .find(|a| a.rule == rule.name && a.path == rel)
-            {
-                a.used = true;
-                continue;
-            }
-            findings.push(Finding {
-                path: rel.to_string(),
-                line_no: i + 1,
-                rule: rule.name,
-                text: raw.to_string(),
-            });
-        }
-    }
-}
-
-/// Split a source line at the start of its `//` comment (ignoring `//`
-/// inside string literals).
-fn split_comment(line: &str) -> (&str, &str) {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip the escaped byte
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return (&line[..i], &line[i..]);
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    (line, "")
-}
-
-/// Every `xtask: allow(<rule>)` marker in a comment.
-fn allow_markers(comment: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut rest = comment;
-    while let Some(pos) = rest.find("xtask: allow(") {
-        let after = &rest[pos + "xtask: allow(".len()..];
-        if let Some(end) = after.find(')') {
-            out.push(after[..end].trim().to_string());
-            rest = &after[end..];
-        } else {
-            break;
-        }
-    }
-    out
 }
