@@ -417,6 +417,7 @@ fn micro_impair_passthrough() -> Micro {
         ack: 1,
         flags: TcpFlags::ACK,
         window: 65_535,
+        sack: netsim::SackBlocks::NONE,
         payload: bytes::Bytes::pooled_copy_from_slice(&[0u8; 1460]),
     };
     micro("impair_passthrough", N, move || {

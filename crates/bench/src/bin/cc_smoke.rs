@@ -1,0 +1,94 @@
+//! `cc_smoke` — CI determinism and conformance gate for the
+//! congestion-control lab.
+//!
+//! Runs the reduced CC grid (3 setups × {0, 2}% uniform WAN loss × all
+//! four [`CcVariant`]s) twice through the parallel executor (thread
+//! count from `HTTPIPE_THREADS`, as in CI) and asserts that both passes
+//! render bit-identical reports. A third, checked pass replays one lossy
+//! cell per variant under the full conformance checker — including the
+//! per-variant invariants (`newreno-partial-ack`, `sack-rexmit-sacked`,
+//! `cubic-growth-bound`) — and requires zero violations.
+//!
+//! ```text
+//! HTTPIPE_THREADS=8 cargo run --release -p httpipe-bench --bin cc_smoke
+//! ```
+
+use httpipe_core::experiments::{cc, robustness};
+use httpipe_core::harness::{run_cells, run_spec_checked, worker_threads};
+use netsim::CcVariant;
+use std::time::Instant;
+
+fn run_once(points: &[robustness::RobustnessPoint]) -> Vec<robustness::RobustnessCell> {
+    let specs = points.iter().map(|p| p.spec()).collect();
+    points
+        .iter()
+        .zip(run_cells(specs))
+        .map(|(&point, cell)| robustness::RobustnessCell { point, cell })
+        .collect()
+}
+
+// Wall-clock progress reporting for the smoke harness. simlint: allow(wall-clock)
+fn main() {
+    let points = cc::reduced_grid();
+    let threads = worker_threads(points.len());
+    println!(
+        "cc smoke: {} cells, {} worker threads, 2 passes + checked pass",
+        points.len(),
+        threads
+    );
+
+    let start = Instant::now();
+    let first = run_once(&points);
+    let first_digest = cc::report_digest(&cc::report(&first));
+    let second = run_once(&points);
+    let second_digest = cc::report_digest(&cc::report(&second));
+
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a.cell, b.cell,
+            "nondeterministic cell {:?} / {:?}",
+            a.point, b.point
+        );
+    }
+    assert_eq!(
+        first_digest, second_digest,
+        "report digests differ between passes"
+    );
+
+    // Checked pass: one lossy pipelined cell per variant under the full
+    // conformance checker, zero violations required.
+    for &variant in &cc::VARIANTS {
+        let point = first
+            .iter()
+            .find(|c| {
+                c.point.cc == variant
+                    && c.point.loss_pct > 0.0
+                    && c.point.setup == httpipe_core::harness::ProtocolSetup::Http11Pipelined
+            })
+            .expect("lossy pipelined cell for every variant")
+            .point;
+        let (_, report) = run_spec_checked(point.spec());
+        assert!(
+            report.is_clean(),
+            "{} violations under {}:\n{:#?}",
+            report.violations.len(),
+            variant.label(),
+            report.violations
+        );
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let non_reno_rexmit: u64 = first
+        .iter()
+        .filter(|c| c.point.cc != CcVariant::Reno && c.point.loss_pct > 0.0)
+        .map(|c| c.cell.retransmits)
+        .sum();
+    assert!(
+        non_reno_rexmit > 0,
+        "non-Reno lossy cells produced no retransmissions at all"
+    );
+
+    println!("  digest {first_digest:#018x} on both passes ({secs:.2}s total)");
+    println!("{}", cc::recovery_table(&first).render());
+    println!("cc smoke: OK");
+}

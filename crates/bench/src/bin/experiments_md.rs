@@ -7,8 +7,8 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, mux, nagle, probe, protocol_matrix,
-    ranges, robustness, scale, summary, verbosity,
+    ablations, browsers, cc, closemgmt, compression, content, mux, nagle, probe,
+    protocol_matrix, ranges, robustness, scale, summary, verbosity,
 };
 use httpipe_core::harness::ProtocolSetup;
 use httpipe_core::result::CellResult;
@@ -639,6 +639,42 @@ fn main() {
         "\nReport digest (two identical runs of the reduced grid required by\n\
          CI's mux-smoke gate): `{:#018x}`.\n",
         mux::report_digest(&mux_reduced)
+    ));
+
+    // ---- Congestion-control sensitivity ----------------------------------
+    out.push_str("\n## Recovery matters (`repro cc`)\n\n");
+    out.push_str(
+        "Beyond the paper: every loss number above was measured under exactly\n\
+         one loss-recovery algorithm \u{2014} the Reno-style slow start + fast\n\
+         retransmit of 1997 stacks. Here the WAN first-time loss grid reruns\n\
+         under four pluggable `CongestionControl` variants on both endpoints:\n\
+         Reno (RFC 5681, bit-identical to the seed and digest-gated), NewReno\n\
+         (RFC 6582 partial-ACK recovery with window inflation), SACK\n\
+         (RFC 2018/6675 scoreboard \u{2014} holes only, never data the peer\n\
+         already holds) and a CUBIC-shaped grower on integer sim-time\n\
+         (RFC 8312, \u{3b2} = 0.7). Every variant at a coordinate faces the\n\
+         identical impairment draw sequence, so differences are recovery\n\
+         behavior, not luck. The shape to notice: recovery sophistication\n\
+         pays precisely where the paper's preferred transport concentrates\n\
+         traffic \u{2014} on HTTP/1.0's four short parallel connections the\n\
+         fast-retransmit variants are indistinguishable, while on the single\n\
+         pipelined connection NewReno/SACK cut Reno's inflation from +355%\n\
+         to +211% at 2% loss and to a quarter at 5% (the `cc_gate`\n\
+         ordering) by filling holes on partial ACKs\n\
+         instead of stalling into retransmission timeouts \u{2014} the probe\n\
+         decomposition below books the difference almost entirely against\n\
+         the `RTO` bucket.\n\n",
+    );
+    out.push_str("```\n");
+    let cc_cells = robustness::run_points(&cc::full_grid());
+    out.push_str(&cc::recovery_table(&cc_cells).render());
+    out.push('\n');
+    out.push_str(&cc::probe_table(&cc::probe_rows()).render());
+    out.push_str("```\n");
+    out.push_str(&format!(
+        "\nReport digest (two identical runs of the reduced grid required by\n\
+         CI's cc-smoke gate): `{:#018x}`.\n",
+        cc::report_digest(&cc::report(&robustness::run_points(&cc::reduced_grid())))
     ));
 
     // ---- Kernel throughput -----------------------------------------------

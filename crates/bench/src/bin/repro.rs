@@ -8,8 +8,8 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, closemgmt, compression, content, mux, nagle, probe, protocol_matrix,
-    ranges, robustness, scale, summary, verbosity,
+    ablations, browsers, cc, closemgmt, compression, content, mux, nagle, probe,
+    protocol_matrix, ranges, robustness, scale, summary, verbosity,
 };
 use httpserver::ServerKind;
 
@@ -226,6 +226,17 @@ fn experiments() -> Vec<Experiment> {
                 }
                 let probes = probe::run_points(&mux::probe_grid());
                 println!("{}", probe::report(&probes).render());
+            },
+        },
+        Experiment {
+            id: "cc",
+            what: "Loss grid under Reno/NewReno/SACK/CUBIC recovery + per-variant stall probe",
+            run: || {
+                let cells = robustness::run_points(&cc::full_grid());
+                for t in cc::report(&cells) {
+                    println!("{}", t.render());
+                }
+                println!("{}", cc::probe_table(&cc::probe_rows()).render());
             },
         },
         Experiment {

@@ -3,7 +3,7 @@
 //! HTTP-level checks over the reassembled streams live in [`crate::http`].
 
 use crate::{CheckConfig, InvariantKind, Report, Violation};
-use netsim::{DropRecord, Segment, SimTime, SockAddr, TraceRecord};
+use netsim::{CcVariant, DropRecord, Segment, SimTime, SockAddr, TraceRecord};
 use std::collections::BTreeMap;
 
 /// Check every connection in a trace against the full invariant set.
@@ -156,6 +156,19 @@ struct EndState {
     max_right_edge: u64,
     last_arr_window: Option<usize>,
     dup_acks: u32,
+    /// --- congestion-control recovery tracking ---
+    /// Highest outstanding sequence when fast recovery last began
+    /// (0 = not in recovery).
+    recovery_high: u64,
+    /// A partial ACK observed during fast recovery: `(hole start,
+    /// when)`. Cleared by the retransmission that fills the hole.
+    partial_ack_pending: Option<(u64, SimTime)>,
+    /// Sender-facing SACK scoreboard: disjoint ascending ranges the peer
+    /// reported received above the cumulative ACK.
+    sacked: Vec<(u64, u64)>,
+    /// Last congestion event observed at this sender: `(when, wmax
+    /// estimate in bytes, CUBIC K in ms)`.
+    cubic_epoch: Option<(SimTime, usize, u64)>,
     /// --- receiver-side stream reassembly ---
     rcv_nxt: Option<u64>,
     peer_fin_seq: Option<u64>,
@@ -189,6 +202,10 @@ impl EndState {
             max_right_edge: 0,
             last_arr_window: None,
             dup_acks: 0,
+            recovery_high: 0,
+            partial_ack_pending: None,
+            sacked: Vec::new(),
+            cubic_epoch: None,
             rcv_nxt: None,
             peer_fin_seq: None,
             stash: BTreeMap::new(),
@@ -204,6 +221,30 @@ impl EndState {
             cfg.client_nodelay
         }
     }
+}
+
+/// Insert `(start, end)` into a disjoint ascending range set, coalescing
+/// overlapping or touching ranges.
+fn merge_sacked(v: &mut Vec<(u64, u64)>, start: u64, end: u64) {
+    if start >= end {
+        return;
+    }
+    let mut new = (start, end);
+    let mut i = 0;
+    while i < v.len() {
+        let (s, e) = v[i];
+        if e < new.0 {
+            i += 1;
+            continue;
+        }
+        if s > new.1 {
+            break;
+        }
+        new.0 = new.0.min(s);
+        new.1 = new.1.max(e);
+        v.remove(i);
+    }
+    v.insert(i, new);
 }
 
 fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report: &mut Report) {
@@ -266,10 +307,31 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                 }
                 if seg.flags.ack {
                     e.max_right_edge = e.max_right_edge.max(seg.ack + seg.window as u64);
+                    // Sender-facing SACK scoreboard: ranges the peer
+                    // reports received need never be retransmitted.
+                    for (s, end) in seg.sack.iter() {
+                        merge_sacked(&mut e.sacked, s, end);
+                    }
                     if seg.ack > e.max_ack_arrived {
                         e.max_ack_arrived = seg.ack;
                         e.cwnd_cap += cfg.tcp.mss;
                         e.dup_acks = 0;
+                        e.sacked.retain(|&(_, end)| end > seg.ack);
+                        if let Some(first) = e.sacked.first_mut() {
+                            first.0 = first.0.max(seg.ack);
+                        }
+                        // Fast-recovery bookkeeping (RFC 6582): an ACK
+                        // covering everything outstanding at loss time
+                        // ends recovery; anything less is a partial ACK
+                        // whose hole must be filled promptly.
+                        if e.recovery_high > 0 {
+                            if seg.ack >= e.recovery_high {
+                                e.recovery_high = 0;
+                                e.partial_ack_pending = None;
+                            } else {
+                                e.partial_ack_pending = Some((seg.ack, at));
+                            }
+                        }
                     } else if seg.ack == e.max_ack_arrived
                         && !seg.has_payload()
                         && !seg.flags.syn
@@ -277,6 +339,19 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                         && e.snd_max > seg.ack
                     {
                         e.dup_acks += 1;
+                        // RFC 6582 window inflation: NewReno/SACK
+                        // senders grow cwnd by one MSS per duplicate
+                        // ACK once fast retransmit triggers, so the
+                        // envelope must credit the same allowance.
+                        if matches!(cfg.tcp.cc, CcVariant::NewReno | CcVariant::Sack)
+                            && e.dup_acks >= 3
+                        {
+                            e.cwnd_cap += if e.dup_acks == 3 {
+                                3 * cfg.tcp.mss
+                            } else {
+                                cfg.tcp.mss
+                            };
+                        }
                     }
                 }
                 // Receiver-side reassembly of the peer's byte stream.
@@ -524,6 +599,29 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                                 ),
                             );
                         }
+                        // Under CUBIC, flight past a congestion event is
+                        // additionally bounded by the cubic window of
+                        // elapsed time (RFC 8312 §4.1). Slack of 4 MSS
+                        // covers slow-start overshoot and the SYN/FIN
+                        // sequence units.
+                        if cfg.tcp.cc == CcVariant::Cubic {
+                            if let Some((t0, wmax, k_ms)) = e.cubic_epoch {
+                                let elapsed_ms = at.since(t0).as_nanos() / 1_000_000;
+                                let bound =
+                                    netsim::cubic_window(wmax, mss, elapsed_ms, k_ms) + 4 * mss;
+                                if in_flight > bound {
+                                    v(
+                                        report,
+                                        InvariantKind::CubicGrowthBound,
+                                        at,
+                                        format!(
+                                            "{in_flight} bytes in flight exceeds cubic bound \
+                                             {bound} ({elapsed_ms}ms after loss, wmax {wmax})",
+                                        ),
+                                    );
+                                }
+                            }
+                        }
                     }
                     // Nagle: a *fresh* sub-MSS data segment may not depart
                     // while earlier data is unacknowledged (FIN-bearing
@@ -550,6 +648,54 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                     }
                     // Retransmission justification for re-covered space.
                     if !fresh {
+                        // A NewReno/SACK sender fills the hole a partial
+                        // ACK exposed without waiting for timeout or
+                        // fresh duplicate ACKs (RFC 6582 §3.2).
+                        let cc_partial =
+                            matches!(cfg.tcp.cc, CcVariant::NewReno | CcVariant::Sack);
+                        let partial_answer = cc_partial
+                            && e.partial_ack_pending
+                                .is_some_and(|(hole, _)| hole == seg.seq);
+                        if let Some((hole, t_set)) = e.partial_ack_pending {
+                            if cc_partial
+                                && hole == seg.seq
+                                && at.since(t_set) >= cfg.tcp.min_rto
+                            {
+                                v(
+                                    report,
+                                    InvariantKind::NewRenoPartialAck,
+                                    at,
+                                    format!(
+                                        "partial ACK {hole} answered only {} later — the \
+                                         sender fell back to timeout slow start instead of \
+                                         filling the hole in recovery",
+                                        at.since(t_set)
+                                    ),
+                                );
+                            }
+                        }
+                        // Never retransmit sequence space the peer has
+                        // already reported received in a SACK block
+                        // (RFC 2018 §8).
+                        if !seg.payload.is_empty() && !is_probe {
+                            let p_end = seg.seq + seg.payload.len() as u64;
+                            if let Some(&(bs, be)) = e
+                                .sacked
+                                .iter()
+                                .find(|&&(bs, be)| bs.max(seg.seq) < be.min(p_end))
+                            {
+                                v(
+                                    report,
+                                    InvariantKind::SackRexmitSacked,
+                                    at,
+                                    format!(
+                                        "retransmission {}..{p_end} overlaps SACKed range \
+                                         {bs}..{be}",
+                                        seg.seq
+                                    ),
+                                );
+                            }
+                        }
                         let octet = seg.seq;
                         let last_tx = e
                             .txs
@@ -561,7 +707,13 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                             let fast = e.dup_acks >= 3;
                             let probe_recover = last_len == 1;
                             let syn_answer = seg.flags.syn && e.syn_arrived_since_syn_tx;
-                            if !(waited || fast || probe_recover || is_probe || syn_answer) {
+                            if !(waited
+                                || fast
+                                || probe_recover
+                                || is_probe
+                                || syn_answer
+                                || partial_answer)
+                            {
                                 v(
                                     report,
                                     InvariantKind::RexmitJustified,
@@ -593,6 +745,38 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                     e.ack_departures.push((at, seg.ack));
                 }
                 if seg.seq_space() > 0 {
+                    // Congestion-recovery bookkeeping. A data
+                    // retransmission is either RTO-style (a full
+                    // min_rto elapsed since the previous copy — closes
+                    // any fast recovery, RFC 6582 §3.2 step 1) or a
+                    // fast/partial-ACK retransmit (opens recovery under
+                    // >= 3 duplicate ACKs, clears the pending hole).
+                    // Either way it is a congestion event for the CUBIC
+                    // bound. Zero-window probes are exempt.
+                    let is_probe = seg.payload.len() == 1 && e.last_arr_window == Some(0);
+                    if seg.seq < prev_snd_max && !seg.payload.is_empty() && !is_probe {
+                        let rto_style = e
+                            .txs
+                            .iter()
+                            .rev()
+                            .find(|&&(s, end, _, _)| s <= seg.seq && seg.seq < end)
+                            .is_some_and(|&(_, _, last_at, _)| {
+                                at.since(last_at) >= cfg.tcp.min_rto
+                            });
+                        if rto_style {
+                            e.recovery_high = 0;
+                            e.partial_ack_pending = None;
+                        } else {
+                            if e.dup_acks >= 3 && e.recovery_high == 0 {
+                                e.recovery_high = prev_snd_max;
+                            }
+                            if e.partial_ack_pending.is_some_and(|(hole, _)| hole == seg.seq) {
+                                e.partial_ack_pending = None;
+                            }
+                        }
+                        let wmax = ((prev_snd_max - e.max_ack_arrived) as usize).max(2 * mss);
+                        e.cubic_epoch = Some((at, wmax, netsim::cubic_k_ms(wmax, mss)));
+                    }
                     e.txs.push((seg.seq, seg.seq_end(), at, seg.payload.len()));
                     if !seg.payload.is_empty() {
                         // Fresh payload range in stream offsets (data

@@ -121,11 +121,24 @@ pub enum InvariantKind {
     /// PUSH_PROMISE only travels server→client and must reference an
     /// open client-initiated stream.
     MuxPushPromiseInvalid,
+    /// A NewReno/SACK sender in fast recovery must not re-enter slow
+    /// start on a partial ACK: the retransmission answering a partial
+    /// ACK departs without collapsing the congestion window to one
+    /// segment (RFC 6582 §3.2).
+    NewRenoPartialAck,
+    /// A sender never retransmits sequence space the peer has already
+    /// reported received in a SACK block (RFC 2018 §8: data covered by
+    /// a SACK need not be retransmitted before the scoreboard clears).
+    SackRexmitSacked,
+    /// Under CUBIC, bytes in flight stay bounded by the cubic window
+    /// function of time since the last congestion event (RFC 8312 §4.1),
+    /// with slack for the in-flight measurement granularity.
+    CubicGrowthBound,
 }
 
 impl InvariantKind {
     /// Every invariant, for enumeration in reports and tests.
-    pub const ALL: [InvariantKind; 31] = [
+    pub const ALL: [InvariantKind; 34] = [
         InvariantKind::SynFirst,
         InvariantKind::HandshakeOrdering,
         InvariantKind::SynAckAcksIss,
@@ -157,6 +170,9 @@ impl InvariantKind {
         InvariantKind::MuxWindowNonNegative,
         InvariantKind::MuxDataAfterEndStream,
         InvariantKind::MuxPushPromiseInvalid,
+        InvariantKind::NewRenoPartialAck,
+        InvariantKind::SackRexmitSacked,
+        InvariantKind::CubicGrowthBound,
     ];
 
     /// Short stable identifier for reports.
@@ -193,6 +209,9 @@ impl InvariantKind {
             InvariantKind::MuxWindowNonNegative => "mux-window-non-negative",
             InvariantKind::MuxDataAfterEndStream => "mux-data-after-end-stream",
             InvariantKind::MuxPushPromiseInvalid => "mux-push-promise-invalid",
+            InvariantKind::NewRenoPartialAck => "newreno-partial-ack",
+            InvariantKind::SackRexmitSacked => "sack-rexmit-sacked",
+            InvariantKind::CubicGrowthBound => "cubic-growth-bound",
         }
     }
 }

@@ -7,7 +7,7 @@
 use bytes::Bytes;
 use conformance::{check_trace, CheckConfig, InvariantKind, Report};
 use netsim::trace::{DropRecord, TraceRecord};
-use netsim::{HostId, Segment, SimTime, SockAddr, TcpFlags};
+use netsim::{HostId, SackBlocks, Segment, SimTime, SockAddr, TcpFlags};
 
 const WIN: usize = 65535;
 const REQ: &[u8] = b"GET / HTTP/1.1\r\nHost: example.org\r\n\r\n";
@@ -48,6 +48,7 @@ fn seg(c2s: bool, seq: u64, ack: u64, flags: TcpFlags, payload: &[u8], window: u
         ack,
         flags,
         window,
+        sack: SackBlocks::NONE,
         payload: Bytes::from(payload.to_vec()),
     }
 }
@@ -160,7 +161,7 @@ fn clean_baseline_has_no_violations() {
 
 #[test]
 fn every_invariant_kind_is_enumerated() {
-    assert_eq!(InvariantKind::ALL.len(), 31);
+    assert_eq!(InvariantKind::ALL.len(), 34);
 }
 
 #[test]
@@ -1042,4 +1043,210 @@ fn mutation_mux_push_promise_from_client() {
         &check(&mux_trace(&client, &server)),
         InvariantKind::MuxPushPromiseInvalid,
     );
+}
+
+// ---------------------------------------------------------------------
+// Congestion-control invariants (NewReno / SACK / CUBIC)
+// ---------------------------------------------------------------------
+
+use netsim::impair::DropReason;
+use netsim::{CcVariant, TcpConfig};
+
+const MSS: u64 = 1460;
+
+fn check_cc(recs: &[TraceRecord], drops: &[DropRecord], cc: CcVariant) -> Report {
+    let cfg = CheckConfig {
+        http: false,
+        tcp: TcpConfig {
+            cc,
+            ..TcpConfig::default()
+        },
+        ..CheckConfig::default()
+    };
+    check_trace(recs, drops, &cfg)
+}
+
+fn drop_at(us: u64, segment: Segment) -> DropRecord {
+    DropRecord {
+        at: t(us),
+        segment,
+        reason: DropReason::Loss,
+    }
+}
+
+fn sack_of(blocks: &[(u64, u64)]) -> SackBlocks {
+    let mut sb = SackBlocks::NONE;
+    for &(s, e) in blocks {
+        assert!(sb.push(s, e), "more than four SACK blocks in a test");
+    }
+    sb
+}
+
+/// The shared prologue of the NewReno partial-ACK traces: handshake, two
+/// acked warm-up segments (growing the checker's cwnd cap to 5 MSS),
+/// then a five-segment flight losing the 1st and 3rd, three duplicate
+/// ACKs, the fast retransmit, and the server's partial ACK covering only
+/// up to the second hole. Returns the records and the hole's sequence.
+fn newreno_recovery_prologue(drops: &mut Vec<DropRecord>) -> (Vec<TraceRecord>, u64) {
+    let data = vec![0u8; MSS as usize];
+    let f = fl(false, true, false, false);
+    let mut recs = handshake();
+    // Warm-up: two segments, each acknowledged (cwnd cap -> 5 MSS).
+    recs.push(rec(2500, 3500, seg(true, 1, 1, f, &data, WIN)));
+    recs.push(rec(4000, 5000, seg(false, 1, 1 + MSS, f, &[], WIN)));
+    recs.push(rec(5500, 6500, seg(true, 1 + MSS, 1, f, &data, WIN)));
+    recs.push(rec(7000, 8000, seg(false, 1, 1 + 2 * MSS, f, &[], WIN)));
+    let base = 1 + 2 * MSS;
+    // Five-segment flight: A and C are lost on the wire.
+    drops.push(drop_at(8500, seg(true, base, 1, f, &data, WIN)));
+    recs.push(rec(8600, 9600, seg(true, base + MSS, 1, f, &data, WIN)));
+    drops.push(drop_at(8700, seg(true, base + 2 * MSS, 1, f, &data, WIN)));
+    recs.push(rec(8800, 9800, seg(true, base + 3 * MSS, 1, f, &data, WIN)));
+    recs.push(rec(8900, 9900, seg(true, base + 4 * MSS, 1, f, &data, WIN)));
+    // Three duplicate ACKs open fast recovery.
+    recs.push(rec(9700, 10_700, seg(false, 1, base, f, &[], WIN)));
+    recs.push(rec(9900, 10_900, seg(false, 1, base, f, &[], WIN)));
+    recs.push(rec(10_000, 11_000, seg(false, 1, base, f, &[], WIN)));
+    // Fast retransmit of A; the server then acks through B only: a
+    // partial ACK exposing the second hole at C.
+    recs.push(rec(11_100, 12_100, seg(true, base, 1, f, &data, WIN)));
+    recs.push(rec(12_200, 13_200, seg(false, 1, base + 2 * MSS, f, &[], WIN)));
+    (recs, base + 2 * MSS)
+}
+
+#[test]
+fn mutation_newreno_partial_ack() {
+    // The sender ignores the partial ACK and only fills the hole after a
+    // full RTO-scale stall — the slow-start re-entry NewReno forbids.
+    let data = vec![0u8; MSS as usize];
+    let f = fl(false, true, false, false);
+    let mut drops = Vec::new();
+    let (mut recs, hole) = newreno_recovery_prologue(&mut drops);
+    recs.push(rec(613_200, 614_200, seg(true, hole, 1, f, &data, WIN)));
+    recs.push(rec(614_300, 615_300, seg(false, 1, hole + 3 * MSS, f, &[], WIN)));
+    let report = check_cc(&recs, &drops, CcVariant::NewReno);
+    assert_fires(&report, InvariantKind::NewRenoPartialAck);
+}
+
+#[test]
+fn newreno_prompt_partial_ack_fill_is_clean() {
+    // The conformant counterpart: the hole is filled promptly (RFC 6582)
+    // — and the partial-ACK retransmission needs neither an RTO wait nor
+    // three fresh duplicate ACKs to be justified.
+    let data = vec![0u8; MSS as usize];
+    let f = fl(false, true, false, false);
+    let mut drops = Vec::new();
+    let (mut recs, hole) = newreno_recovery_prologue(&mut drops);
+    recs.push(rec(13_300, 14_300, seg(true, hole, 1, f, &data, WIN)));
+    recs.push(rec(14_400, 15_400, seg(false, 1, hole + 3 * MSS, f, &[], WIN)));
+    let report = check_cc(&recs, &drops, CcVariant::NewReno);
+    assert!(
+        report.is_clean(),
+        "prompt hole fill violations:\n{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn mutation_sack_rexmit_sacked() {
+    // The peer SACKed C, yet the sender retransmits it anyway.
+    let data = vec![0u8; MSS as usize];
+    let f = fl(false, true, false, false);
+    let mut recs = handshake();
+    // A arrives, B is lost, C arrives out of order.
+    recs.push(rec(2500, 3500, seg(true, 1, 1, f, &data, WIN)));
+    let drops = vec![drop_at(2600, seg(true, 1 + MSS, 1, f, &data, WIN))];
+    recs.push(rec(2700, 3700, seg(true, 1 + 2 * MSS, 1, f, &data, WIN)));
+    // Cumulative ACK of A, then a duplicate ACK carrying the SACK block
+    // for C.
+    recs.push(rec(4000, 5000, seg(false, 1, 1 + MSS, f, &[], WIN)));
+    let mut dup = seg(false, 1, 1 + MSS, f, &[], WIN);
+    dup.sack = sack_of(&[(1 + 2 * MSS, 1 + 3 * MSS)]);
+    recs.push(rec(4100, 5100, dup));
+    // A full RTO later the sender retransmits the SACKed C instead of
+    // (or in addition to) the hole at B.
+    recs.push(rec(600_000, 601_000, seg(true, 1 + 2 * MSS, 1, f, &data, WIN)));
+    let report = check_cc(&recs, &drops, CcVariant::Sack);
+    assert_fires(&report, InvariantKind::SackRexmitSacked);
+}
+
+#[test]
+fn sack_hole_rexmit_is_clean() {
+    // Retransmitting the un-SACKed hole B is conformant.
+    let data = vec![0u8; MSS as usize];
+    let f = fl(false, true, false, false);
+    let mut recs = handshake();
+    recs.push(rec(2500, 3500, seg(true, 1, 1, f, &data, WIN)));
+    let drops = vec![drop_at(2600, seg(true, 1 + MSS, 1, f, &data, WIN))];
+    recs.push(rec(2700, 3700, seg(true, 1 + 2 * MSS, 1, f, &data, WIN)));
+    recs.push(rec(4000, 5000, seg(false, 1, 1 + MSS, f, &[], WIN)));
+    let mut dup = seg(false, 1, 1 + MSS, f, &[], WIN);
+    dup.sack = sack_of(&[(1 + 2 * MSS, 1 + 3 * MSS)]);
+    recs.push(rec(4100, 5100, dup));
+    recs.push(rec(600_000, 601_000, seg(true, 1 + MSS, 1, f, &data, WIN)));
+    recs.push(rec(601_100, 602_100, seg(false, 1, 1 + 3 * MSS, f, &[], WIN)));
+    let report = check_cc(&recs, &drops, CcVariant::Sack);
+    assert!(
+        report.is_clean(),
+        "hole retransmission violations:\n{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn mutation_cubic_growth_bound() {
+    // Ten acknowledged round trips inflate the slow-start cwnd cap to 13
+    // MSS, then a loss with only one segment in flight pins the CUBIC
+    // wmax estimate at 2 MSS — so an 8-MSS burst right after recovery is
+    // fine by the slow-start bound but far above the cubic window.
+    let data = vec![0u8; MSS as usize];
+    let f = fl(false, true, false, false);
+    let mut recs = handshake();
+    for i in 0..10u64 {
+        let seq = 1 + i * MSS;
+        let at = 2500 + i * 3000;
+        recs.push(rec(at, at + 1000, seg(true, seq, 1, f, &data, WIN)));
+        recs.push(rec(
+            at + 1500,
+            at + 2500,
+            seg(false, 1, seq + MSS, f, &[], WIN),
+        ));
+    }
+    let lost = 1 + 10 * MSS;
+    let drops = vec![drop_at(35_000, seg(true, lost, 1, f, &data, WIN))];
+    // RTO-style recovery: the retransmission stamps the congestion
+    // epoch with wmax = 2 MSS.
+    recs.push(rec(600_000, 601_000, seg(true, lost, 1, f, &data, WIN)));
+    recs.push(rec(601_500, 602_500, seg(false, 1, lost + MSS, f, &[], WIN)));
+    // 8-MSS burst 1 ms into the epoch: the cubic window is still near
+    // 0.7 * wmax, so flight must not approach 8 MSS.
+    for i in 0..8u64 {
+        let seq = lost + MSS + i * MSS;
+        recs.push(rec(603_000 + i * 50, 604_000 + i * 50, seg(true, seq, 1, f, &data, WIN)));
+    }
+    recs.push(rec(
+        604_500,
+        605_500,
+        seg(false, 1, lost + 9 * MSS, f, &[], WIN),
+    ));
+    let report = check_cc(&recs, &drops, CcVariant::Cubic);
+    assert_fires(&report, InvariantKind::CubicGrowthBound);
+    // The same burst is within the plain slow-start cap: the violation
+    // is CUBIC-specific.
+    assert!(!report.has(InvariantKind::CwndRespect));
+    let reno = check_cc(&recs, &drops, CcVariant::Reno);
+    assert!(!reno.has(InvariantKind::CubicGrowthBound));
+}
+
+#[test]
+fn baseline_is_clean_under_every_cc_variant() {
+    for cc in CcVariant::ALL {
+        let report = check_cc(&baseline(), &[], cc);
+        assert!(
+            report.is_clean(),
+            "baseline violations under {}:\n{:#?}",
+            cc.label(),
+            report.violations
+        );
+    }
 }

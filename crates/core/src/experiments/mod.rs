@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod browsers;
+pub mod cc;
 pub mod closemgmt;
 pub mod compression;
 pub mod content;

@@ -22,7 +22,7 @@ use crate::env::NetEnv;
 use crate::harness::{matrix_spec, run_cells, CellSpec, ProtocolSetup, Scenario};
 use crate::result::{CellResult, Table};
 use httpserver::ServerKind;
-use netsim::{ImpairConfig, JitterModel, LossModel, SimDuration};
+use netsim::{CcVariant, ImpairConfig, JitterModel, LossModel, SimDuration};
 
 /// Loss rates of the grid, in percent.
 pub const LOSS_GRID_PCT: [f64; 4] = [0.0, 0.5, 2.0, 5.0];
@@ -86,6 +86,10 @@ pub struct RobustnessPoint {
     pub loss_pct: f64,
     /// Loss distribution shape.
     pub shape: LossShape,
+    /// Congestion-control variant on both endpoints. [`CcVariant::Reno`]
+    /// is the seed behavior and leaves seeds, labels and specs untouched
+    /// so existing grid digests stay bit-identical.
+    pub cc: CcVariant,
 }
 
 /// FNV-1a over a byte string — the stable seed/digest hash used here.
@@ -102,6 +106,9 @@ const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 impl RobustnessPoint {
     /// A stable per-point impairment seed derived from the coordinates,
     /// so any cell can be reproduced in isolation.
+    /// The seed deliberately ignores [`Self::cc`]: variants compared at
+    /// the same coordinate face the identical impairment draw sequence,
+    /// so measured differences are recovery behavior, not luck.
     pub fn seed(&self) -> u64 {
         let key = format!(
             "{}|{}|{}|{:.3}|{}",
@@ -128,17 +135,26 @@ impl RobustnessPoint {
     pub fn spec(&self) -> CellSpec {
         let mut spec = matrix_spec(self.env, ServerKind::Apache, self.setup, self.scenario);
         spec.impair = Some(self.impairment());
+        if self.cc != CcVariant::Reno {
+            let mut tcp = netsim::TcpConfig::default();
+            tcp.cc = self.cc;
+            spec.tcp = Some(tcp);
+        }
         spec
     }
 
     /// Row label used in reports and digests.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{} @ {:.1}% {}",
             self.setup.label(),
             self.loss_pct,
             self.shape.label()
-        )
+        );
+        if self.cc != CcVariant::Reno {
+            label.push_str(&format!(" [{}]", self.cc.label()));
+        }
+        label
     }
 }
 
@@ -177,6 +193,7 @@ pub fn grid(
                             scenario,
                             loss_pct,
                             shape,
+                            cc: CcVariant::Reno,
                         });
                     }
                 }
@@ -215,6 +232,7 @@ pub fn inflation_pct(cells: &[RobustnessCell], of: &RobustnessCell) -> Option<f6
         c.point.env == of.point.env
             && c.point.setup == of.point.setup
             && c.point.scenario == of.point.scenario
+            && c.point.cc == of.point.cc
             && c.point.loss_pct == 0.0
     })?;
     (base.cell.secs > 0.0).then(|| (of.cell.secs / base.cell.secs - 1.0) * 100.0)
@@ -388,6 +406,7 @@ mod tests {
             scenario: Scenario::FirstTime,
             loss_pct: 0.0,
             shape: LossShape::Uniform,
+            cc: CcVariant::Reno,
         };
         let imp = p.impairment();
         assert!(

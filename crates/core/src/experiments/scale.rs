@@ -83,6 +83,7 @@ impl ScalePoint {
             },
             buffer_bytes: Some(self.buffer_bytes()),
             reset_backoff: SimDuration::ZERO,
+            tcp: None,
             trace_mode: TraceMode::StatsOnly,
         }
     }

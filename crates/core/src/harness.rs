@@ -352,6 +352,9 @@ pub struct FleetSpec {
     pub buffer_bytes: Option<u64>,
     /// Reset backoff applied to every client.
     pub reset_backoff: netsim::SimDuration,
+    /// TCP parameter override applied to every host (`None` = defaults,
+    /// i.e. Reno congestion control).
+    pub tcp: Option<netsim::TcpConfig>,
     /// Trace retention for the run.
     pub trace_mode: TraceMode,
 }
@@ -388,6 +391,13 @@ pub fn run_fleet(spec: FleetSpec) -> FleetOutput {
         link = link.with_buffer_bytes(bytes);
     }
     sim.add_shared_link(&client_hosts, server_host, link);
+
+    if let Some(tcp) = &spec.tcp {
+        for &c in &client_hosts {
+            sim.set_tcp_config(c, tcp.clone());
+        }
+        sim.set_tcp_config(server_host, tcp.clone());
+    }
 
     let addr = SockAddr::new(server_host, spec.server.port);
     sim.install_app(
@@ -447,14 +457,15 @@ pub fn run_fleet(spec: FleetSpec) -> FleetOutput {
 /// Execute one fleet under the trace-invariant checker: forces
 /// [`TraceMode::Full`] and verifies every TCP/HTTP invariant over the
 /// finished multi-connection trace. Fleet clients are always the tuned
-/// robot (TCP_NODELAY set), and fleets run the default TCP parameters.
+/// robot (TCP_NODELAY set), and fleets run the spec's TCP parameters
+/// (defaults when `spec.tcp` is `None`).
 pub fn run_fleet_checked(mut spec: FleetSpec) -> (FleetOutput, conformance::Report) {
     let probe = ClientConfig::robot(
         spec.setup.mode(),
         SockAddr::new(netsim::HostId(0), spec.server.port),
     );
     let cfg = conformance::CheckConfig {
-        tcp: netsim::TcpConfig::default(),
+        tcp: spec.tcp.clone().unwrap_or_default(),
         client_nodelay: probe.nodelay,
         server_nodelay: spec.server.nodelay,
         server_port: spec.server.port,

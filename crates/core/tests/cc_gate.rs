@@ -1,0 +1,83 @@
+//! Gates for the congestion-control lab: the reduced CC grid must be
+//! conformant under every variant's own invariants, and the measured
+//! recovery ordering at 2% WAN loss — the lab's headline — must hold.
+//!
+//! The ordering pinned here is a real, deterministic measurement (every
+//! variant faces the identical impairment draw sequence): on the single
+//! pipelined connection, RFC 6582-style recovery (NewReno/SACK) and
+//! CUBIC all beat Reno's retransmit-then-stall by a wide margin, while
+//! on HTTP/1.0's four short parallel connections the fast-retransmit
+//! variants are nearly indistinguishable — recovery sophistication pays
+//! precisely where the paper's preferred transport concentrates traffic.
+
+use httpipe_core::experiments::cc;
+use httpipe_core::experiments::robustness;
+use httpipe_core::harness::{run_spec_checked, ProtocolSetup};
+use netsim::CcVariant;
+
+fn inflation(cells: &[robustness::RobustnessCell], setup: ProtocolSetup, cc: CcVariant) -> f64 {
+    cc::variant_inflation(cells, setup, 2.0, cc)
+        .unwrap_or_else(|| panic!("missing 2% cell for {setup:?} {cc:?}"))
+}
+
+#[test]
+fn recovery_ordering_at_two_percent_wan_loss() {
+    let cells = robustness::run_points(&cc::reduced_grid());
+
+    let pipelined = |cc| inflation(&cells, ProtocolSetup::Http11Pipelined, cc);
+    let reno = pipelined(CcVariant::Reno);
+    let newreno = pipelined(CcVariant::NewReno);
+    let sack = pipelined(CcVariant::Sack);
+    let cubic = pipelined(CcVariant::Cubic);
+
+    // The measured ordering change: on the pipelined single connection
+    // every modern recovery algorithm beats Reno decisively.
+    assert!(
+        reno - newreno > 50.0,
+        "NewReno no longer beats Reno on pipelined 2% loss ({newreno:.1} vs {reno:.1})"
+    );
+    assert!(
+        reno - sack > 50.0,
+        "SACK no longer beats Reno on pipelined 2% loss ({sack:.1} vs {reno:.1})"
+    );
+    assert!(
+        reno - cubic > 20.0,
+        "CUBIC no longer beats Reno on pipelined 2% loss ({cubic:.1} vs {reno:.1})"
+    );
+    // The scoreboard can only remove retransmissions, never add them.
+    assert!(
+        sack <= newreno + 1.0,
+        "SACK worse than NewReno on pipelined 2% loss ({sack:.1} vs {newreno:.1})"
+    );
+
+    // On HTTP/1.0's four short parallel connections the fast-retransmit
+    // variants are nearly indistinguishable: transfers are too short for
+    // partial-ACK recovery to matter.
+    let http10 = |cc| inflation(&cells, ProtocolSetup::Http10, cc);
+    assert!(
+        (http10(CcVariant::Reno) - http10(CcVariant::NewReno)).abs() < 5.0,
+        "recovery algorithm unexpectedly matters for parallel short connections"
+    );
+}
+
+#[test]
+fn cc_grid_lossy_cells_are_conformant_per_variant() {
+    for point in cc::reduced_grid() {
+        if point.loss_pct == 0.0 || point.setup != ProtocolSetup::Http11Pipelined {
+            continue;
+        }
+        let (out, report) = run_spec_checked(point.spec());
+        assert!(
+            report.is_clean(),
+            "violations under {} at {}% loss:\n{}",
+            point.cc.label(),
+            point.loss_pct,
+            report.summary()
+        );
+        assert!(
+            out.cell.retransmits > 0,
+            "{}: lossy pipelined cell had no retransmissions",
+            point.cc.label()
+        );
+    }
+}

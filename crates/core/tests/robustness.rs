@@ -57,6 +57,7 @@ fn zero_loss_pipeline_matches_unimpaired_matrix_exactly() {
                 scenario: Scenario::FirstTime,
                 loss_pct: 0.0,
                 shape: LossShape::Uniform,
+                cc: netsim::CcVariant::Reno,
             };
             let impaired = httpipe_core::harness::run_spec(point.spec()).cell;
             let clean = run_matrix_cell(env, ServerKind::Apache, setup, Scenario::FirstTime);

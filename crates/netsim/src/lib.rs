@@ -74,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cc;
 pub mod impair;
 pub mod link;
 pub mod modem;
@@ -87,10 +88,11 @@ pub mod tcp;
 pub mod time;
 pub mod trace;
 
+pub use cc::{cubic_k_ms, cubic_window, CcVariant, CongestionControl};
 pub use impair::{DropReason, ImpairConfig, JitterModel, LossModel, Outage};
 pub use link::{Link, LinkCodec, LinkConfig, Pumped, QueueDiscipline, Transmit};
 pub use modem::ModemCompressor;
-pub use packet::{HostId, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
+pub use packet::{HostId, SackBlocks, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
 pub use pool::Slab;
 pub use probe::{
     Diagnosis, FlushCause, ProbeAnalysis, ProbeEventKind, ProbeRecord, ProbeReport, ProbeSink,

@@ -471,6 +471,7 @@ mod tests {
             ack: 0,
             flags: TcpFlags::ACK,
             window: 0,
+            sack: crate::packet::SackBlocks::NONE,
             payload: Bytes::from(vec![b'x'; len]),
         }
     }
@@ -618,6 +619,7 @@ mod tests {
             ack: 0,
             flags: TcpFlags::ACK,
             window: 0,
+            sack: crate::packet::SackBlocks::NONE,
             payload: Bytes::from(vec![b'x'; len]),
         }
     }

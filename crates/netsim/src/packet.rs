@@ -117,6 +117,128 @@ impl fmt::Display for TcpFlags {
 /// Size in bytes of the combined IPv4 + TCP headers without options.
 pub const TCP_IP_HEADER_BYTES: usize = 40;
 
+/// Selective-acknowledgement blocks carried as a TCP option (RFC 2018).
+///
+/// Up to four `[start, end)` ranges of sequence space the receiver holds
+/// above its cumulative ACK, ascending and disjoint. The simulator's
+/// sequence numbers are 64-bit, so the modelled option is kind 5 with
+/// 16-byte blocks (2 + 16·n option bytes, NOP-padded to a 4-byte
+/// boundary) rather than the wire's 8-byte blocks — the byte accounting
+/// in [`Segment::wire_len`] reflects that. Empty on every segment unless
+/// the sender's congestion control is `CcVariant::Sack`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    len: u8,
+    blocks: [(u64, u64); 4],
+}
+
+impl SackBlocks {
+    /// No blocks: the option is absent from the segment.
+    pub const NONE: SackBlocks = SackBlocks {
+        len: 0,
+        blocks: [(0, 0); 4],
+    };
+
+    /// TCP option kind byte for SACK (RFC 2018).
+    pub const KIND: u8 = 5;
+
+    /// True when no blocks are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks carried (0..=4).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Append a block, keeping ascending order; returns false (and drops
+    /// the block) once four are held — the option space is full.
+    pub fn push(&mut self, start: u64, end: u64) -> bool {
+        debug_assert!(start < end, "empty SACK block");
+        if self.len as usize == self.blocks.len() {
+            return false;
+        }
+        self.blocks[self.len as usize] = (start, end);
+        self.len += 1;
+        true
+    }
+
+    /// The carried `[start, end)` ranges, in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.blocks[..self.len as usize].iter().copied()
+    }
+
+    /// Bytes of TCP option space this option occupies on the wire:
+    /// zero when empty, otherwise 2 + 16·n rounded up to the 4-byte
+    /// option boundary with NOP padding.
+    pub fn wire_bytes(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let raw = 2 + 16 * self.len as usize;
+        raw.div_ceil(4) * 4
+    }
+
+    /// Serialize as option bytes: kind, length, big-endian `u64` pairs,
+    /// NOP (0x01) padding to the 4-byte boundary.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        if self.len == 0 {
+            return;
+        }
+        let raw = 2 + 16 * self.len as usize;
+        out.push(Self::KIND);
+        out.push(raw as u8);
+        for (start, end) in self.iter() {
+            out.extend_from_slice(&start.to_be_bytes());
+            out.extend_from_slice(&end.to_be_bytes());
+        }
+        for _ in raw..self.wire_bytes() {
+            out.push(0x01); // NOP
+        }
+    }
+
+    /// Parse option bytes produced by [`SackBlocks::encode`]. Returns
+    /// `None` on a malformed option (bad kind, length not 2 + 16·n,
+    /// n > 4, or truncated input).
+    pub fn decode(bytes: &[u8]) -> Option<SackBlocks> {
+        if bytes.is_empty() {
+            return Some(SackBlocks::NONE);
+        }
+        if bytes.len() < 2 || bytes[0] != Self::KIND {
+            return None;
+        }
+        let raw = bytes[1] as usize;
+        if raw < 2 + 16 || (raw - 2) % 16 != 0 || raw > bytes.len() {
+            return None;
+        }
+        let n = (raw - 2) / 16;
+        if n > 4 {
+            return None;
+        }
+        let mut out = SackBlocks::NONE;
+        for i in 0..n {
+            let at = 2 + 16 * i;
+            let start = u64::from_be_bytes(bytes[at..at + 8].try_into().ok()?);
+            let end = u64::from_be_bytes(bytes[at + 8..at + 16].try_into().ok()?);
+            out.push(start, end);
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for SackBlocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (start, end)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{start}-{end}")?;
+        }
+        Ok(())
+    }
+}
+
 /// A simulated TCP segment in flight.
 ///
 /// Sequence and acknowledgement numbers are absolute `u64` offsets from the
@@ -136,14 +258,18 @@ pub struct Segment {
     pub flags: TcpFlags,
     /// Receive window advertised by the sender, in bytes.
     pub window: usize,
+    /// Selective-acknowledgement option blocks (empty unless the sender
+    /// runs SACK congestion control).
+    pub sack: SackBlocks,
     /// Application bytes carried.
     pub payload: Bytes,
 }
 
 impl Segment {
-    /// Total bytes this segment occupies on the wire, headers included.
+    /// Total bytes this segment occupies on the wire, headers included
+    /// (plus SACK option bytes when the option is present).
     pub fn wire_len(&self) -> usize {
-        TCP_IP_HEADER_BYTES + self.payload.len()
+        TCP_IP_HEADER_BYTES + self.sack.wire_bytes() + self.payload.len()
     }
 
     /// The amount of sequence space this segment consumes
@@ -171,6 +297,7 @@ impl Segment {
             ack: 0,
             flags: TcpFlags::RST,
             window: 0,
+            sack: SackBlocks::NONE,
             payload: Bytes::new(),
         }
     }
@@ -188,7 +315,11 @@ impl fmt::Display for Segment {
             self.ack,
             self.window,
             self.payload.len()
-        )
+        )?;
+        if !self.sack.is_empty() {
+            write!(f, " sack {}", self.sack)?;
+        }
+        Ok(())
     }
 }
 
@@ -204,6 +335,7 @@ mod tests {
             ack: 0,
             flags,
             window: 32768,
+            sack: SackBlocks::NONE,
             payload: Bytes::from(vec![0u8; len]),
         }
     }
@@ -239,6 +371,48 @@ mod tests {
         assert_eq!(
             format!("{s}"),
             "h0:1000 > h1:80 [S] seq 100 ack 0 win 32768 len 0"
+        );
+    }
+
+    #[test]
+    fn sack_wire_bytes_follow_option_padding() {
+        let mut b = SackBlocks::NONE;
+        assert_eq!(b.wire_bytes(), 0);
+        b.push(100, 200);
+        assert_eq!(b.wire_bytes(), 20); // 2 + 16, padded to 20
+        b.push(300, 400);
+        assert_eq!(b.wire_bytes(), 36); // 2 + 32, padded to 36
+        b.push(500, 600);
+        assert_eq!(b.wire_bytes(), 52);
+        assert!(b.push(700, 800));
+        assert_eq!(b.wire_bytes(), 68);
+        assert!(!b.push(900, 1000), "fifth block must be rejected");
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn sack_option_encodes_and_decodes_round_trip() {
+        let mut b = SackBlocks::NONE;
+        b.push(1461, 2921);
+        b.push(4381, 5841);
+        let mut wire = Vec::new();
+        b.encode(&mut wire);
+        assert_eq!(wire.len(), b.wire_bytes());
+        assert_eq!(wire[0], SackBlocks::KIND);
+        assert_eq!(SackBlocks::decode(&wire), Some(b));
+        assert_eq!(SackBlocks::decode(&[]), Some(SackBlocks::NONE));
+        assert_eq!(SackBlocks::decode(&[7, 18]), None, "wrong option kind");
+        assert_eq!(SackBlocks::decode(&wire[..10]), None, "truncated");
+    }
+
+    #[test]
+    fn sack_segment_accounting_and_display() {
+        let mut s = seg(TcpFlags::ACK, 0);
+        s.sack.push(1461, 2921);
+        assert_eq!(s.wire_len(), 60); // 40 header + 20 option
+        assert_eq!(
+            format!("{s}"),
+            "h0:1000 > h1:80 [.] seq 100 ack 0 win 32768 len 0 sack 1461-2921"
         );
     }
 }

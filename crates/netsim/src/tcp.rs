@@ -10,7 +10,8 @@
 //! [`crate::sim`]) owns delivery, which keeps this module directly
 //! unit-testable.
 
-use crate::packet::{Segment, SockAddr, TcpFlags};
+use crate::cc::{self, CcContext, CcCtl, CcSignal, CcVariant, CongestionControl};
+use crate::packet::{SackBlocks, Segment, SockAddr, TcpFlags};
 use crate::probe::{BlockReason, TcpProbeEvent};
 use crate::seq::{seq_ge, seq_gt, seq_lt, seq_sub};
 use crate::time::{SimDuration, SimTime};
@@ -45,6 +46,10 @@ pub struct TcpConfig {
     pub min_rto: SimDuration,
     /// How long a socket lingers in TIME_WAIT (2·MSL).
     pub time_wait: SimDuration,
+    /// Which congestion-control algorithm drives the window (see
+    /// [`crate::cc`]). [`CcVariant::Sack`] also turns on receiver-side
+    /// SACK block generation.
+    pub cc: CcVariant,
 }
 
 impl Default for TcpConfig {
@@ -64,6 +69,7 @@ impl Default for TcpConfig {
             initial_rto: SimDuration::from_millis(3_000),
             min_rto: SimDuration::from_millis(500),
             time_wait: SimDuration::from_secs(60),
+            cc: CcVariant::Reno,
         }
     }
 }
@@ -173,12 +179,12 @@ impl Effects {
     }
 }
 
-/// Congestion-control and round-trip estimation state.
+/// Congestion-control and round-trip estimation state. Window policy
+/// is delegated to the pluggable [`CcCtl`]; the RTT estimator and RTO
+/// backoff are variant-independent and stay here.
 #[derive(Debug)]
 struct CongestionState {
-    cwnd: usize,
-    ssthresh: usize,
-    dup_acks: u32,
+    ctl: CcCtl,
     /// Smoothed RTT and variance (Jacobson/Karels), in nanoseconds.
     srtt_ns: Option<u64>,
     rttvar_ns: u64,
@@ -269,6 +275,7 @@ impl Tcb {
             ack: 0,
             flags: TcpFlags::SYN,
             window: tcb.advertised_window(),
+            sack: SackBlocks::NONE,
             payload: Bytes::new(),
         };
         tcb.snd_nxt = 1;
@@ -298,6 +305,7 @@ impl Tcb {
             ack: tcb.rcv_nxt,
             flags: TcpFlags::SYN_ACK,
             window: tcb.advertised_window(),
+            sack: SackBlocks::NONE,
             payload: Bytes::new(),
         };
         tcb.snd_nxt = 1;
@@ -311,6 +319,7 @@ impl Tcb {
         let cwnd = cfg.mss * cfg.initial_cwnd_segments as usize;
         let initial_rto = cfg.initial_rto;
         let ssthresh = cfg.initial_ssthresh;
+        let cc_variant = cfg.cc;
         Tcb {
             local,
             remote,
@@ -334,9 +343,7 @@ impl Tcb {
             peer_fin_delivered: false,
             no_more_reads: false,
             cc: CongestionState {
-                cwnd,
-                ssthresh,
-                dup_acks: 0,
+                ctl: CcCtl::new(cc_variant, cwnd, ssthresh),
                 srtt_ns: None,
                 rttvar_ns: 0,
                 rto: initial_rto,
@@ -376,8 +383,8 @@ impl Tcb {
     fn probe_sample(&self, fx: &mut Effects) {
         if self.probe_enabled {
             fx.probe.push(TcpProbeEvent::Sample {
-                cwnd: self.cc.cwnd as u64,
-                ssthresh: self.cc.ssthresh as u64,
+                cwnd: self.cc.ctl.cwnd() as u64,
+                ssthresh: self.cc.ctl.ssthresh() as u64,
                 srtt_ns: self.cc.srtt_ns,
                 rto_ns: self.cc.rto.as_nanos(),
                 in_flight: seq_sub(self.snd_nxt, self.snd_una),
@@ -388,7 +395,7 @@ impl Tcb {
     /// Emit a window-blocked event naming whichever window binds.
     fn probe_send_blocked(&self, unsent: usize, fx: &mut Effects) {
         if self.probe_enabled {
-            let reason = if self.peer_window < self.cc.cwnd {
+            let reason = if self.peer_window < self.cc.ctl.cwnd() {
                 BlockReason::PeerWindow
             } else {
                 BlockReason::Cwnd
@@ -407,7 +414,31 @@ impl Tcb {
 
     /// Current congestion window in bytes (exposed for tests/diagnostics).
     pub fn cwnd(&self) -> usize {
-        self.cc.cwnd
+        self.cc.ctl.cwnd()
+    }
+
+    /// Current slow-start threshold in bytes (tests/diagnostics).
+    pub fn ssthresh(&self) -> usize {
+        self.cc.ctl.ssthresh()
+    }
+
+    /// Whether the congestion controller is inside fast recovery
+    /// (always false for Reno/Cubic, which keep no recovery state).
+    pub fn cc_in_recovery(&self) -> bool {
+        self.cc.ctl.in_recovery()
+    }
+
+    /// Snapshot of the TCB state the congestion controller may consult.
+    /// `sack` carries the triggering segment's SACK option (or
+    /// [`SackBlocks::NONE`] for segment-less events like an RTO).
+    fn cc_ctx<'a>(&self, now: SimTime, sack: &'a SackBlocks) -> CcContext<'a> {
+        CcContext {
+            mss: self.cfg.mss,
+            now,
+            snd_una: self.snd_una,
+            snd_nxt: self.snd_nxt,
+            sack,
+        }
     }
 
     /// Bytes of payload queued but not yet acknowledged.
@@ -617,10 +648,10 @@ impl Tcb {
         if seq_gt(ack, self.snd_una) {
             let newly_acked = seq_sub(ack, self.snd_una) as usize;
             self.snd_una = ack;
-            self.cc.dup_acks = 0;
             self.cc.rto_backoff = 0;
             self.take_rtt_sample(now, ack);
-            self.grow_cwnd(newly_acked);
+            let ctx = self.cc_ctx(now, &seg.sack);
+            let sig = self.cc.ctl.on_ack(&ctx, newly_acked);
 
             // Trim acknowledged bytes from the retransmission buffer. The
             // FIN, if ours was acked, occupies one unit past the data.
@@ -664,6 +695,12 @@ impl Tcb {
             } else {
                 self.arm_rto(now, fx);
             }
+            // NewReno/SACK partial-ACK recovery: the controller asked
+            // for the next hole to be retransmitted right away.
+            if sig == CcSignal::Retransmit && seq_gt(self.snd_nxt, self.snd_una) {
+                self.probe(fx, TcpProbeEvent::FastRetransmit);
+                self.retransmit(now, fx);
+            }
             self.probe_sample(fx);
         } else if ack == self.snd_una
             && !seg.has_payload()
@@ -672,14 +709,22 @@ impl Tcb {
             && seq_gt(self.snd_nxt, self.snd_una)
         {
             // Duplicate ACK while data is outstanding.
-            self.cc.dup_acks += 1;
-            if self.cc.dup_acks == 3 {
-                // Fast retransmit (Reno without full recovery bookkeeping).
-                let in_flight = seq_sub(self.snd_nxt, self.snd_una) as usize;
-                self.cc.ssthresh = (in_flight / 2).max(2 * self.cfg.mss);
-                self.cc.cwnd = self.cc.ssthresh;
-                self.probe(fx, TcpProbeEvent::FastRetransmit);
-                self.retransmit(now, fx);
+            let ctx = self.cc_ctx(now, &seg.sack);
+            match self.cc.ctl.on_dup_ack(&ctx) {
+                CcSignal::Loss => {
+                    // Loss inferred from the third duplicate ACK: let
+                    // the controller collapse its windows, then fast
+                    // retransmit.
+                    let ctx = self.cc_ctx(now, &seg.sack);
+                    self.cc.ctl.on_loss(&ctx);
+                    self.probe(fx, TcpProbeEvent::FastRetransmit);
+                    self.retransmit(now, fx);
+                }
+                CcSignal::Retransmit => {
+                    self.probe(fx, TcpProbeEvent::FastRetransmit);
+                    self.retransmit(now, fx);
+                }
+                CcSignal::None => {}
             }
         }
 
@@ -824,9 +869,8 @@ impl Tcb {
                 if seq_gt(self.snd_nxt, self.snd_una) {
                     // Timeout: multiplicative back-off, collapse cwnd, go
                     // back into slow start (RFC 2001).
-                    let in_flight = seq_sub(self.snd_nxt, self.snd_una) as usize;
-                    self.cc.ssthresh = (in_flight / 2).max(2 * self.cfg.mss);
-                    self.cc.cwnd = self.cfg.mss;
+                    let ctx = self.cc_ctx(now, &SackBlocks::NONE);
+                    self.cc.ctl.on_rto(&ctx);
                     self.cc.rto_backoff += 1;
                     self.cc.rtt_sample = None; // Karn's algorithm
                     self.probe(fx, TcpProbeEvent::RtoFire);
@@ -905,15 +949,18 @@ impl Tcb {
         }
     }
 
-    fn grow_cwnd(&mut self, newly_acked: usize) {
-        if self.cc.cwnd < self.cc.ssthresh {
-            // Slow start: one MSS per ACKed MSS (exponential per RTT).
-            self.cc.cwnd += newly_acked.min(self.cfg.mss);
-        } else {
-            // Congestion avoidance: ~one MSS per RTT.
-            let inc = (self.cfg.mss * self.cfg.mss / self.cc.cwnd).max(1);
-            self.cc.cwnd += inc;
+    /// The SACK option for an outgoing ACK: the receiver's out-of-order
+    /// spans, merged, when this endpoint runs SACK; empty otherwise.
+    fn sack_for_ack(&self) -> SackBlocks {
+        if self.cfg.cc != CcVariant::Sack || self.reassembly.is_empty() {
+            return SackBlocks::NONE;
         }
+        cc::wire_sack_blocks(
+            self.reassembly
+                .iter()
+                .map(|(&s, p)| (s, s + p.len() as u64)),
+            self.rcv_nxt,
+        )
     }
 
     fn emit_ack(&mut self, fx: &mut Effects) {
@@ -930,6 +977,7 @@ impl Tcb {
             ack: self.rcv_nxt,
             flags: TcpFlags::ACK,
             window: self.advertised_window(),
+            sack: self.sack_for_ack(),
             payload: Bytes::new(),
         });
         self.segments_sent += 1;
@@ -959,6 +1007,7 @@ impl Tcb {
             ack: self.rcv_nxt,
             flags,
             window: self.advertised_window(),
+            sack: self.sack_for_ack(),
             payload,
         });
     }
@@ -982,7 +1031,7 @@ impl Tcb {
                 break;
             }
             let in_flight = seq_sub(self.snd_nxt, self.snd_una) as usize;
-            let wnd = self.cc.cwnd.min(self.peer_window);
+            let wnd = self.cc.ctl.cwnd().min(self.peer_window);
             let avail = wnd.saturating_sub(in_flight);
             let unsent = seq_sub(self.send_limit(), self.snd_nxt) as usize;
             let len = unsent.min(self.cfg.mss).min(avail);
@@ -1053,6 +1102,7 @@ impl Tcb {
                     ack: 0,
                     flags: TcpFlags::SYN,
                     window: self.advertised_window(),
+                    sack: SackBlocks::NONE,
                     payload: Bytes::new(),
                 });
                 self.segments_sent += 1;
@@ -1065,6 +1115,7 @@ impl Tcb {
                     ack: self.rcv_nxt,
                     flags: TcpFlags::SYN_ACK,
                     window: self.advertised_window(),
+                    sack: SackBlocks::NONE,
                     payload: Bytes::new(),
                 });
                 self.segments_sent += 1;
@@ -1074,7 +1125,14 @@ impl Tcb {
                 let data_end = self.send_limit();
                 if data_start < data_end {
                     let off = seq_sub(data_start, self.buf_base) as usize;
-                    let len = ((data_end - data_start) as usize).min(self.cfg.mss);
+                    let mut len = ((data_end - data_start) as usize).min(self.cfg.mss);
+                    // SACK: stop short of the first range the peer
+                    // already holds — never resend a SACKed octet.
+                    if let Some(cap) = self.cc.ctl.rexmit_cap(data_start) {
+                        if seq_gt(cap, data_start) {
+                            len = len.min(seq_sub(cap, data_start) as usize);
+                        }
+                    }
                     let payload = Bytes::pooled_copy_from_slice(&self.send_buf[off..off + len]);
                     let fin = self.fin_sent && self.fin_seq == Some(data_start + len as u64);
                     self.emit_data_segment(data_start, payload, fin, fx);
@@ -1438,6 +1496,7 @@ mod tests {
             ack: 1, // nothing new
             flags: TcpFlags::ACK,
             window: 65_535,
+            sack: SackBlocks::NONE,
             payload: Bytes::new(),
         };
         let mut e = fx();

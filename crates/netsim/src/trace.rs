@@ -647,6 +647,7 @@ mod tests {
             ack: 0,
             flags,
             window: 0,
+            sack: crate::packet::SackBlocks::NONE,
             payload: Bytes::from(vec![0u8; len]),
         };
         let physical = seg.wire_len();

@@ -6,7 +6,8 @@ use bytes::Bytes;
 use netsim::sim::{App, AppEvent, Ctx};
 use netsim::tcp::{Effects, SockNotify, State, Tcb, TcpConfig, TimerKind};
 use netsim::{
-    HostId, LinkConfig, Segment, SimDuration, SimTime, Simulator, SockAddr, SocketId, TcpFlags,
+    HostId, LinkConfig, SackBlocks, Segment, SimDuration, SimTime, Simulator, SockAddr, SocketId,
+    TcpFlags,
 };
 
 const CLIENT: SockAddr = SockAddr::new(HostId(0), 40_000);
@@ -179,6 +180,7 @@ fn stale_timer_epochs_are_ignored() {
         ack: 8,
         flags: TcpFlags::ACK,
         window: 65_535,
+        sack: SackBlocks::NONE,
         payload: Bytes::new(),
     };
     let mut e2 = fx();

@@ -42,11 +42,11 @@ const HASH_CRATES: &[&str] = &["netsim", "core", "httpserver", "httpclient", "ht
 const TIME_CRATES: &[&str] = &["netsim", "httpmux"];
 
 /// Files that are on the per-segment hot path.
-const HOT_FILES: &[&str] = &["tcp.rs", "link.rs", "sim.rs", "frame.rs", "conn.rs"];
+const HOT_FILES: &[&str] = &["tcp.rs", "cc.rs", "link.rs", "sim.rs", "frame.rs", "conn.rs"];
 
-/// Identifiers holding TCP sequence-space values in `tcp.rs`. Direct
-/// ordering or subtraction on these must go through the `netsim::seq`
-/// wrapping helpers.
+/// Identifiers holding TCP sequence-space values in `tcp.rs` and the
+/// congestion-control module `cc.rs`. Direct ordering or subtraction on
+/// these must go through the `netsim::seq` wrapping helpers.
 const SEQ_NAMES: &[&str] = &[
     "seq",
     "ack",
@@ -223,8 +223,9 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
             );
         }
 
-        // --- hot-path-alloc
-        if HOT_FILES.contains(&file) {
+        // --- hot-path-alloc ("cc.rs" means the netsim congestion-control
+        // module, not the experiments module of the same name).
+        if HOT_FILES.contains(&file) && (file != "cc.rs" || crate_of(path) == "netsim") {
             let hit = (t.is_ident("Box")
                 && i + 2 < n
                 && toks[i + 1].is_op("::")
@@ -253,7 +254,7 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
 
         // --- seq-wrap: direct ordering/subtraction on sequence-space
         // values must use the netsim::seq wrapping helpers.
-        if file == "tcp.rs"
+        if (file == "tcp.rs" || (file == "cc.rs" && crate_of(path) == "netsim"))
             && t.kind == TokKind::Op
             && matches!(t.text.as_str(), "<" | ">" | "<=" | ">=" | "-")
             && is_binary_op(sf, i)
@@ -325,8 +326,9 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
 
-    // --- tcp-state-machine
-    if file == "tcp.rs" {
+    // --- tcp-state-machine (netsim's cc.rs holds no state paths today,
+    // but any recovery state machine grown there inherits the spec check).
+    if file == "tcp.rs" || (file == "cc.rs" && crate_of(path) == "netsim") {
         let ex = spec::extract(sf);
         if ex.has_state_paths {
             out.extend(spec::check(path, &ex, spec::RFC793_SPEC));
@@ -474,6 +476,21 @@ mod tests {
         let d = diags("crates/netsim/src/tcp.rs", src);
         let rules: Vec<&str> = d.iter().map(|x| x.rule).collect();
         assert_eq!(rules, vec!["seq-wrap", "seq-wrap"]);
+    }
+
+    #[test]
+    fn seq_wrap_covers_cc_module() {
+        let src = "fn f(&self, ctx: &CcContext) {\n    let gap = ctx.snd_nxt - ctx.snd_una;\n}\n";
+        let d = diags("crates/netsim/src/cc.rs", src);
+        assert!(d.iter().any(|x| x.rule == "seq-wrap"));
+    }
+
+    #[test]
+    fn cc_module_is_on_the_hot_path() {
+        let src = "fn f(&mut self) {\n    let v: Vec<u64> = Vec::new();\n}\n";
+        assert!(diags("crates/netsim/src/cc.rs", src)
+            .iter()
+            .any(|x| x.rule == "hot-path-alloc"));
     }
 
     #[test]
