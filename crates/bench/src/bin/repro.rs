@@ -8,8 +8,8 @@
 
 use httpipe_core::env::NetEnv;
 use httpipe_core::experiments::{
-    ablations, browsers, cc, closemgmt, compression, content, mux, nagle, probe,
-    protocol_matrix, ranges, robustness, scale, summary, verbosity,
+    ablations, browsers, cc, closemgmt, compression, content, mux, nagle, probe, protocol_matrix,
+    ranges, robustness, scale, summary, verbosity,
 };
 use httpserver::ServerKind;
 

@@ -651,16 +651,12 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                         // A NewReno/SACK sender fills the hole a partial
                         // ACK exposed without waiting for timeout or
                         // fresh duplicate ACKs (RFC 6582 §3.2).
-                        let cc_partial =
-                            matches!(cfg.tcp.cc, CcVariant::NewReno | CcVariant::Sack);
+                        let cc_partial = matches!(cfg.tcp.cc, CcVariant::NewReno | CcVariant::Sack);
                         let partial_answer = cc_partial
                             && e.partial_ack_pending
                                 .is_some_and(|(hole, _)| hole == seg.seq);
                         if let Some((hole, t_set)) = e.partial_ack_pending {
-                            if cc_partial
-                                && hole == seg.seq
-                                && at.since(t_set) >= cfg.tcp.min_rto
-                            {
+                            if cc_partial && hole == seg.seq && at.since(t_set) >= cfg.tcp.min_rto {
                                 v(
                                     report,
                                     InvariantKind::NewRenoPartialAck,
@@ -770,7 +766,9 @@ fn check_conn(key: (SockAddr, SockAddr), conn: &Conn, cfg: &CheckConfig, report:
                             if e.dup_acks >= 3 && e.recovery_high == 0 {
                                 e.recovery_high = prev_snd_max;
                             }
-                            if e.partial_ack_pending.is_some_and(|(hole, _)| hole == seg.seq) {
+                            if e.partial_ack_pending
+                                .is_some_and(|(hole, _)| hole == seg.seq)
+                            {
                                 e.partial_ack_pending = None;
                             }
                         }

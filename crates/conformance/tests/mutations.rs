@@ -1110,7 +1110,11 @@ fn newreno_recovery_prologue(drops: &mut Vec<DropRecord>) -> (Vec<TraceRecord>, 
     // Fast retransmit of A; the server then acks through B only: a
     // partial ACK exposing the second hole at C.
     recs.push(rec(11_100, 12_100, seg(true, base, 1, f, &data, WIN)));
-    recs.push(rec(12_200, 13_200, seg(false, 1, base + 2 * MSS, f, &[], WIN)));
+    recs.push(rec(
+        12_200,
+        13_200,
+        seg(false, 1, base + 2 * MSS, f, &[], WIN),
+    ));
     (recs, base + 2 * MSS)
 }
 
@@ -1123,7 +1127,11 @@ fn mutation_newreno_partial_ack() {
     let mut drops = Vec::new();
     let (mut recs, hole) = newreno_recovery_prologue(&mut drops);
     recs.push(rec(613_200, 614_200, seg(true, hole, 1, f, &data, WIN)));
-    recs.push(rec(614_300, 615_300, seg(false, 1, hole + 3 * MSS, f, &[], WIN)));
+    recs.push(rec(
+        614_300,
+        615_300,
+        seg(false, 1, hole + 3 * MSS, f, &[], WIN),
+    ));
     let report = check_cc(&recs, &drops, CcVariant::NewReno);
     assert_fires(&report, InvariantKind::NewRenoPartialAck);
 }
@@ -1138,7 +1146,11 @@ fn newreno_prompt_partial_ack_fill_is_clean() {
     let mut drops = Vec::new();
     let (mut recs, hole) = newreno_recovery_prologue(&mut drops);
     recs.push(rec(13_300, 14_300, seg(true, hole, 1, f, &data, WIN)));
-    recs.push(rec(14_400, 15_400, seg(false, 1, hole + 3 * MSS, f, &[], WIN)));
+    recs.push(rec(
+        14_400,
+        15_400,
+        seg(false, 1, hole + 3 * MSS, f, &[], WIN),
+    ));
     let report = check_cc(&recs, &drops, CcVariant::NewReno);
     assert!(
         report.is_clean(),
@@ -1165,7 +1177,11 @@ fn mutation_sack_rexmit_sacked() {
     recs.push(rec(4100, 5100, dup));
     // A full RTO later the sender retransmits the SACKed C instead of
     // (or in addition to) the hole at B.
-    recs.push(rec(600_000, 601_000, seg(true, 1 + 2 * MSS, 1, f, &data, WIN)));
+    recs.push(rec(
+        600_000,
+        601_000,
+        seg(true, 1 + 2 * MSS, 1, f, &data, WIN),
+    ));
     let report = check_cc(&recs, &drops, CcVariant::Sack);
     assert_fires(&report, InvariantKind::SackRexmitSacked);
 }
@@ -1184,7 +1200,11 @@ fn sack_hole_rexmit_is_clean() {
     dup.sack = sack_of(&[(1 + 2 * MSS, 1 + 3 * MSS)]);
     recs.push(rec(4100, 5100, dup));
     recs.push(rec(600_000, 601_000, seg(true, 1 + MSS, 1, f, &data, WIN)));
-    recs.push(rec(601_100, 602_100, seg(false, 1, 1 + 3 * MSS, f, &[], WIN)));
+    recs.push(rec(
+        601_100,
+        602_100,
+        seg(false, 1, 1 + 3 * MSS, f, &[], WIN),
+    ));
     let report = check_cc(&recs, &drops, CcVariant::Sack);
     assert!(
         report.is_clean(),
@@ -1217,12 +1237,20 @@ fn mutation_cubic_growth_bound() {
     // RTO-style recovery: the retransmission stamps the congestion
     // epoch with wmax = 2 MSS.
     recs.push(rec(600_000, 601_000, seg(true, lost, 1, f, &data, WIN)));
-    recs.push(rec(601_500, 602_500, seg(false, 1, lost + MSS, f, &[], WIN)));
+    recs.push(rec(
+        601_500,
+        602_500,
+        seg(false, 1, lost + MSS, f, &[], WIN),
+    ));
     // 8-MSS burst 1 ms into the epoch: the cubic window is still near
     // 0.7 * wmax, so flight must not approach 8 MSS.
     for i in 0..8u64 {
         let seq = lost + MSS + i * MSS;
-        recs.push(rec(603_000 + i * 50, 604_000 + i * 50, seg(true, seq, 1, f, &data, WIN)));
+        recs.push(rec(
+            603_000 + i * 50,
+            604_000 + i * 50,
+            seg(true, seq, 1, f, &data, WIN),
+        ));
     }
     recs.push(rec(
         604_500,

@@ -96,6 +96,7 @@ fn browser_spec(browser: Browser, server_kind: ServerKind, first_time: bool) -> 
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
         probe: false,
+        telemetry: false,
     }
 }
 

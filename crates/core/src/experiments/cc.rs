@@ -73,9 +73,9 @@ pub fn variant_inflation(
     loss_pct: f64,
     cc: CcVariant,
 ) -> Option<f64> {
-    let cell = cells.iter().find(|c| {
-        c.point.setup == setup && c.point.loss_pct == loss_pct && c.point.cc == cc
-    })?;
+    let cell = cells
+        .iter()
+        .find(|c| c.point.setup == setup && c.point.loss_pct == loss_pct && c.point.cc == cc)?;
     robustness::inflation_pct(cells, cell)
 }
 
@@ -99,7 +99,11 @@ pub fn recovery_table(cells: &[RobustnessCell]) -> Table {
             })
             .collect();
         t.push_row(
-            &format!("{} @ {:.1}% uniform", c.point.setup.label(), c.point.loss_pct),
+            &format!(
+                "{} @ {:.1}% uniform",
+                c.point.setup.label(),
+                c.point.loss_pct
+            ),
             cols,
         );
     }
@@ -140,13 +144,15 @@ pub fn probe_rows() -> Vec<(CcVariant, f64, netsim::ProbeAnalysis)> {
                 cc,
             }
             .seed();
-            spec.impair =
-                Some(ImpairConfig::none().with_seed(seed).with_loss(LossModel::Bernoulli {
-                    p: 0.02,
-                }));
-            let mut tcp = netsim::TcpConfig::default();
-            tcp.cc = cc;
-            spec.tcp = Some(tcp);
+            spec.impair = Some(
+                ImpairConfig::none()
+                    .with_seed(seed)
+                    .with_loss(LossModel::Bernoulli { p: 0.02 }),
+            );
+            spec.tcp = Some(netsim::TcpConfig {
+                cc,
+                ..Default::default()
+            });
             spec.probe = true;
             spec
         })

@@ -83,6 +83,7 @@ pub fn modem_cells(server_kind: ServerKind) -> (CellResult, CellResult) {
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
             probe: false,
+            telemetry: false,
         };
         run_spec(spec).cell
     };

@@ -133,6 +133,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
             probe: false,
+            telemetry: false,
         };
         run_spec(spec).cell
     };
@@ -161,6 +162,7 @@ pub fn css_browse_cells(pipelined: bool) -> (CellResult, CellResult) {
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
             probe: false,
+            telemetry: false,
         };
         run_spec(spec).cell
     };

@@ -14,4 +14,5 @@ pub mod ranges;
 pub mod robustness;
 pub mod scale;
 pub mod summary;
+pub mod telemetry;
 pub mod verbosity;

@@ -74,7 +74,9 @@ pub fn matrix_cells(
 }
 
 /// Render one mux matrix table. The extra `PushB` column is the bytes
-/// the server volunteered on promised streams (zero for non-push rows).
+/// the server volunteered on promised streams (zero for non-push rows);
+/// `CxlB` is the push DATA bytes already in flight when the client
+/// cancelled the stream — pure wire waste.
 pub fn matrix_table(env: NetEnv, server: ServerKind) -> Table {
     let server_name = match server {
         ServerKind::Jigsaw => "Jigsaw",
@@ -83,16 +85,18 @@ pub fn matrix_table(env: NetEnv, server: ServerKind) -> Table {
     let mut t = Table::new(
         &format!("Multiplexing - {server_name} - {}", env.channel()),
         &[
-            "FT Pa", "FT Bytes", "FT Sec", "FT PushB", "CV Pa", "CV Bytes", "CV Sec", "CV PushB",
+            "FT Pa", "FT Bytes", "FT Sec", "FT PushB", "FT CxlB", "CV Pa", "CV Bytes", "CV Sec",
+            "CV PushB", "CV CxlB",
         ],
     );
     for (label, first, reval) in matrix_cells(env, server) {
-        let mut cols = Vec::with_capacity(8);
+        let mut cols = Vec::with_capacity(10);
         for cell in [&first, &reval] {
             cols.push(cell.packets().to_string());
             cols.push(cell.bytes.to_string());
             cols.push(format!("{:.2}", cell.secs));
             cols.push(cell.pushed_bytes.to_string());
+            cols.push(cell.cancelled_push_bytes.to_string());
         }
         t.push_row(label, cols);
     }

@@ -136,9 +136,10 @@ impl RobustnessPoint {
         let mut spec = matrix_spec(self.env, ServerKind::Apache, self.setup, self.scenario);
         spec.impair = Some(self.impairment());
         if self.cc != CcVariant::Reno {
-            let mut tcp = netsim::TcpConfig::default();
-            tcp.cc = self.cc;
-            spec.tcp = Some(tcp);
+            spec.tcp = Some(netsim::TcpConfig {
+                cc: self.cc,
+                ..Default::default()
+            });
         }
         spec
     }
@@ -239,8 +240,9 @@ pub fn inflation_pct(cells: &[RobustnessCell], of: &RobustnessCell) -> Option<f6
 }
 
 /// Render one table per (environment, scenario) present in `cells`, in
-/// grid order: packet count, retransmissions, drops, elapsed seconds and
-/// inflation over the zero-loss row.
+/// grid order: packet count, retransmissions, drops (total and split by
+/// reason, loss/outage/queue), elapsed seconds and inflation over the
+/// zero-loss row.
 pub fn report(cells: &[RobustnessCell]) -> Vec<Table> {
     let mut tables = Vec::new();
     for env in NetEnv::ALL {
@@ -258,7 +260,7 @@ pub fn report(cells: &[RobustnessCell]) -> Vec<Table> {
                     env.name(),
                     scenario.label()
                 ),
-                &["Pa", "Rexmit", "Drops", "Sec", "Infl%"],
+                &["Pa", "Rexmit", "Drops", "L/O/Q", "Sec", "Infl%"],
             );
             for c in group {
                 let infl = inflation_pct(cells, c)
@@ -270,6 +272,10 @@ pub fn report(cells: &[RobustnessCell]) -> Vec<Table> {
                         c.cell.packets().to_string(),
                         c.cell.retransmits.to_string(),
                         c.cell.drops.to_string(),
+                        format!(
+                            "{}/{}/{}",
+                            c.cell.drops_loss, c.cell.drops_outage, c.cell.drops_queue
+                        ),
                         format!("{:.2}", c.cell.secs),
                         infl,
                     ],

@@ -85,6 +85,7 @@ impl ScalePoint {
             reset_backoff: SimDuration::ZERO,
             tcp: None,
             trace_mode: TraceMode::StatsOnly,
+            telemetry: false,
         }
     }
 

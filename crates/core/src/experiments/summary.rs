@@ -34,6 +34,7 @@ pub fn baseline_cell() -> CellResult {
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
         probe: false,
+        telemetry: false,
     };
     run_spec(spec).cell
 }
@@ -86,6 +87,7 @@ pub fn all_techniques_cell() -> CellResult {
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
         probe: false,
+        telemetry: false,
     };
     run_spec(spec).cell
 }

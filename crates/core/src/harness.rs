@@ -199,6 +199,12 @@ pub struct CellSpec {
     /// a disabled probe records nothing and leaves every existing metric
     /// byte-identical.
     pub probe: bool,
+    /// Enable the [`netsim::telemetry`] time-series sink for this run:
+    /// the [`CellResult`] gains a [`netsim::TelemetrySummary`] and the
+    /// [`RunOutput`]'s simulator retains the full series. Off by default
+    /// with the same discipline as the probe — a disabled sink records
+    /// nothing and leaves every existing metric byte-identical.
+    pub telemetry: bool,
 }
 
 /// Outcome of one run: the cell metrics plus full app access if needed.
@@ -243,6 +249,9 @@ pub(crate) fn cell_result(
         resets: client_stats.resets,
         retransmits: stats.retransmitted_packets,
         drops: stats.drops(),
+        drops_loss: stats.drops_loss,
+        drops_outage: stats.drops_outage,
+        drops_queue: stats.drops_queue,
         dups: stats.dup_packets,
         reorders: stats.reordered_packets,
         first_byte_secs: stats.first_byte_secs(),
@@ -251,6 +260,7 @@ pub(crate) fn cell_result(
         cancelled_pushes: client_stats.cancelled_pushes,
         cancelled_push_bytes: client_stats.cancelled_push_bytes,
         probe: None,
+        telemetry: None,
     }
 }
 
@@ -260,6 +270,9 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
     sim.set_trace_mode(spec.trace_mode);
     if spec.probe {
         sim.enable_probe();
+    }
+    if spec.telemetry {
+        sim.enable_telemetry();
     }
     let client_host = sim.add_host("client");
     let server_host = sim.add_host("server");
@@ -308,6 +321,9 @@ pub fn run_spec(spec: CellSpec) -> RunOutput {
     );
 
     let mut cell = cell_result(&stats, socket_stats, &client_stats);
+    if spec.telemetry {
+        cell.telemetry = Some(sim.telemetry().summary());
+    }
     let probe = if spec.probe {
         let start = stats.first.unwrap_or(netsim::SimTime::from_nanos(0));
         let end = stats.last.unwrap_or(start);
@@ -357,6 +373,10 @@ pub struct FleetSpec {
     pub tcp: Option<netsim::TcpConfig>,
     /// Trace retention for the run.
     pub trace_mode: TraceMode,
+    /// Enable the [`netsim::telemetry`] time-series sink for the fleet
+    /// run (per-client cells gain their [`netsim::TelemetrySummary`];
+    /// the full series stay readable on the returned simulator).
+    pub telemetry: bool,
 }
 
 /// Outcome of one fleet run.
@@ -381,6 +401,9 @@ pub fn run_fleet(spec: FleetSpec) -> FleetOutput {
     assert!(spec.n_clients >= 1, "a fleet needs at least one client");
     let mut sim = Simulator::new();
     sim.set_trace_mode(spec.trace_mode);
+    if spec.telemetry {
+        sim.enable_telemetry();
+    }
     let client_hosts: Vec<netsim::HostId> = (0..spec.n_clients)
         .map(|i| sim.add_host(&format!("client{i}")))
         .collect();
@@ -420,6 +443,7 @@ pub fn run_fleet(spec: FleetSpec) -> FleetOutput {
     }
     sim.run_until_idle();
 
+    let telemetry_summary = spec.telemetry.then(|| sim.telemetry().summary());
     let per_client = client_hosts
         .iter()
         .map(|&c| {
@@ -436,7 +460,9 @@ pub fn run_fleet(spec: FleetSpec) -> FleetOutput {
                 client_stats.cancelled_pushes,
                 client_stats.cancelled_push_bytes,
             );
-            cell_result(&stats, socket_stats, &client_stats)
+            let mut cell = cell_result(&stats, socket_stats, &client_stats);
+            cell.telemetry = telemetry_summary;
+            cell
         })
         .collect();
     let server_stats = sim
@@ -537,6 +563,7 @@ pub fn matrix_spec(
         tcp: None,
         trace_mode: TraceMode::StatsOnly,
         probe: false,
+        telemetry: false,
     }
 }
 

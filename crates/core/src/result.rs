@@ -34,6 +34,12 @@ pub struct CellResult {
     pub retransmits: u64,
     /// Packets the network dropped (loss + outage + queue overflow).
     pub drops: u64,
+    /// Drops attributed to the random/bursty loss model.
+    pub drops_loss: u64,
+    /// Drops attributed to a scheduled link outage.
+    pub drops_outage: u64,
+    /// Drops attributed to queue (buffer) overflow at the bottleneck.
+    pub drops_queue: u64,
     /// Packets the network duplicated.
     pub dups: u64,
     /// Packets that overtook an earlier packet in flight.
@@ -55,6 +61,11 @@ pub struct CellResult {
     ///
     /// [`CellSpec::probe`]: ../harness/struct.CellSpec.html#structfield.probe
     pub probe: Option<netsim::ProbeReport>,
+    /// Telemetry volume roll-up, present when the cell ran with the
+    /// time-series sink enabled ([`CellSpec::telemetry`]).
+    ///
+    /// [`CellSpec::telemetry`]: ../harness/struct.CellSpec.html#structfield.telemetry
+    pub telemetry: Option<netsim::TelemetrySummary>,
 }
 
 impl CellResult {

@@ -13,10 +13,15 @@ use netsim::{CcVariant, TcpConfig};
 
 /// Seed digest of the reduced robustness grid (loss/reorder/outage
 /// impairments over three setups), captured before the CC trait landed.
-const SEED_ROBUSTNESS_DIGEST: u64 = 0xffae_9b88_91d8_0689;
+/// Re-pinned when the report grew the drops-by-reason (L/O/Q) column —
+/// a rendering change only; the underlying cells are covered by the
+/// telemetry identity tests and the unchanged scale digest.
+const SEED_ROBUSTNESS_DIGEST: u64 = 0x7c6c_bcfa_68ca_f65b;
 
 /// Seed digest of the reduced mux report (framed transports + push).
-const SEED_MUX_DIGEST: u64 = 0x2ef6_007b_01a0_9314;
+/// Re-pinned when the matrix table grew the cancelled-push-bytes
+/// (CxlB) columns — same rendering-only caveat as above.
+const SEED_MUX_DIGEST: u64 = 0xb978_ca3e_2c17_9e3d;
 
 /// Seed digest of the reduced scale report (fleets to 64 clients).
 const SEED_SCALE_DIGEST: u64 = 0x4dd4_ba02_5900_c56e;
@@ -58,7 +63,8 @@ fn default_tcp_override_is_inert() {
     assert_eq!(TcpConfig::default().cc, CcVariant::Reno);
     for setup in [ProtocolSetup::Http10, ProtocolSetup::Http11Pipelined] {
         let base = matrix_spec(NetEnv::Wan, ServerKind::Apache, setup, Scenario::FirstTime);
-        let mut overridden = matrix_spec(NetEnv::Wan, ServerKind::Apache, setup, Scenario::FirstTime);
+        let mut overridden =
+            matrix_spec(NetEnv::Wan, ServerKind::Apache, setup, Scenario::FirstTime);
         overridden.tcp = Some(TcpConfig::default());
         assert_eq!(
             run_spec(base).cell,

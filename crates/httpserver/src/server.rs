@@ -26,7 +26,7 @@ use httpwire::range;
 use httpwire::validators::{evaluate_conditional, if_range_matches, CondResult};
 use httpwire::{format_http_date, Method, Request, RequestParser, Response, StatusCode, Version};
 use netsim::sim::{App, AppEvent, Ctx};
-use netsim::{SimTime, SocketId};
+use netsim::{Metric, SimTime, SocketId};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -562,6 +562,11 @@ impl App for HttpServer {
                 self.promote_parked(ctx);
             }
             _ => {}
+        }
+        if ctx.telemetry_enabled() {
+            ctx.telemetry_gauge(Metric::ServerConnections, self.conns.len() as u64);
+            ctx.telemetry_gauge(Metric::ServerQueuedConnections, self.parked.len() as u64);
+            ctx.telemetry_gauge(Metric::ServerBufferedBytes, self.total_mem);
         }
     }
 }

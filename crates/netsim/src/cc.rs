@@ -39,7 +39,7 @@ use crate::seq::{seq_ge, seq_gt, seq_le, seq_sub};
 use crate::time::SimTime;
 
 /// Which congestion-control algorithm an endpoint runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum CcVariant {
     /// Slow start + fast retransmit, the seed behavior (RFC 5681).
     #[default]
@@ -530,7 +530,9 @@ impl CongestionControl for Cubic {
             let target = cubic_window(self.wmax, ctx.mss, elapsed_ms, self.k_ms);
             // Ack-clocked: never shrink, never grow faster than one MSS
             // per advancing ACK.
-            self.cwnd = self.cwnd.max(target.min(self.cwnd + newly_acked.min(ctx.mss)));
+            self.cwnd = self
+                .cwnd
+                .max(target.min(self.cwnd + newly_acked.min(ctx.mss)));
         }
         CcSignal::None
     }
@@ -575,7 +577,7 @@ pub fn cubic_k_ms(wmax: usize, mss: usize) -> u64 {
     let mut lo = 0u128;
     let mut hi = 1u128 << 43; // (2^43)^3 > any reachable target
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if mid * mid * mid <= target {
             lo = mid;
         } else {
@@ -795,7 +797,10 @@ mod tests {
         let mut more = SackBlocks::NONE;
         more.push(4381, 5841);
         s.on_dup_ack(&ctx(1, 1461, 10_221, &more));
-        assert_eq!(s.on_dup_ack(&ctx(1, 1461, 10_221, &SackBlocks::NONE)), CcSignal::Loss);
+        assert_eq!(
+            s.on_dup_ack(&ctx(1, 1461, 10_221, &SackBlocks::NONE)),
+            CcSignal::Loss
+        );
         assert_eq!(s.scoreboard, vec![(2921, 7301)]);
         assert_eq!(s.rexmit_cap(1461), Some(2921));
         // Cumulative ACK past a block prunes it.
@@ -846,7 +851,14 @@ mod tests {
 
     #[test]
     fn wire_blocks_merge_sort_and_cap() {
-        let spans = [(100u64, 200u64), (200, 300), (400, 500), (600, 700), (800, 900), (1000, 1100)];
+        let spans = [
+            (100u64, 200u64),
+            (200, 300),
+            (400, 500),
+            (600, 700),
+            (800, 900),
+            (1000, 1100),
+        ];
         let b = wire_sack_blocks(spans.iter().copied(), 50);
         let got: Vec<_> = b.iter().collect();
         // Adjacent first two merge; only four blocks fit the option.

@@ -1,0 +1,86 @@
+//! Shared helpers for the hand-rolled JSON documents this crate emits.
+//!
+//! Both the probe flight recorder ([`crate::probe`]) and the telemetry
+//! time-series layer ([`crate::telemetry`]) render stable JSON by hand —
+//! fixed field order, no serializer dependency — so identical runs
+//! produce byte-identical documents. The escaping and number formatting
+//! rules live here so the two emitters cannot drift apart.
+//!
+//! Numbers use Rust's shortest-representation `Display` for `f64`, which
+//! is guaranteed to round-trip: `s.parse::<f64>() == v` for every finite
+//! `v`. This replaced an earlier fixed `{:.9}` format that silently
+//! truncated sub-nanosecond fractions and padded whole numbers with
+//! meaningless zeros.
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a finite `f64` as the shortest decimal string that parses back
+/// to exactly the same value. Non-finite values have no JSON number
+/// representation and render as `null`.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\tb"), "a\\u0009b");
+    }
+
+    #[test]
+    fn number_round_trips_exactly() {
+        for v in [
+            0.0,
+            1.0,
+            0.1 + 0.2,
+            1.0 / 3.0,
+            123_456_789.000_000_001,
+            4.13,
+            2.5e-10,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -0.007,
+        ] {
+            let s = number(v);
+            let back: f64 = s.parse().expect("parses as f64");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn number_is_shortest_not_padded() {
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(4.13), "4.13");
+        assert_eq!(number(0.5), "0.5");
+    }
+
+    #[test]
+    fn non_finite_renders_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+}

@@ -18,7 +18,10 @@
 //! * an event-driven application model with a BSD-like socket API
 //!   ([`sim::App`], [`sim::Ctx`]);
 //! * tcpdump-like packet capture and the statistics the paper's tables
-//!   report ([`trace`]).
+//!   report ([`trace`]);
+//! * deterministic time-series telemetry (counters, gauges, streaming
+//!   histograms on sim-time ticks) and pcapng export so simulated
+//!   connections open in Wireshark/tcptrace ([`telemetry`], [`pcapng`]).
 //!
 //! Everything is deterministic: the same setup yields byte-identical traces
 //! on every run, which makes experiments exactly reproducible.
@@ -76,15 +79,18 @@
 
 pub mod cc;
 pub mod impair;
+pub mod json;
 pub mod link;
 pub mod modem;
 pub mod packet;
+pub mod pcapng;
 pub mod pool;
 pub mod probe;
 pub mod queue;
 pub mod seq;
 pub mod sim;
 pub mod tcp;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -93,6 +99,7 @@ pub use impair::{DropReason, ImpairConfig, JitterModel, LossModel, Outage};
 pub use link::{Link, LinkCodec, LinkConfig, Pumped, QueueDiscipline, Transmit};
 pub use modem::ModemCompressor;
 pub use packet::{HostId, SackBlocks, Segment, SockAddr, TcpFlags, TCP_IP_HEADER_BYTES};
+pub use pcapng::{PcapError, PcapPacket};
 pub use pool::Slab;
 pub use probe::{
     Diagnosis, FlushCause, ProbeAnalysis, ProbeEventKind, ProbeRecord, ProbeReport, ProbeSink,
@@ -100,5 +107,6 @@ pub use probe::{
 };
 pub use sim::{App, AppEvent, Ctx, Simulator, SocketId, SocketStats};
 pub use tcp::TcpConfig;
+pub use telemetry::{Metric, Scope, TelemetrySink, TelemetrySummary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropRecord, Trace, TraceMode, TraceModeError, TraceRecord, TraceStats};

@@ -287,6 +287,23 @@ impl Link {
         }
     }
 
+    /// Bytes waiting to serialize in the direction a packet from `from`
+    /// would take, observed at `now`: the round-robin arbitration backlog,
+    /// or the FIFO transmitter backlog implied by `busy_until`. This is
+    /// the quantity tail-drop bounds compare against, exposed for the
+    /// telemetry queue-depth gauge.
+    pub fn queued_bytes(&self, now: SimTime, from: HostId) -> u64 {
+        let dir = if from == self.b {
+            &self.b_to_a
+        } else {
+            &self.a_to_b
+        };
+        match &dir.rr {
+            Some(rr) => rr.queued_bytes,
+            None => Self::backlog_bytes(dir.busy_until, now, self.config.bits_per_sec),
+        }
+    }
+
     /// Submit `segment` for transmission at time `now`.
     ///
     /// Under FIFO arbitration, returns the arrival time at the far end (or

@@ -783,22 +783,12 @@ pub fn attribute(records: &[ProbeRecord], start: SimTime, end: SimTime) -> Probe
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use crate::json::escape as json_escape;
 
-fn json_secs(ns_based: f64) -> String {
-    format!("{ns_based:.9}")
+/// Seconds as a JSON number: shortest representation that round-trips
+/// exactly (see [`crate::json::number`]).
+fn json_secs(secs: f64) -> String {
+    crate::json::number(secs)
 }
 
 fn json_time(t: SimTime) -> String {

@@ -7,11 +7,13 @@
 //! `close`) so the HTTP client and server crates read like ordinary
 //! event-driven network programs.
 
+use crate::impair::DropReason;
 use crate::link::{Link, LinkConfig, Transmit};
 use crate::packet::{HostId, Segment, SockAddr};
 use crate::probe::{ProbeEventKind, ProbeRecord, ProbeSink, SpanEvent};
 use crate::queue::EventQueue;
 use crate::tcp::{Effects, SockNotify, State, Tcb, TcpConfig, TimerKind};
+use crate::telemetry::{Metric, Scope, TelemetrySink};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceMode, TraceStats};
 use bytes::Bytes;
@@ -151,6 +153,7 @@ pub struct Kernel {
     link_index: HashMap<(HostId, HostId), usize>,
     trace: Trace,
     probe: ProbeSink,
+    telemetry: TelemetrySink,
     pending: VecDeque<(HostId, AppEvent)>,
     /// Recycled [`Effects`] scratch: every event handler borrows one and
     /// returns it drained, so the per-event effect lists keep their
@@ -171,6 +174,7 @@ impl Kernel {
             link_index: HashMap::new(), // xtask: allow(hash-collections)
             trace: Trace::new(),
             probe: ProbeSink::default(),
+            telemetry: TelemetrySink::default(),
             pending: VecDeque::new(),
             fx_pool: Vec::new(), // xtask: allow(hot-path-alloc) kernel setup
             events_processed: 0,
@@ -234,6 +238,71 @@ impl Kernel {
     fn recycle_fx(&mut self, mut fx: Effects) {
         fx.clear();
         self.fx_pool.push(fx);
+        if self.telemetry.enabled() {
+            let now = self.now;
+            let held = self.fx_pool.len() as u64;
+            self.telemetry
+                .gauge(now, Scope::Global, Metric::PoolEffects, held);
+        }
+    }
+
+    /// Sample per-link-direction telemetry after a submission or pump:
+    /// drop counters by reason, the instantaneous backlog, and its
+    /// distribution.
+    fn telemetry_link(&mut self, link: usize, from: HostId, dropped: Option<DropReason>) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let a_to_b = from != self.links[link].b;
+        let scope = Scope::Link {
+            link: link as u32,
+            a_to_b,
+        };
+        let now = self.now;
+        if let Some(reason) = dropped {
+            self.telemetry
+                .counter_add(now, scope, Metric::for_drop(reason), 1);
+        }
+        let queued = self.links[link].queued_bytes(now, from);
+        self.telemetry.gauge(now, scope, Metric::QueueBytes, queued);
+        self.telemetry
+            .observe(scope, Metric::QueueBytesHist, queued);
+    }
+
+    /// Sample a connection's congestion state after its TCB ran: cwnd,
+    /// ssthresh, flight, RTO, and recovery-episode edges.
+    fn telemetry_conn_sample(&mut self, host: HostId, slot: u32) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let tcb = &self.hosts[host.0 as usize].sockets[slot as usize];
+        let scope = Scope::Conn {
+            host,
+            local: tcb.local,
+            remote: tcb.remote,
+        };
+        let cwnd = tcb.cwnd() as u64;
+        let ssthresh = tcb.ssthresh() as u64;
+        let flight = tcb.bytes_in_flight();
+        let rto = tcb.rto().as_nanos();
+        let in_recovery = tcb.cc_in_recovery();
+        let variant = tcb.cc_variant();
+        let now = self.now;
+        self.telemetry.gauge(now, scope, Metric::Cwnd, cwnd);
+        self.telemetry.gauge(now, scope, Metric::Ssthresh, ssthresh);
+        self.telemetry
+            .gauge(now, scope, Metric::FlightBytes, flight);
+        self.telemetry.gauge(now, scope, Metric::RtoNs, rto);
+        self.telemetry.observe(scope, Metric::FlightHist, flight);
+        let level = u64::from(in_recovery);
+        if self
+            .telemetry
+            .gauge_changed(now, scope, Metric::CcRecoveryActive, level)
+            && in_recovery
+        {
+            self.telemetry
+                .counter_add(now, Scope::Global, Metric::CcRecoveries(variant), 1);
+        }
     }
 
     /// Record a wire-transmit probe event for a segment the link accepted.
@@ -279,6 +348,7 @@ impl Kernel {
             .unwrap_or_else(|| panic!("no link between h{} and h{}", from.0, to.0));
         let now = self.now;
         let (outcome, physical) = self.links[idx].transmit(now, from, &seg);
+        let mut dropped = None;
         match outcome {
             Transmit::Arrives(at) => {
                 self.probe_wire_tx(&seg, physical, at, idx);
@@ -291,7 +361,10 @@ impl Kernel {
             }
             // The tracer must see drops too: they are invisible as
             // arrivals but the paper-style summaries report them.
-            Transmit::Dropped(reason) => self.trace.observe_drop(now, &seg, reason),
+            Transmit::Dropped(reason) => {
+                self.trace.observe_drop(now, &seg, reason);
+                dropped = Some(reason);
+            }
             // Round-robin links deliver via pump events instead.
             Transmit::Queued(pump_at) => {
                 if let Some(at) = pump_at {
@@ -300,6 +373,7 @@ impl Kernel {
                 }
             }
         }
+        self.telemetry_link(idx, from, dropped);
     }
 
     /// Serve one packet from a round-robin link direction and schedule the
@@ -317,6 +391,8 @@ impl Kernel {
             );
         }
         let to = p.segment.dst.host;
+        let from = p.segment.src.host;
+        let mut dropped = None;
         match p.outcome {
             Transmit::Arrives(at) => {
                 self.probe_wire_tx(&p.segment, p.physical, at, link);
@@ -327,13 +403,18 @@ impl Kernel {
                 self.push_arrival(at, to, p.segment.clone(), p.sent, p.physical, false);
                 self.push_arrival(dup_at, to, p.segment, p.sent, p.physical, true);
             }
-            Transmit::Dropped(reason) => self.trace.observe_drop(now, &p.segment, reason),
+            Transmit::Dropped(reason) => {
+                self.trace.observe_drop(now, &p.segment, reason);
+                dropped = Some(reason);
+            }
             Transmit::Queued(_) => unreachable!("pump never re-queues"),
         }
+        self.telemetry_link(link, from, dropped);
     }
 
     /// Apply the side effects a TCB produced.
     fn apply_effects(&mut self, host: HostId, slot: u32, fx: &mut Effects) {
+        self.telemetry_conn_sample(host, slot);
         if !fx.probe.is_empty() {
             let tcb = &self.hosts[host.0 as usize].sockets[slot as usize];
             let (local, remote) = (tcb.local, tcb.remote);
@@ -454,6 +535,9 @@ impl Kernel {
                 if let Some(cap) = backlog {
                     if h.syn_queue_len(seg.dst.port) >= cap {
                         self.host(host).stats.syn_drops += 1;
+                        let now = self.now;
+                        self.telemetry
+                            .counter_add(now, Scope::Host(host), Metric::SynDrops, 1);
                         return;
                     }
                 }
@@ -699,6 +783,23 @@ impl<'a> Ctx<'a> {
         });
     }
 
+    /// Whether the telemetry sink is collecting. Lets applications skip
+    /// computing gauge values entirely while the subsystem is off.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.kernel.telemetry.enabled()
+    }
+
+    /// Record an application-level gauge in this host's scope (e.g.
+    /// server concurrency or buffered memory). No-op unless the
+    /// simulator's telemetry was enabled.
+    pub fn telemetry_gauge(&mut self, metric: Metric, value: u64) {
+        let now = self.kernel.now;
+        let host = self.host;
+        self.kernel
+            .telemetry
+            .gauge(now, Scope::Host(host), metric, value);
+    }
+
     /// Arm an application timer; fires as [`AppEvent::Timer`] with `token`.
     /// Timers are one-shot; arming the same token again schedules another
     /// independent firing.
@@ -853,6 +954,30 @@ impl Simulator {
     /// [`Simulator::enable_probe`] was called).
     pub fn probe_records(&self) -> &[ProbeRecord] {
         self.kernel.probe.records()
+    }
+
+    /// Turn on the telemetry time-series sink with the default 10 ms
+    /// tick. Do this before traffic flows so series cover the whole run.
+    pub fn enable_telemetry(&mut self) {
+        self.kernel.telemetry.enable();
+    }
+
+    /// Like [`Simulator::enable_telemetry`], but sampling on a custom
+    /// tick width.
+    pub fn enable_telemetry_with_tick(&mut self, tick: SimDuration) {
+        self.kernel.telemetry.set_tick(tick);
+        self.kernel.telemetry.enable();
+    }
+
+    /// Whether the telemetry sink is collecting.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.kernel.telemetry.enabled()
+    }
+
+    /// The telemetry series collected so far (empty unless
+    /// [`Simulator::enable_telemetry`] was called).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.kernel.telemetry
     }
 
     /// Statistics over all packets between `client` and `server`.

@@ -428,6 +428,22 @@ impl Tcb {
         self.cc.ctl.in_recovery()
     }
 
+    /// Bytes sent but not yet acknowledged — the in-flight estimate the
+    /// congestion controller paces against (tests/diagnostics).
+    pub fn bytes_in_flight(&self) -> u64 {
+        seq_sub(self.snd_nxt, self.snd_una)
+    }
+
+    /// Current retransmission timeout (tests/diagnostics).
+    pub fn rto(&self) -> SimDuration {
+        self.cc.rto
+    }
+
+    /// The congestion-control variant this socket was configured with.
+    pub fn cc_variant(&self) -> CcVariant {
+        self.cfg.cc
+    }
+
     /// Snapshot of the TCB state the congestion controller may consult.
     /// `sack` carries the triggering segment's SACK option (or
     /// [`SackBlocks::NONE`] for segment-less events like an RTO).

@@ -1,0 +1,822 @@
+//! Deterministic time-series metrics: counters, gauges and log-bucketed
+//! streaming histograms sampled on sim-time ticks.
+//!
+//! The paper's methodology was observational — tcpdump captures analyzed
+//! until the authors could attribute every stall to a TCP mechanism. The
+//! probe ([`crate::probe`]) automates that attribution for a single run;
+//! this module adds the *evolution* view: how cwnd, queue depth, server
+//! load and recovery activity change over a run, across a whole fleet.
+//!
+//! ## Discipline
+//!
+//! The sink obeys the same rules the probe established:
+//!
+//! * **Zero overhead when disabled.** Every record method starts with one
+//!   branch on [`TelemetrySink::enabled`] and returns immediately when
+//!   off. Off-runs are bit-identical to runs of a build without the
+//!   subsystem, proven field-for-field by differential tests.
+//! * **Integer time only.** All times are integer nanoseconds or tick
+//!   indices; the module contains no floating point at all, and simlint's
+//!   `probe-determinism` rule enforces that (plus the hash-collection and
+//!   wall-clock bans) on this file.
+//! * **Deterministic storage.** Series live in a `Vec` kept sorted by
+//!   [`SeriesKey`]; iteration order is the key order, never a hash order.
+//!
+//! ## Sampling rules
+//!
+//! Time is divided into fixed-width ticks of `tick_ns` nanoseconds
+//! (default 10 ms); an event at time `t` lands in tick `t / tick_ns`.
+//! Recording is event-driven, not sweep-driven:
+//!
+//! * a **gauge** keeps the *last* value written in each tick
+//!   (sample-and-hold: the series reads as the value the quantity had at
+//!   the end of every tick it changed in);
+//! * a **counter** accumulates a running total and stores the total as of
+//!   the end of each tick it changed in (cumulative, monotone);
+//! * a **histogram** has no time axis: every observation lands in the
+//!   power-of-two bucket `⌊log2(value)⌋ + 1` (value 0 in bucket 0), so a
+//!   64-bucket array summarizes any `u64` stream.
+//!
+//! Ticks in which nothing changed store nothing: consumers reconstruct
+//! the full timeline by holding the previous value, which keeps a
+//! minutes-long PPP run from materializing millions of idle points.
+
+use crate::cc::CcVariant;
+use crate::impair::DropReason;
+use crate::packet::{HostId, SockAddr};
+use crate::time::{SimDuration, SimTime};
+
+/// Default tick width: 10 ms of simulated time.
+pub const DEFAULT_TICK: SimDuration = SimDuration::from_millis(10);
+
+/// What a series describes: one connection, one link direction, one host,
+/// or the whole simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// The simulation as a whole.
+    Global,
+    /// One host (server-side application metrics, SYN drops).
+    Host(HostId),
+    /// One direction of one link (`a_to_b` in the sense of
+    /// [`crate::link::Link::a`] → [`crate::link::Link::b`]).
+    Link {
+        /// Kernel link index.
+        link: u32,
+        /// Direction within the link.
+        a_to_b: bool,
+    },
+    /// One TCP connection endpoint.
+    Conn {
+        /// The host whose socket this is.
+        host: HostId,
+        /// Local address of the socket.
+        local: SockAddr,
+        /// Remote address of the socket.
+        remote: SockAddr,
+    },
+}
+
+impl Scope {
+    /// Stable textual form used in JSON/CSV output.
+    pub fn label(&self) -> String {
+        match self {
+            Scope::Global => "global".to_string(),
+            Scope::Host(h) => format!("h{}", h.0),
+            Scope::Link { link, a_to_b } => {
+                format!("link{}:{}", link, if *a_to_b { "a>b" } else { "b>a" })
+            }
+            Scope::Conn { local, remote, .. } => format!("{local}>{remote}"),
+        }
+    }
+}
+
+/// The quantity a series measures. The variant decides the series kind
+/// (gauge, counter or histogram) via [`Metric::kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Metric {
+    /// Congestion window, bytes (per-connection gauge).
+    Cwnd,
+    /// Slow-start threshold, bytes (per-connection gauge).
+    Ssthresh,
+    /// Bytes in flight, `snd_nxt - snd_una` (per-connection gauge).
+    FlightBytes,
+    /// Retransmission timeout, nanoseconds (per-connection gauge).
+    RtoNs,
+    /// 1 while the congestion controller is in fast recovery, else 0
+    /// (per-connection gauge).
+    CcRecoveryActive,
+    /// Fast-recovery episodes entered, aggregated per congestion-control
+    /// variant ([`Scope::Global`] counter).
+    CcRecoveries(CcVariant),
+    /// Distribution of in-flight bytes at sample points (per-connection
+    /// histogram).
+    FlightHist,
+    /// Bytes queued for serialization (per-link-direction gauge).
+    QueueBytes,
+    /// Distribution of queue depths seen at packet submission
+    /// (per-link-direction histogram).
+    QueueBytesHist,
+    /// Packets dropped by the loss model (per-link-direction counter).
+    DropsLoss,
+    /// Packets dropped by a scheduled outage (per-link-direction counter).
+    DropsOutage,
+    /// Packets tail-dropped at the queue bound (per-link-direction
+    /// counter).
+    DropsQueue,
+    /// SYNs discarded at a full listen backlog (per-host counter).
+    SynDrops,
+    /// Connections currently in service at the application (per-host
+    /// gauge, app-reported via [`crate::sim::Ctx::telemetry_gauge`]).
+    ServerConnections,
+    /// Connections parked behind the admission cap (per-host gauge,
+    /// app-reported).
+    ServerQueuedConnections,
+    /// Aggregate buffered bytes across app connections (per-host gauge,
+    /// app-reported).
+    ServerBufferedBytes,
+    /// Recycled [`crate::tcp::Effects`] scratch lists held by the kernel
+    /// pool ([`Scope::Global`] gauge).
+    PoolEffects,
+}
+
+/// The three series shapes a [`Metric`] can have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Last value written per tick (sample-and-hold).
+    Gauge,
+    /// Cumulative total as of each tick it changed in.
+    Counter,
+    /// Log2-bucketed distribution with no time axis.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Stable textual form used in JSON/CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Counter => "counter",
+            SeriesKind::Histogram => "hist",
+        }
+    }
+}
+
+impl Metric {
+    /// The series shape this metric records as.
+    pub fn kind(&self) -> SeriesKind {
+        match self {
+            Metric::Cwnd
+            | Metric::Ssthresh
+            | Metric::FlightBytes
+            | Metric::RtoNs
+            | Metric::CcRecoveryActive
+            | Metric::QueueBytes
+            | Metric::ServerConnections
+            | Metric::ServerQueuedConnections
+            | Metric::ServerBufferedBytes
+            | Metric::PoolEffects => SeriesKind::Gauge,
+            Metric::CcRecoveries(_)
+            | Metric::DropsLoss
+            | Metric::DropsOutage
+            | Metric::DropsQueue
+            | Metric::SynDrops => SeriesKind::Counter,
+            Metric::FlightHist | Metric::QueueBytesHist => SeriesKind::Histogram,
+        }
+    }
+
+    /// Stable textual form used in JSON/CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Cwnd => "cwnd_bytes",
+            Metric::Ssthresh => "ssthresh_bytes",
+            Metric::FlightBytes => "flight_bytes",
+            Metric::RtoNs => "rto_ns",
+            Metric::CcRecoveryActive => "cc_recovery_active",
+            Metric::CcRecoveries(CcVariant::Reno) => "cc_recoveries_reno",
+            Metric::CcRecoveries(CcVariant::NewReno) => "cc_recoveries_newreno",
+            Metric::CcRecoveries(CcVariant::Sack) => "cc_recoveries_sack",
+            Metric::CcRecoveries(CcVariant::Cubic) => "cc_recoveries_cubic",
+            Metric::FlightHist => "flight_bytes_hist",
+            Metric::QueueBytes => "queue_bytes",
+            Metric::QueueBytesHist => "queue_bytes_hist",
+            Metric::DropsLoss => "drops_loss",
+            Metric::DropsOutage => "drops_outage",
+            Metric::DropsQueue => "drops_queue",
+            Metric::SynDrops => "syn_drops",
+            Metric::ServerConnections => "server_connections",
+            Metric::ServerQueuedConnections => "server_queued_connections",
+            Metric::ServerBufferedBytes => "server_buffered_bytes",
+            Metric::PoolEffects => "pool_effects",
+        }
+    }
+
+    /// The counter metric for a link drop of the given reason.
+    pub fn for_drop(reason: DropReason) -> Metric {
+        match reason {
+            DropReason::Loss => Metric::DropsLoss,
+            DropReason::Outage => Metric::DropsOutage,
+            DropReason::Queue => Metric::DropsQueue,
+        }
+    }
+}
+
+/// Identifies one series: what is measured, about what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// The subject of the series.
+    pub scope: Scope,
+    /// The measured quantity.
+    pub metric: Metric,
+}
+
+/// One stored point: the tick index and the value as of that tick's end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// Tick index (`time_ns / tick_ns`).
+    pub tick: u64,
+    /// Gauge value, or cumulative counter total.
+    pub value: u64,
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values with `⌊log2(v)⌋ = i - 1`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A streaming log2-bucketed histogram over `u64` observations.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; HIST_BUCKETS],
+            total: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Bucket index for a value.
+    pub fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => v.ilog2() as usize + 1,
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lo(i), c))
+    }
+}
+
+/// The data behind one series.
+#[derive(Debug, Clone)]
+pub enum SeriesData {
+    /// Sample-and-hold points.
+    Gauge(Vec<Point>),
+    /// Cumulative totals; `total` is the running sum.
+    Counter {
+        /// Running total.
+        total: u64,
+        /// Totals as of each tick the counter changed in.
+        points: Vec<Point>,
+    },
+    /// Distribution without a time axis. Boxed: the fixed bucket array
+    /// would otherwise dominate every variant's size.
+    Histogram(Box<LogHistogram>),
+}
+
+impl SeriesData {
+    fn new(kind: SeriesKind) -> SeriesData {
+        match kind {
+            SeriesKind::Gauge => SeriesData::Gauge(Vec::new()),
+            SeriesKind::Counter => SeriesData::Counter {
+                total: 0,
+                points: Vec::new(),
+            },
+            SeriesKind::Histogram => SeriesData::Histogram(Box::default()),
+        }
+    }
+
+    /// Time-series points (empty for histograms).
+    pub fn points(&self) -> &[Point] {
+        match self {
+            SeriesData::Gauge(p) => p,
+            SeriesData::Counter { points, .. } => points,
+            SeriesData::Histogram(_) => &[],
+        }
+    }
+}
+
+/// One recorded series: key plus data.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// What this series measures, about what.
+    pub key: SeriesKey,
+    /// The recorded points or histogram.
+    pub data: SeriesData,
+}
+
+/// Compact per-run roll-up carried on `CellResult` so fleet tables can
+/// report telemetry volume without holding the series themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Distinct series recorded.
+    pub series: u32,
+    /// Time-series points stored across all gauges and counters.
+    pub points: u64,
+    /// Observations folded into histograms.
+    pub hist_samples: u64,
+}
+
+/// The telemetry sink: owned by the kernel, off (and allocation-free)
+/// unless explicitly enabled.
+#[derive(Debug)]
+pub struct TelemetrySink {
+    enabled: bool,
+    tick_ns: u64,
+    /// Sorted by key; binary-searched on every record.
+    series: Vec<Series>,
+}
+
+impl Default for TelemetrySink {
+    fn default() -> Self {
+        TelemetrySink {
+            enabled: false,
+            tick_ns: DEFAULT_TICK.as_nanos(),
+            series: Vec::new(),
+        }
+    }
+}
+
+impl TelemetrySink {
+    /// Whether the sink is collecting. When false every record method is
+    /// a single-branch no-op.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn collection on. Do this before traffic flows so series start
+    /// at the run's beginning.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Set the tick width. Must be called before any point is recorded;
+    /// panics on a zero duration.
+    pub fn set_tick(&mut self, tick: SimDuration) {
+        assert!(tick.as_nanos() > 0, "telemetry tick must be positive");
+        assert!(
+            self.series.is_empty(),
+            "set the telemetry tick before recording"
+        );
+        self.tick_ns = tick.as_nanos();
+    }
+
+    /// The tick width in nanoseconds.
+    pub fn tick_ns(&self) -> u64 {
+        self.tick_ns
+    }
+
+    fn tick_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.tick_ns
+    }
+
+    /// Locate (or create) the series for `key`.
+    fn slot(&mut self, key: SeriesKey) -> &mut SeriesData {
+        let idx = match self.series.binary_search_by(|s| s.key.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.series.insert(
+                    i,
+                    Series {
+                        key,
+                        data: SeriesData::new(key.metric.kind()),
+                    },
+                );
+                i
+            }
+        };
+        &mut self.series[idx].data
+    }
+
+    /// Record a gauge value (last write in a tick wins).
+    pub fn gauge(&mut self, now: SimTime, scope: Scope, metric: Metric, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let tick = self.tick_of(now);
+        let SeriesData::Gauge(points) = self.slot(SeriesKey { scope, metric }) else {
+            panic!("{} is not a gauge", metric.label());
+        };
+        match points.last_mut() {
+            Some(p) if p.tick == tick => p.value = value,
+            Some(p) if p.value == value => {}
+            _ => points.push(Point { tick, value }),
+        }
+    }
+
+    /// Record a gauge value and report whether it differs from the
+    /// series' previous value (true for the first write). Lets callers
+    /// turn level changes into edge-triggered counters.
+    pub fn gauge_changed(
+        &mut self,
+        now: SimTime,
+        scope: Scope,
+        metric: Metric,
+        value: u64,
+    ) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let tick = self.tick_of(now);
+        let SeriesData::Gauge(points) = self.slot(SeriesKey { scope, metric }) else {
+            panic!("{} is not a gauge", metric.label());
+        };
+        match points.last_mut() {
+            Some(p) if p.tick == tick => {
+                let changed = p.value != value;
+                p.value = value;
+                changed
+            }
+            Some(p) if p.value == value => false,
+            _ => {
+                points.push(Point { tick, value });
+                true
+            }
+        }
+    }
+
+    /// Add to a counter; the cumulative total is stored per tick.
+    pub fn counter_add(&mut self, now: SimTime, scope: Scope, metric: Metric, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let tick = self.tick_of(now);
+        let SeriesData::Counter { total, points } = self.slot(SeriesKey { scope, metric }) else {
+            panic!("{} is not a counter", metric.label());
+        };
+        *total += delta;
+        let total = *total;
+        match points.last_mut() {
+            Some(p) if p.tick == tick => p.value = total,
+            _ => points.push(Point { tick, value: total }),
+        }
+    }
+
+    /// Fold one observation into a histogram.
+    pub fn observe(&mut self, scope: Scope, metric: Metric, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let SeriesData::Histogram(h) = self.slot(SeriesKey { scope, metric }) else {
+            panic!("{} is not a histogram", metric.label());
+        };
+        h.observe(value);
+    }
+
+    /// All recorded series in key order.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// The series for `key`, if any point or observation was recorded.
+    pub fn get(&self, scope: Scope, metric: Metric) -> Option<&SeriesData> {
+        let key = SeriesKey { scope, metric };
+        self.series
+            .binary_search_by(|s| s.key.cmp(&key))
+            .ok()
+            .map(|i| &self.series[i].data)
+    }
+
+    /// Compact roll-up for result tables.
+    pub fn summary(&self) -> TelemetrySummary {
+        let mut s = TelemetrySummary {
+            series: self.series.len() as u32,
+            ..TelemetrySummary::default()
+        };
+        for series in &self.series {
+            match &series.data {
+                SeriesData::Histogram(h) => s.hist_samples += h.total(),
+                other => s.points += other.points().len() as u64,
+            }
+        }
+        s
+    }
+
+    /// Render every series as a stable, hand-rolled JSON document. All
+    /// values are integers (nanoseconds, tick indices, bytes, counts);
+    /// field order and series order are fixed, so identical runs produce
+    /// byte-identical documents.
+    pub fn render_json(&self, label: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"cell\": \"{}\",\n",
+            crate::json::escape(label)
+        ));
+        out.push_str(&format!("  \"tick_ns\": {},\n", self.tick_ns));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            let comma = if i + 1 < self.series.len() { "," } else { "" };
+            let kind = s.key.metric.kind();
+            out.push_str(&format!(
+                "    {{\"scope\": \"{}\", \"metric\": \"{}\", \"kind\": \"{}\", ",
+                crate::json::escape(&s.key.scope.label()),
+                s.key.metric.label(),
+                kind.label(),
+            ));
+            match &s.data {
+                SeriesData::Histogram(h) => {
+                    out.push_str(&format!("\"total\": {}, \"sum\": {}, ", h.total(), h.sum()));
+                    out.push_str("\"buckets\": [");
+                    for (j, (lo, count)) in h.buckets().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{lo}, {count}]"));
+                    }
+                    out.push(']');
+                }
+                other => {
+                    out.push_str("\"points\": [");
+                    for (j, p) in other.points().iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{}, {}]", p.tick, p.value));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str(&format!("}}{comma}\n"));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render every series as CSV: one row per point (`tick` and `value`
+    /// columns) or per non-empty histogram bucket (`tick` column holds
+    /// the bucket's lower bound).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("scope,metric,kind,tick,value\n");
+        for s in &self.series {
+            let scope = s.key.scope.label();
+            let metric = s.key.metric.label();
+            let kind = s.key.metric.kind().label();
+            match &s.data {
+                SeriesData::Histogram(h) => {
+                    for (lo, count) in h.buckets() {
+                        out.push_str(&format!("{scope},{metric},{kind},{lo},{count}\n"));
+                    }
+                }
+                other => {
+                    for p in other.points() {
+                        out.push_str(&format!("{scope},{metric},{kind},{},{}\n", p.tick, p.value));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn conn_scope() -> Scope {
+        Scope::Conn {
+            host: HostId(0),
+            local: SockAddr::new(HostId(0), 40_000),
+            remote: SockAddr::new(HostId(1), 80),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut sink = TelemetrySink::default();
+        sink.gauge(at_ms(1), Scope::Global, Metric::PoolEffects, 3);
+        sink.counter_add(at_ms(1), Scope::Host(HostId(0)), Metric::SynDrops, 1);
+        sink.observe(conn_scope(), Metric::FlightHist, 99);
+        assert!(!sink.gauge_changed(at_ms(1), conn_scope(), Metric::CcRecoveryActive, 1));
+        assert!(sink.series().is_empty());
+        assert_eq!(sink.summary(), TelemetrySummary::default());
+    }
+
+    #[test]
+    fn gauge_is_sample_and_hold_per_tick() {
+        let mut sink = TelemetrySink::default();
+        sink.enable();
+        let s = conn_scope();
+        // Three writes inside tick 0: last wins.
+        sink.gauge(at_ms(1), s, Metric::Cwnd, 1460);
+        sink.gauge(at_ms(2), s, Metric::Cwnd, 2920);
+        sink.gauge(at_ms(9), s, Metric::Cwnd, 4380);
+        // Tick 3.
+        sink.gauge(at_ms(35), s, Metric::Cwnd, 5840);
+        // Unchanged value in a later tick stores nothing.
+        sink.gauge(at_ms(45), s, Metric::Cwnd, 5840);
+        let SeriesData::Gauge(points) = sink.get(s, Metric::Cwnd).unwrap() else {
+            panic!("gauge expected");
+        };
+        assert_eq!(
+            points,
+            &[
+                Point {
+                    tick: 0,
+                    value: 4380
+                },
+                Point {
+                    tick: 3,
+                    value: 5840
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn counter_stores_cumulative_totals() {
+        let mut sink = TelemetrySink::default();
+        sink.enable();
+        let s = Scope::Link {
+            link: 0,
+            a_to_b: true,
+        };
+        sink.counter_add(at_ms(5), s, Metric::DropsLoss, 1);
+        sink.counter_add(at_ms(7), s, Metric::DropsLoss, 1);
+        sink.counter_add(at_ms(120), s, Metric::DropsLoss, 3);
+        let SeriesData::Counter { total, points } = sink.get(s, Metric::DropsLoss).unwrap() else {
+            panic!("counter expected");
+        };
+        assert_eq!(*total, 5);
+        assert_eq!(
+            points,
+            &[Point { tick: 0, value: 2 }, Point { tick: 12, value: 5 }]
+        );
+    }
+
+    #[test]
+    fn gauge_changed_edges() {
+        let mut sink = TelemetrySink::default();
+        sink.enable();
+        let s = conn_scope();
+        assert!(sink.gauge_changed(at_ms(0), s, Metric::CcRecoveryActive, 0));
+        assert!(!sink.gauge_changed(at_ms(20), s, Metric::CcRecoveryActive, 0));
+        assert!(sink.gauge_changed(at_ms(40), s, Metric::CcRecoveryActive, 1));
+        assert!(sink.gauge_changed(at_ms(41), s, Metric::CcRecoveryActive, 0));
+        assert!(sink.gauge_changed(at_ms(42), s, Metric::CcRecoveryActive, 1));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_lo(0), 0);
+        assert_eq!(LogHistogram::bucket_lo(11), 1024);
+
+        let mut h = LogHistogram::default();
+        for v in [0, 1, 3, 1024, 1500] {
+            h.observe(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.sum(), 2528);
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 1), (1024, 2)]);
+    }
+
+    #[test]
+    fn series_are_sorted_by_key_not_insertion() {
+        let mut sink = TelemetrySink::default();
+        sink.enable();
+        sink.gauge(
+            at_ms(0),
+            Scope::Host(HostId(3)),
+            Metric::ServerConnections,
+            1,
+        );
+        sink.gauge(at_ms(0), Scope::Global, Metric::PoolEffects, 2);
+        sink.gauge(
+            at_ms(0),
+            Scope::Host(HostId(1)),
+            Metric::ServerConnections,
+            1,
+        );
+        let keys: Vec<Scope> = sink.series().iter().map(|s| s.key.scope).collect();
+        assert_eq!(
+            keys,
+            vec![
+                Scope::Global,
+                Scope::Host(HostId(1)),
+                Scope::Host(HostId(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn render_json_and_csv_are_stable_and_integer_only() {
+        let build = || {
+            let mut sink = TelemetrySink::default();
+            sink.enable();
+            let s = conn_scope();
+            sink.gauge(at_ms(1), s, Metric::Cwnd, 1460);
+            sink.gauge(at_ms(35), s, Metric::Cwnd, 2920);
+            sink.counter_add(at_ms(5), Scope::Host(HostId(1)), Metric::SynDrops, 2);
+            sink.observe(s, Metric::FlightHist, 1460);
+            sink
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.render_json("cell"), b.render_json("cell"));
+        assert_eq!(a.render_csv(), b.render_csv());
+        let json = a.render_json("cell");
+        assert!(json.contains("\"tick_ns\": 10000000"));
+        assert!(json.contains("\"metric\": \"cwnd_bytes\""));
+        assert!(json.contains("[0, 1460], [3, 2920]"));
+        assert!(json.contains("\"metric\": \"syn_drops\""));
+        assert!(!json.contains('.'), "integer-only document:\n{json}");
+        let csv = a.render_csv();
+        assert!(csv.starts_with("scope,metric,kind,tick,value\n"));
+        assert!(csv.contains("h0:40000>h1:80,cwnd_bytes,gauge,0,1460\n"));
+        assert!(csv.contains("h1,syn_drops,counter,0,2\n"));
+        assert!(csv.contains("h0:40000>h1:80,flight_bytes_hist,hist,1024,1\n"));
+    }
+
+    #[test]
+    fn summary_counts_series_points_and_samples() {
+        let mut sink = TelemetrySink::default();
+        sink.enable();
+        let s = conn_scope();
+        sink.gauge(at_ms(1), s, Metric::Cwnd, 1460);
+        sink.gauge(at_ms(35), s, Metric::Cwnd, 2920);
+        sink.counter_add(at_ms(5), Scope::Host(HostId(1)), Metric::SynDrops, 2);
+        sink.observe(s, Metric::FlightHist, 10);
+        sink.observe(s, Metric::FlightHist, 20);
+        assert_eq!(
+            sink.summary(),
+            TelemetrySummary {
+                series: 3,
+                points: 3,
+                hist_samples: 2
+            }
+        );
+    }
+
+    #[test]
+    fn custom_tick_width() {
+        let mut sink = TelemetrySink::default();
+        sink.set_tick(SimDuration::from_millis(100));
+        sink.enable();
+        let s = conn_scope();
+        sink.gauge(at_ms(250), s, Metric::Cwnd, 1460);
+        let SeriesData::Gauge(points) = sink.get(s, Metric::Cwnd).unwrap() else {
+            panic!("gauge expected");
+        };
+        assert_eq!(points[0].tick, 2);
+    }
+}

@@ -268,7 +268,12 @@ pub fn lex(src: &str) -> Lexed {
                         advance!(1);
                     }
                 } else if i < b.len() {
+                    // One scalar, which may be multi-byte UTF-8 ('▁'):
+                    // consume the lead byte plus its continuation bytes.
                     advance!(1);
+                    while i < b.len() && (b[i] & 0xC0) == 0x80 {
+                        advance!(1);
+                    }
                 }
                 if i < b.len() && b[i] == b'\'' {
                     advance!(1);
@@ -332,11 +337,13 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
-        // Multi-char operator, longest match first.
-        let rest = &src[i..];
+        // Multi-char operator, longest match first. Matched on bytes so
+        // a cursor resting on a stray non-ASCII byte cannot panic the
+        // `&str` slice on a char boundary.
+        let rest = &b[i..];
         let mut matched = false;
         for op in MULTI_OPS {
-            if rest.starts_with(op) {
+            if rest.starts_with(op.as_bytes()) {
                 out.toks.push(Tok {
                     kind: TokKind::Op,
                     text: (*op).to_string(),
@@ -424,6 +431,19 @@ mod tests {
         assert_eq!(lifetimes, 2);
         assert_eq!(chars.len(), 2);
         assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn multibyte_char_literal_lexes_whole_scalar() {
+        // Sparkline block chars are 3-byte UTF-8 scalars; the char
+        // literal must consume the whole scalar, not one byte of it.
+        let l = lex("const B: [char; 2] = ['▁', '█'];\nlet x = HashMap::new();");
+        let chars: Vec<&Tok> = l.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].text, "'▁'");
+        assert_eq!(chars[1].text, "'█'");
+        // Lexing continues correctly past the literals.
+        assert!(l.toks.iter().any(|t| t.is_ident("HashMap")));
     }
 
     #[test]

@@ -42,7 +42,9 @@ const HASH_CRATES: &[&str] = &["netsim", "core", "httpserver", "httpclient", "ht
 const TIME_CRATES: &[&str] = &["netsim", "httpmux"];
 
 /// Files that are on the per-segment hot path.
-const HOT_FILES: &[&str] = &["tcp.rs", "cc.rs", "link.rs", "sim.rs", "frame.rs", "conn.rs"];
+const HOT_FILES: &[&str] = &[
+    "tcp.rs", "cc.rs", "link.rs", "sim.rs", "frame.rs", "conn.rs",
+];
 
 /// Identifiers holding TCP sequence-space values in `tcp.rs` and the
 /// congestion-control module `cc.rs`. Direct ordering or subtraction on
@@ -102,6 +104,11 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
     };
 
     let is_probe = file == "probe.rs";
+    // The telemetry sink shares the probe's flight-recorder discipline.
+    // Only netsim's telemetry.rs qualifies: the bench bin and the
+    // experiments module of the same name are ordinary consumer code.
+    let is_telemetry = file == "telemetry.rs" && crate_of(path) == "netsim";
+    let is_recorder = is_probe || is_telemetry;
 
     for i in 0..n {
         if sf.is_test_tok(i) {
@@ -109,9 +116,9 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
         }
         let t = &toks[i];
 
-        // --- probe-determinism: the flight recorder must be inert; even
+        // --- probe-determinism: the flight recorders must be inert; even
         // imports of nondeterministic types are banned there.
-        if is_probe {
+        if is_recorder {
             let hit = (t.kind == TokKind::Ident
                 && matches!(
                     t.text.as_str(),
@@ -127,16 +134,39 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
                     t.line,
                     t.col,
                     format!(
-                        "`{}` in the probe: the flight recorder must not perturb or reorder the simulation",
+                        "`{}` in `{}`: the flight recorder must not perturb or reorder the simulation",
+                        t.text, file
+                    ),
+                );
+            }
+            // The telemetry sink is stricter still: series are integer
+            // ticks and raw values end to end, so any float type or
+            // float sim-time conversion means a lossy representation
+            // snuck into the recorder. (The probe is exempt — it owns
+            // the float-seconds *rendering* at the report edge.)
+            if is_telemetry
+                && t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "f32" | "f64" | "as_secs_f32" | "as_secs_f64"
+                )
+            {
+                push(
+                    "probe-determinism",
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in the telemetry sink: series are integer-only (ticks and raw values); render floats at the report edge",
                         t.text
                     ),
                 );
             }
         }
 
-        // --- hash-collections (probe.rs is covered by its own stricter
-        // rule above; skip the generic ones there to avoid duplicates)
-        if !is_probe
+        // --- hash-collections (the recorder files are covered by their
+        // own stricter rule above; skip the generic ones there to avoid
+        // duplicates)
+        if !is_recorder
             && t.kind == TokKind::Ident
             && matches!(t.text.as_str(), "HashMap" | "HashSet")
             && !sf.in_use[i]
@@ -154,7 +184,7 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
         }
 
         // --- wall-clock
-        if !is_probe && !sf.in_use[i] {
+        if !is_recorder && !sf.in_use[i] {
             if t.is_ident("Instant")
                 && i + 2 < n
                 && toks[i + 1].is_op("::")
@@ -180,7 +210,7 @@ pub fn lint_scoped(sf: &ScopedFile) -> Vec<Diagnostic> {
         }
 
         // --- thread-rng
-        if !is_probe && t.is_ident("thread_rng") {
+        if !is_recorder && t.is_ident("thread_rng") {
             push(
                 "thread-rng",
                 t.line,
@@ -468,6 +498,30 @@ mod tests {
         let d = diags("crates/netsim/src/probe.rs", src);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "probe-determinism");
+    }
+
+    #[test]
+    fn telemetry_sink_shares_the_probe_discipline() {
+        // Banned nondeterminism fires in netsim's telemetry.rs...
+        let src = "use std::collections::HashMap;\n";
+        let d = diags("crates/netsim/src/telemetry.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "probe-determinism");
+        // ...but the bench bin and experiments module of the same name
+        // are ordinary code (generic rules still apply there).
+        assert!(diags("crates/bench/src/bin/telemetry.rs", src).is_empty());
+        assert!(diags("crates/core/src/experiments/telemetry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn telemetry_sink_bans_floats_but_probe_keeps_them() {
+        let src = "fn f(v: u64) -> f64 {\n    v as f64\n}\n";
+        let d = diags("crates/netsim/src/telemetry.rs", src);
+        // One hit per `f64` token (return type + cast).
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.rule == "probe-determinism"));
+        // The probe renders float seconds at the report edge; no ban.
+        assert!(diags("crates/netsim/src/probe.rs", src).is_empty());
     }
 
     #[test]

@@ -91,6 +91,39 @@ fn probe_determinism_fires() {
 }
 
 #[test]
+fn probe_determinism_fires_in_telemetry() {
+    assert_fires(
+        "crates/netsim/src/telemetry.rs",
+        "fn f() {\n    let t = Instant::now();\n}\n",
+        "probe-determinism",
+        2,
+    );
+}
+
+#[test]
+fn probe_determinism_float_ban_fires_in_telemetry() {
+    assert_fires(
+        "crates/netsim/src/telemetry.rs",
+        "fn f(d: SimDuration) {\n    let s = d.as_secs_f64();\n    let _ = s;\n}\n",
+        "probe-determinism",
+        2,
+    );
+}
+
+#[test]
+fn telemetry_float_ban_is_unsuppressible() {
+    // An allow marker cannot bless a float in the telemetry sink.
+    let diags = one(
+        "crates/netsim/src/telemetry.rs",
+        "// simlint: allow(probe-determinism)\nfn f(v: u64) -> f64 {\n    v as f64\n}\n",
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "probe-determinism"),
+        "allow marker must not suppress: {diags:?}"
+    );
+}
+
+#[test]
 fn hot_path_alloc_fires() {
     assert_fires(
         "crates/netsim/src/link.rs",
